@@ -1,0 +1,93 @@
+// E11 (ablation) — design-choice knobs called out in DESIGN.md §6:
+//   (a) Avala's local-affinity weight: how much the greedy favors
+//       components interacting with what is already on the host being
+//       filled, vs their global interaction rank;
+//   (b) DecAp's move damping (max moves per component): convergence
+//       insurance vs freedom to re-fit.
+#include "bench_common.h"
+
+#include "algo/avala.h"
+#include "algo/decap.h"
+
+namespace dif::bench {
+namespace {
+
+void run() {
+  header("E11", "ablations: Avala affinity weight, DecAp move damping",
+         "(internal design choices; DESIGN.md section 6)");
+
+  const model::AvailabilityObjective availability;
+  const int seeds = 12;
+
+  std::printf("\n-- Avala: local-affinity weight (8 hosts x 32 comps) --\n");
+  util::Table avala_table({"affinity weight", "availability",
+                           "% of hillclimb"});
+  util::OnlineStats reference;
+  {
+    const algo::AlgorithmRegistry registry =
+        algo::AlgorithmRegistry::with_defaults();
+    for (int seed = 1; seed <= seeds; ++seed) {
+      const auto system = desi::Generator::generate(
+          {.hosts = 8, .components = 32, .interaction_density = 0.25}, seed);
+      reference.add(
+          run_algorithm(registry, "hillclimb", *system, availability, seed)
+              .value);
+    }
+  }
+  for (const double weight : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    util::OnlineStats values;
+    for (int seed = 1; seed <= seeds; ++seed) {
+      const auto system = desi::Generator::generate(
+          {.hosts = 8, .components = 32, .interaction_density = 0.25}, seed);
+      algo::AvalaAlgorithm avala(weight);
+      const model::ConstraintChecker checker(system->model(),
+                                             system->constraints());
+      algo::AlgoOptions options;
+      options.seed = static_cast<std::uint64_t>(seed);
+      const algo::AlgoResult result =
+          avala.run(system->model(), availability, checker, options);
+      if (result.feasible) values.add(result.value);
+    }
+    avala_table.add_row({util::fmt(weight, 1), util::fmt(values.mean(), 4),
+                         util::fmt_pct(values.mean() / reference.mean())});
+  }
+  std::printf("%s", avala_table.render().c_str());
+  std::printf("(weight 0 = pure global ranking; the default 2.0 folds in\n"
+              "affinity to components already placed on the host)\n");
+
+  std::printf("\n-- DecAp: move damping (6 hosts x 20 comps, awareness from"
+              " links) --\n");
+  util::Table decap_table({"max moves/component", "availability",
+                           "migrations", "rounds"});
+  for (const std::size_t cap : {1u, 2u, 3u, 6u, 12u}) {
+    util::OnlineStats values, migrations, rounds;
+    for (int seed = 1; seed <= seeds; ++seed) {
+      const auto system = desi::Generator::generate(
+          {.hosts = 6, .components = 20, .link_density = 0.6,
+           .interaction_density = 0.3},
+          seed);
+      algo::DecApAlgorithm decap(
+          {.max_rounds = 64, .min_gain = 1e-9, .max_moves_per_component = cap});
+      const model::ConstraintChecker checker(system->model(),
+                                             system->constraints());
+      algo::AlgoOptions options;
+      options.seed = static_cast<std::uint64_t>(seed);
+      options.initial = system->deployment();
+      const algo::AlgoResult result =
+          decap.run(system->model(), availability, checker, options);
+      if (!result.feasible) continue;
+      values.add(result.value);
+      migrations.add(static_cast<double>(decap.stats().migrations));
+      rounds.add(static_cast<double>(decap.stats().rounds));
+    }
+    decap_table.add_row({std::to_string(cap), util::fmt(values.mean(), 4),
+                         util::fmt(migrations.mean(), 1),
+                         util::fmt(rounds.mean(), 1)});
+  }
+  std::printf("%s\n", decap_table.render().c_str());
+}
+
+}  // namespace
+}  // namespace dif::bench
+
+int main() { dif::bench::run(); }

@@ -1,0 +1,94 @@
+// E1 — Algorithm quality on small systems (paper Section 5.1).
+//
+// On instances small enough for the Exact algorithm (~5 hosts, ~15
+// components), compare the availability each algorithm achieves, as a
+// fraction of the exact optimum, plus running time and evaluation counts.
+// Expected shape: Exact = 100% (optimal), Avala near-optimal, iterated
+// Stochastic below Avala, single random deployments far below.
+#include "bench_common.h"
+
+namespace dif::bench {
+namespace {
+
+struct Row {
+  std::string algorithm;
+  util::OnlineStats availability;
+  util::OnlineStats fraction_of_optimal;
+  util::OnlineStats elapsed_us;
+  util::OnlineStats evaluations;
+};
+
+void run() {
+  header("E1", "algorithm quality vs exact optimum (small systems)",
+         "Exact optimal but exponential; Avala near-optimal; Stochastic "
+         "worse; all beat the initial random deployment");
+
+  const algo::AlgorithmRegistry registry =
+      algo::AlgorithmRegistry::with_defaults();
+  const model::AvailabilityObjective availability;
+  const std::vector<std::string> algorithms = {
+      "exact", "avala", "hillclimb", "annealing", "genetic", "stochastic",
+      "decap"};
+  const int seeds = 12;
+
+  for (const auto& [hosts, comps] : std::vector<std::pair<int, int>>{
+           {3, 8}, {4, 12}, {5, 15}}) {
+    std::vector<Row> rows(algorithms.size() + 1);
+    rows[0].algorithm = "(initial)";
+    for (std::size_t i = 0; i < algorithms.size(); ++i)
+      rows[i + 1].algorithm = algorithms[i];
+
+    for (int seed = 1; seed <= seeds; ++seed) {
+      const auto system = desi::Generator::generate(
+          {.hosts = static_cast<std::size_t>(hosts),
+           .components = static_cast<std::size_t>(comps),
+           .interaction_density = 0.3,
+           .location_constraints = 2,
+           .anti_colocation_pairs = 1},
+          seed);
+      const double initial_value =
+          availability.evaluate(system->model(), system->deployment());
+      double optimum = 1.0;
+      std::vector<algo::AlgoResult> results;
+      for (const std::string& name : algorithms) {
+        results.push_back(
+            run_algorithm(registry, name, *system, availability, seed));
+        if (name == "exact") optimum = results.back().value;
+      }
+      rows[0].availability.add(initial_value);
+      rows[0].fraction_of_optimal.add(initial_value / optimum);
+      for (std::size_t i = 0; i < algorithms.size(); ++i) {
+        const algo::AlgoResult& r = results[i];
+        if (!r.feasible) continue;
+        rows[i + 1].availability.add(r.value);
+        rows[i + 1].fraction_of_optimal.add(r.value / optimum);
+        rows[i + 1].elapsed_us.add(
+            static_cast<double>(r.elapsed.count()) / 1e3);
+        rows[i + 1].evaluations.add(static_cast<double>(r.evaluations));
+      }
+    }
+
+    std::printf("\n-- %d hosts x %d components (%d seeds) --\n", hosts, comps,
+                seeds);
+    util::Table table({"algorithm", "availability", "% of optimal",
+                       "mean time", "mean evals"});
+    for (const Row& row : rows) {
+      table.add_row(
+          {row.algorithm, util::fmt(row.availability.mean(), 4),
+           util::fmt_pct(row.fraction_of_optimal.mean()),
+           row.elapsed_us.count()
+               ? util::fmt_duration_ns(row.elapsed_us.mean() * 1e3)
+               : "-",
+           row.evaluations.count()
+               ? util::fmt(row.evaluations.mean(), 0)
+               : "-"});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace dif::bench
+
+int main() { dif::bench::run(); }

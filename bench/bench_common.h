@@ -1,0 +1,55 @@
+// Shared helpers for the experiment harnesses (E1-E9).
+//
+// Each bench binary regenerates one paper experiment as a printed table;
+// DESIGN.md §4 maps experiments to binaries and EXPERIMENTS.md records the
+// paper-claim vs measured outcome.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "algo/registry.h"
+#include "desi/generator.h"
+#include "util/logging.h"
+#include "util/statistics.h"
+#include "util/table.h"
+
+namespace dif::bench {
+
+/// Prints a standard experiment header. Also silences sub-error logging:
+/// loop-driven experiments deliberately run under violent churn, where
+/// transfer retries exhausting and redeployment timeouts are *expected*
+/// protocol behaviour, not news.
+inline void header(const char* id, const char* title, const char* claim) {
+  util::Logger::instance().set_level(util::LogLevel::kError);
+  std::printf("==================================================================\n");
+  std::printf("%s  %s\n", id, title);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("==================================================================\n");
+}
+
+/// Runs `algorithm` on a generated system and returns the result.
+inline algo::AlgoResult run_algorithm(const algo::AlgorithmRegistry& registry,
+                                      const std::string& name,
+                                      const desi::SystemData& system,
+                                      const model::Objective& objective,
+                                      std::uint64_t seed,
+                                      std::uint64_t max_evaluations = 0) {
+  const model::ConstraintChecker checker(system.model(),
+                                         system.constraints());
+  algo::AlgoOptions options;
+  options.seed = seed;
+  options.initial = system.deployment();
+  options.max_evaluations = max_evaluations;
+  return registry.create(name)->run(system.model(), objective, checker,
+                                    options);
+}
+
+/// Mean of a sample vector (0 for empty).
+inline double mean(const std::vector<double>& xs) {
+  return util::summarize(xs).mean;
+}
+
+}  // namespace dif::bench

@@ -1,0 +1,90 @@
+// E4 — Latency co-improvement and the analyzer's latency guard
+// (paper Section 5.1).
+//
+// "The algorithms used in this scenario also typically decrease the
+// system's overall latency. However, in rare situations where this is not
+// the case, the analyzer either disallows the results of the algorithms to
+// take effect or modifies the solution."
+//
+// Sweep random systems, redeploy for availability, and measure what happens
+// to latency; then rerun with the analyzer's guard enabled and count vetoes.
+#include "bench_common.h"
+
+#include "analyzer/centralized.h"
+
+namespace dif::bench {
+namespace {
+
+void run() {
+  header("E4", "latency co-improvement + analyzer latency guard",
+         "availability-driven redeployment typically also lowers latency; "
+         "the analyzer vetoes the rare regressions");
+
+  const algo::AlgorithmRegistry registry =
+      algo::AlgorithmRegistry::with_defaults();
+  const model::AvailabilityObjective availability;
+  const model::LatencyObjective latency;
+  const int seeds = 30;
+
+  int latency_improved = 0, latency_worsened = 0;
+  util::OnlineStats avail_gain, latency_change_pct;
+  int vetoes = 0, redeploys = 0;
+
+  for (int seed = 1; seed <= seeds; ++seed) {
+    const auto system = desi::Generator::generate(
+        {.hosts = 6, .components = 18, .interaction_density = 0.3}, seed);
+    const double avail_before =
+        availability.evaluate(system->model(), system->deployment());
+    const double latency_before =
+        latency.evaluate(system->model(), system->deployment());
+
+    const algo::AlgoResult result =
+        run_algorithm(registry, "avala", *system, availability, seed);
+    if (!result.feasible) continue;
+    const double latency_after =
+        latency.evaluate(system->model(), result.deployment);
+    avail_gain.add(result.value - avail_before);
+    latency_change_pct.add(100.0 * (latency_after - latency_before) /
+                           latency_before);
+    if (latency_after <= latency_before)
+      ++latency_improved;
+    else
+      ++latency_worsened;
+
+    // Now the full analyzer path, guard enabled.
+    analyzer::CentralizedAnalyzer::Policy policy;
+    policy.min_improvement = 0.01;
+    policy.unstable_algorithm = "avala";
+    policy.exact_max_components = 0;  // force the approximative path
+    policy.latency_tolerance = 1.10;
+    analyzer::CentralizedAnalyzer analyzer(registry, policy);
+    analyzer::ExecutionProfile profile;
+    const model::ConstraintChecker checker(system->model(),
+                                           system->constraints());
+    const analyzer::Decision decision =
+        analyzer.analyze(system->model(), availability, checker,
+                         system->deployment(), profile, seed);
+    if (decision.action == analyzer::Decision::Action::kRedeploy)
+      ++redeploys;
+    else if (decision.reason.rfind("vetoed", 0) == 0)
+      ++vetoes;
+  }
+
+  util::Table table({"metric", "value"});
+  table.add_row({"systems analyzed", std::to_string(seeds)});
+  table.add_row({"mean availability gain", util::fmt(avail_gain.mean(), 4)});
+  table.add_row({"latency improved alongside",
+                 std::to_string(latency_improved) + "/" +
+                     std::to_string(latency_improved + latency_worsened)});
+  table.add_row({"mean latency change", util::fmt(latency_change_pct.mean(),
+                                                  1) +
+                                            "%"});
+  table.add_row({"analyzer redeployments", std::to_string(redeploys)});
+  table.add_row({"analyzer latency vetoes", std::to_string(vetoes)});
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace
+}  // namespace dif::bench
+
+int main() { dif::bench::run(); }

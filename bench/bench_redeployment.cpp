@@ -1,0 +1,91 @@
+// E9 — Effector cost: redeployment time vs number of migrated components
+// (paper Section 4.3, DeSi's "estimated time to effect a redeployment").
+//
+// Drive the real migration protocol on the simulated middleware, moving
+// 1..16 components in one redeployment, and report the simulated completion
+// time and the protocol message counts, alongside DeSi's static estimate.
+// Expected shape: time grows roughly linearly in the number (and size) of
+// migrated components; the static estimate tracks the measured time.
+#include "bench_common.h"
+
+#include "core/centralized_instantiation.h"
+#include "desi/algo_result_data.h"
+#include "desi/algorithm_container.h"
+
+namespace dif::bench {
+namespace {
+
+void run() {
+  header("E9", "redeployment cost vs migration count",
+         "effecting a redeployment costs time proportional to the migrated "
+         "components' sizes over the involved links; DeSi's estimate "
+         "matches the measured shape");
+
+  util::Table table({"migrations", "simulated time", "DeSi estimate",
+                     "events sent", "transfers retried"});
+
+  for (const std::size_t moves : {1u, 2u, 4u, 8u, 16u}) {
+    const auto system = desi::Generator::generate(
+        {.hosts = 4,
+         .components = 24,
+         .host_memory = {2'000.0, 2'000.0},  // room to receive everything
+         .component_memory = {20.0, 60.0},   // meaty components
+         .reliability = {0.9, 0.99},
+         .bandwidth = {100.0, 400.0},
+         .link_density = 1.0},
+        77 + moves);
+    core::FrameworkConfig config;
+    config.enable_monitoring = false;
+    core::CentralizedInstantiation inst(*system, config);
+    inst.start();
+    inst.simulator().run_until(100.0);
+
+    // Build a target that moves exactly `moves` components to new hosts.
+    model::Deployment target = system->deployment();
+    std::size_t moved = 0;
+    for (std::size_t c = 0; c < target.size() && moved < moves; ++c) {
+      const auto comp = static_cast<model::ComponentId>(c);
+      const model::HostId from = target.host_of(comp);
+      const auto to = static_cast<model::HostId>(
+          (from + 1) % system->model().host_count());
+      target.assign(comp, to);
+      ++moved;
+    }
+
+    // DeSi's static estimate for this redeployment.
+    desi::AlgoResultData results;
+    desi::AlgorithmContainer container(*system, results);
+    algo::AlgoResult pseudo;
+    pseudo.deployment = target;
+    pseudo.feasible = true;
+    const double estimate_ms = container.estimate_redeploy_ms(pseudo);
+
+    const std::uint64_t events_before = inst.network().stats().sent;
+    const double start_ms = inst.simulator().now();
+    double finished_at = -1.0;
+    inst.adapter().effect(target, [&](bool success, std::size_t) {
+      if (success) finished_at = inst.simulator().now();
+    });
+    inst.simulator().run_until(start_ms + 120'000.0);
+
+    std::uint64_t retried = 0;
+    for (std::size_t h = 0; h < system->model().host_count(); ++h)
+      retried += inst.admin(static_cast<model::HostId>(h)).components_shipped();
+    retried = retried >= moved ? retried - moved : 0;
+
+    table.add_row(
+        {std::to_string(moved),
+         finished_at >= 0.0
+             ? util::fmt(finished_at - start_ms, 1) + " ms"
+             : "timeout",
+         util::fmt(estimate_ms, 1) + " ms",
+         std::to_string(inst.network().stats().sent - events_before),
+         std::to_string(retried)});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace
+}  // namespace dif::bench
+
+int main() { dif::bench::run(); }

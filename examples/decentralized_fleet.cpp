@@ -1,0 +1,74 @@
+// Decentralized scenario (paper Section 5.2): a fleet of peer devices with
+// no master host. Every host monitors locally, keeps its own partial model,
+// and DecAp auctions redistribute components using only local knowledge.
+//
+//   $ ./decentralized_fleet
+#include <cstdio>
+
+#include "core/decentralized_instantiation.h"
+#include "desi/generator.h"
+#include "util/table.h"
+
+using namespace dif;
+
+int main() {
+  // Eight peers in a sparse mesh — no host can see the whole system.
+  auto system = desi::Generator::generate(
+      {.hosts = 8,
+       .components = 24,
+       .reliability = {0.45, 0.95},
+       .bandwidth = {100.0, 600.0},
+       .frequency = {1.0, 6.0},
+       .event_size = {0.2, 1.0},
+       .link_density = 0.25,
+       .interaction_density = 0.2},
+      /*seed=*/42);
+
+  const model::AvailabilityObjective availability;
+  const double initial =
+      availability.evaluate(system->model(), system->deployment());
+  std::printf("=== decentralized fleet ===\n");
+  std::printf("%zu hosts, %zu components; awareness = physical links only\n",
+              system->model().host_count(),
+              system->model().component_count());
+  const algo::AwarenessGraph awareness =
+      algo::AwarenessGraph::from_links(system->model());
+  std::printf("awareness density: %.0f%% of host pairs\n\n",
+              100.0 * awareness.density());
+  std::printf("initial availability: %.4f\n\n", initial);
+
+  core::DecentralizedInstantiation::Config config;
+  config.base.reliability.interval_ms = 500.0;
+  core::DecentralizedInstantiation fleet(*system, config);
+  fleet.start();
+  fleet.simulator().run_until(5'000.0);  // warm up the monitors
+
+  util::Table table({"round", "migrations", "availability (runtime)"});
+  for (int round = 1; round <= 8; ++round) {
+    fleet.refresh_local_models();
+    // Decentralized Model sync: hosts gossip their measurements to their
+    // neighbors before bidding (paper section 5.2).
+    fleet.gossip_sync();
+    fleet.simulator().run_until(fleet.simulator().now() + 2'000.0);
+    const std::size_t moves = fleet.auction_sweep(1000 + round);
+    // Let transfers and location updates settle.
+    fleet.simulator().run_until(fleet.simulator().now() + 30'000.0);
+    const model::Deployment current = fleet.runtime_deployment();
+    table.add_row({std::to_string(round), std::to_string(moves),
+                   util::fmt(availability.evaluate(system->model(), current),
+                             4)});
+    if (moves == 0) break;  // auctions converged
+  }
+  std::printf("=== auction rounds ===\n%s\n", table.render().c_str());
+
+  const model::Deployment final_deployment = fleet.runtime_deployment();
+  const double final_value =
+      availability.evaluate(system->model(), final_deployment);
+  std::printf("availability: %.4f -> %.4f (%+.1f%%)\n", initial, final_value,
+              100.0 * (final_value - initial) / initial);
+  std::printf("auction protocol: %zu auctions, %zu messages, %zu total "
+              "migrations\n",
+              fleet.stats().auctions, fleet.stats().messages,
+              fleet.stats().migrations);
+  return 0;
+}

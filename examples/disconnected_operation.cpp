@@ -1,0 +1,98 @@
+// Disconnected operation: the failure mode the paper's framework exists
+// for. A scripted network partition cuts a host off; the monitors see the
+// reliability collapse; the analyzer redeploys components off the dying
+// link before the partition hits, and recovers after it heals.
+//
+//   $ ./disconnected_operation
+#include <cstdio>
+
+#include "core/improvement_loop.h"
+#include "sim/fluctuation.h"
+#include "util/table.h"
+
+using namespace dif;
+
+int main() {
+  // Three hosts in a line: base -- relay -- field. The field link is about
+  // to fail for a long stretch.
+  desi::SystemData system;
+  model::DeploymentModel& m = system.model();
+  const model::HostId base =
+      m.add_host({.name = "base", .memory_capacity = 512});
+  const model::HostId relay =
+      m.add_host({.name = "relay", .memory_capacity = 128});
+  const model::HostId field =
+      m.add_host({.name = "field", .memory_capacity = 128});
+  m.set_physical_link(base, relay, {.reliability = 0.95, .bandwidth = 500,
+                                    .delay_ms = 5});
+  m.set_physical_link(relay, field, {.reliability = 0.85, .bandwidth = 200,
+                                     .delay_ms = 15});
+
+  const model::ComponentId sensor =
+      m.add_component({.name = "sensor", .memory_size = 16});
+  const model::ComponentId filter =
+      m.add_component({.name = "filter", .memory_size = 32});
+  const model::ComponentId archive =
+      m.add_component({.name = "archive", .memory_size = 64});
+  m.set_logical_link(sensor, filter, {.frequency = 10.0,
+                                      .avg_event_size = 1.0});
+  m.set_logical_link(filter, archive, {.frequency = 2.0,
+                                       .avg_event_size = 4.0});
+  system.constraints().pin(sensor, field);    // the sensor is hardware-bound
+  system.constraints().pin(archive, base);    // the archive needs the disk
+
+  system.sync_deployment_size();
+  model::Deployment initial(m.component_count());
+  initial.assign(sensor, field);
+  initial.assign(filter, base);   // filter starts far from its data source
+  initial.assign(archive, base);
+  system.set_deployment(initial);
+
+  const model::AvailabilityObjective availability;
+  std::printf("=== disconnected operation ===\n");
+  std::printf("initial availability: %.4f\n\n",
+              availability.evaluate(m, system.deployment()));
+
+  core::FrameworkConfig config;
+  config.admin.report_interval_ms = 1'000.0;
+  config.admin.stability_window = 2;
+  config.admin.stability_epsilon = 0.5;
+  config.reliability.interval_ms = 500.0;
+  config.reliability.pings_per_round = 8;
+  core::CentralizedInstantiation inst(system, config);
+
+  // Script the outage: the relay--field link dies at t=60 s for 60 s.
+  sim::PartitionSchedule partitions(inst.network());
+  partitions.add_outage(relay, field, 60'000.0, 120'000.0);
+
+  core::ImprovementLoop::Config loop_config;
+  loop_config.interval_ms = 5'000.0;
+  loop_config.policy.min_improvement = 0.01;
+  loop_config.policy.enable_latency_guard = false;
+  core::ImprovementLoop loop(inst, availability, loop_config);
+
+  inst.start();
+  loop.start();
+
+  util::Table table({"t (s)", "monitored availability", "decision"});
+  const double horizon = 200'000.0;
+  for (double t = 10'000.0; t <= horizon; t += 10'000.0) {
+    inst.simulator().run_until(t);
+    const auto& history = loop.history();
+    if (history.empty()) continue;
+    const auto& tick = history.back();
+    table.add_row(
+        {util::fmt(t / 1000.0, 0), util::fmt(tick.objective_value, 4),
+         tick.action == analyzer::Decision::Action::kRedeploy
+             ? "redeploy via " + tick.algorithm
+             : "keep"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("redeployments applied: %zu\n", loop.redeployments_applied());
+  std::printf("final deployment:\n%s",
+              system.deployment().describe(m).c_str());
+  std::printf("\nDuring the outage the filter should migrate toward the\n"
+              "sensor's side of the partition (or the model should reflect\n"
+              "the dead link), and availability should recover after heal.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Quickstart: model a small distributed system, score its deployment, ask
+// the algorithms for a better one, and print DeSi-style tables.
+//
+//   $ ./quickstart
+//
+// Walks through the library's core API in ~5 minutes of reading:
+//   1. build a DeploymentModel (hosts, components, links),
+//   2. add User Input constraints,
+//   3. evaluate objectives on the current deployment,
+//   4. run Exact / Avala / Stochastic via the registry,
+//   5. render the results the way DeSi's Results panel would.
+#include <cstdio>
+
+#include "algo/registry.h"
+#include "desi/algo_result_data.h"
+#include "desi/algorithm_container.h"
+#include "desi/graph_view.h"
+#include "desi/table_view.h"
+
+using namespace dif;
+
+int main() {
+  // -- 1. The system model ---------------------------------------------------
+  // Three hosts: a beefy server and two handhelds on flaky wireless links.
+  desi::SystemData system;
+  model::DeploymentModel& m = system.model();
+  const model::HostId server = m.add_host(
+      {.name = "server", .memory_capacity = 512.0});
+  const model::HostId pda1 =
+      m.add_host({.name = "pda1", .memory_capacity = 64.0});
+  const model::HostId pda2 =
+      m.add_host({.name = "pda2", .memory_capacity = 64.0});
+  m.set_physical_link(server, pda1, {.reliability = 0.95, .bandwidth = 500.0,
+                                     .delay_ms = 10.0});
+  m.set_physical_link(server, pda2, {.reliability = 0.70, .bandwidth = 200.0,
+                                     .delay_ms = 25.0});
+  m.set_physical_link(pda1, pda2, {.reliability = 0.40, .bandwidth = 50.0,
+                                   .delay_ms = 40.0});
+
+  // Five components: a data store, two analyzers, two UIs.
+  const model::ComponentId store =
+      m.add_component({.name = "store", .memory_size = 48.0});
+  const model::ComponentId analom =
+      m.add_component({.name = "analyzerA", .memory_size = 24.0});
+  const model::ComponentId analpm =
+      m.add_component({.name = "analyzerB", .memory_size = 24.0});
+  const model::ComponentId ui1 =
+      m.add_component({.name = "ui1", .memory_size = 8.0});
+  const model::ComponentId ui2 =
+      m.add_component({.name = "ui2", .memory_size = 8.0});
+  m.set_logical_link(store, analom, {.frequency = 8.0, .avg_event_size = 2.0});
+  m.set_logical_link(store, analpm, {.frequency = 6.0, .avg_event_size = 2.0});
+  m.set_logical_link(analom, ui1, {.frequency = 4.0, .avg_event_size = 0.5});
+  m.set_logical_link(analpm, ui2, {.frequency = 4.0, .avg_event_size = 0.5});
+  m.set_logical_link(ui1, ui2, {.frequency = 1.0, .avg_event_size = 0.2});
+
+  // -- 2. User Input: constraints -------------------------------------------
+  // The UIs belong on the handhelds their users carry.
+  system.constraints().pin(ui1, pda1);
+  system.constraints().pin(ui2, pda2);
+  // The two analyzers are redundant replicas: keep them apart.
+  system.constraints().forbid_colocation(analom, analpm);
+
+  // A deliberately poor starting deployment.
+  system.sync_deployment_size();
+  system.set_deployment(model::Deployment(
+      std::vector<model::HostId>{pda1, pda2, server, pda1, pda2}));
+
+  std::printf("=== system ===\n%s\n",
+              desi::GraphView::render_ascii(system).c_str());
+
+  // -- 3. Score the current deployment ----------------------------------------
+  const model::AvailabilityObjective availability;
+  const model::LatencyObjective latency;
+  std::printf("current availability: %.4f\n",
+              availability.evaluate(m, system.deployment()));
+  std::printf("current latency:      %.1f ms/s\n\n",
+              latency.evaluate(m, system.deployment()));
+
+  // -- 4. Ask the algorithms for something better ------------------------------
+  desi::AlgoResultData results;
+  desi::AlgorithmContainer container(system, results);
+  for (const char* name : {"exact", "avala", "stochastic", "hillclimb"})
+    container.invoke(name, availability);
+  // Latency view of the exact availability optimum, for comparison:
+  container.invoke("exact", latency);
+
+  std::printf("=== algorithm results (DeSi Results panel) ===\n%s\n",
+              desi::TableView::render_results(results).c_str());
+
+  // -- 5. Adopt the best availability deployment -------------------------------
+  const auto best =
+      results.best_index("availability", model::Direction::kMaximize);
+  if (best) {
+    const desi::ResultEntry& entry = results.entries()[*best];
+    system.set_deployment(entry.result.deployment);
+    std::printf("adopted %s deployment (availability %.4f):\n%s",
+                entry.result.algorithm.c_str(), entry.result.value,
+                system.deployment().describe(m).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "algo/annealing.h"
+
+#include <cmath>
+
+#include "algo/random_feasible.h"
+
+namespace dif::algo {
+
+AlgoResult SimulatedAnnealingAlgorithm::run(
+    const model::DeploymentModel& model, const model::Objective& objective,
+    const model::ConstraintChecker& checker, const AlgoOptions& options) {
+  SearchState search(model, objective, options);
+  const ColocationGroups groups =
+      ColocationGroups::build(model, checker.constraint_set());
+  if (groups.contradictory)
+    return search.finish(std::string(name()), "contradictory constraints");
+  util::Xoshiro256ss rng(options.seed);
+
+  model::Deployment current(model.component_count());
+  if (options.initial && options.initial->complete() &&
+      checker.feasible(*options.initial)) {
+    current = *options.initial;
+  } else if (const auto d =
+                 build_random_feasible_retry(model, checker, groups, rng, 32)) {
+    current = *d;
+  } else {
+    return search.finish(std::string(name()), "no feasible start");
+  }
+
+  PlacementState state(model, checker, groups);
+  for (std::uint32_t g = 0; g < groups.group_count(); ++g)
+    state.place(g, current.host_of(groups.members[g].front()));
+
+  // Work on normalized scores so one temperature scale fits any objective.
+  double current_score = objective.score(model, current);
+  search.consider(current);
+
+  const std::size_t k = model.host_count();
+  const std::size_t g_count = groups.group_count();
+  const std::size_t moves_per_epoch =
+      schedule_.moves_per_epoch_per_component *
+      std::max<std::size_t>(model.component_count(), 1);
+
+  std::size_t accepted = 0, attempted = 0;
+  for (double t = schedule_.initial_temperature;
+       t > schedule_.min_temperature && !search.out_of_budget();
+       t *= schedule_.cooling) {
+    for (std::size_t step = 0; step < moves_per_epoch; ++step) {
+      if (search.out_of_budget()) break;
+      ++attempted;
+      // Propose: move a random group to a random other host (swap variants
+      // are reachable as two moves; plain moves keep the proposal cheap).
+      const auto g = static_cast<std::uint32_t>(rng.index(g_count));
+      const model::HostId from = state.host_of_group(g);
+      const auto to = static_cast<model::HostId>(rng.index(k));
+      if (to == from) continue;
+      state.remove(g);
+      if (!state.fits(g, to)) {
+        state.place(g, from);
+        continue;
+      }
+      state.place(g, to);
+      const model::Deployment candidate = state.to_deployment();
+      search.consider(candidate);
+      const double candidate_score = objective.score(model, candidate);
+      const double delta = candidate_score - current_score;
+      if (delta >= 0.0 || rng.chance(std::exp(delta / t))) {
+        current_score = candidate_score;
+        ++accepted;
+      } else {
+        state.remove(g);
+        state.place(g, from);
+      }
+    }
+  }
+
+  return search.finish(std::string(name()),
+                       "accepted=" + std::to_string(accepted) + "/" +
+                           std::to_string(attempted));
+}
+
+}  // namespace dif::algo

@@ -1,0 +1,41 @@
+// Simulated annealing over deployments.
+//
+// Another pluggable approximative algorithm (framework extension point).
+// Uses the move/swap neighborhood of HillClimbAlgorithm but accepts
+// worsening moves with probability exp(-delta / T) under a geometric
+// cooling schedule, escaping the local optima greedy methods stall in.
+#pragma once
+
+#include "algo/algorithm.h"
+
+namespace dif::algo {
+
+class SimulatedAnnealingAlgorithm final : public Algorithm {
+ public:
+  struct Schedule {
+    /// Initial temperature, in units of (normalized) objective score.
+    double initial_temperature = 0.1;
+    /// Multiplicative cooling per epoch; in (0, 1).
+    double cooling = 0.95;
+    /// Moves attempted per temperature epoch (scaled by component count).
+    std::size_t moves_per_epoch_per_component = 4;
+    /// Stop when T falls below this.
+    double min_temperature = 1e-4;
+  };
+
+  explicit SimulatedAnnealingAlgorithm(Schedule schedule)
+      : schedule_(schedule) {}
+  SimulatedAnnealingAlgorithm() : SimulatedAnnealingAlgorithm(Schedule{}) {}
+
+  [[nodiscard]] std::string_view name() const override { return "annealing"; }
+
+  [[nodiscard]] AlgoResult run(const model::DeploymentModel& model,
+                               const model::Objective& objective,
+                               const model::ConstraintChecker& checker,
+                               const AlgoOptions& options) override;
+
+ private:
+  Schedule schedule_;
+};
+
+}  // namespace dif::algo

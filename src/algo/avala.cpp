@@ -1,0 +1,152 @@
+#include "algo/avala.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "algo/random_feasible.h"
+
+namespace dif::algo {
+
+namespace {
+
+/// max(values) guarded against empty/zero (for safe normalization).
+double max_or_one(const std::vector<double>& values) {
+  double hi = 0.0;
+  for (const double v : values) hi = std::max(hi, v);
+  return hi > 0.0 ? hi : 1.0;
+}
+
+}  // namespace
+
+AlgoResult AvalaAlgorithm::run(const model::DeploymentModel& model,
+                               const model::Objective& objective,
+                               const model::ConstraintChecker& checker,
+                               const AlgoOptions& options) {
+  SearchState search(model, objective, options);
+  const ColocationGroups groups =
+      ColocationGroups::build(model, checker.constraint_set());
+  if (groups.contradictory)
+    return search.finish(std::string(name()), "contradictory constraints");
+
+  const std::size_t k = model.host_count();
+  const std::size_t g_count = groups.group_count();
+
+  // --- host ranking: sum of reliabilities + normalized bandwidths to other
+  // hosts, plus normalized memory capacity -------------------------------
+  std::vector<double> host_memory(k), host_conn(k, 0.0);
+  double max_bw = 0.0;
+  for (std::size_t a = 0; a < k; ++a) {
+    host_memory[a] = model.host(static_cast<model::HostId>(a)).memory_capacity;
+    for (std::size_t b = 0; b < k; ++b) {
+      if (a == b) continue;
+      max_bw = std::max(max_bw, model
+                                    .physical_link(static_cast<model::HostId>(a),
+                                                   static_cast<model::HostId>(b))
+                                    .bandwidth);
+    }
+  }
+  if (max_bw <= 0.0) max_bw = 1.0;
+  const double max_mem = max_or_one(host_memory);
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = 0; b < k; ++b) {
+      if (a == b) continue;
+      const model::PhysicalLink& link = model.physical_link(
+          static_cast<model::HostId>(a), static_cast<model::HostId>(b));
+      host_conn[a] += link.reliability + link.bandwidth / max_bw;
+    }
+    host_conn[a] += host_memory[a] / max_mem;
+  }
+  std::vector<model::HostId> host_order(k);
+  std::iota(host_order.begin(), host_order.end(), 0u);
+  std::stable_sort(host_order.begin(), host_order.end(),
+                   [&](model::HostId a, model::HostId b) {
+                     return host_conn[a] > host_conn[b];
+                   });
+
+  // --- group ranking ingredients -----------------------------------------
+  // Pairwise interaction frequency between groups, global frequency sums.
+  std::vector<double> group_freq(g_count * g_count, 0.0);
+  std::vector<double> global_freq(g_count, 0.0);
+  for (const model::Interaction& ix : model.interactions()) {
+    const std::uint32_t ga = groups.group_of[ix.a];
+    const std::uint32_t gb = groups.group_of[ix.b];
+    if (ga == gb) continue;
+    group_freq[ga * g_count + gb] += ix.frequency;
+    group_freq[gb * g_count + ga] += ix.frequency;
+    global_freq[ga] += ix.frequency;
+    global_freq[gb] += ix.frequency;
+  }
+  const double max_global_freq = max_or_one(global_freq);
+  const double max_group_mem = max_or_one(groups.memory);
+
+  // --- greedy fill ---------------------------------------------------------
+  PlacementState state(model, checker, groups);
+  std::vector<bool> placed(g_count, false);
+  std::size_t placed_count = 0;
+
+  for (const model::HostId host : host_order) {
+    if (placed_count == g_count) break;
+    while (true) {
+      // Affinity of each unplaced group to the groups already on this host.
+      double best_rank = 0.0;
+      std::int64_t best_group = -1;
+      for (std::uint32_t g = 0; g < g_count; ++g) {
+        if (placed[g] || !state.fits(g, host)) continue;
+        double affinity = 0.0;
+        for (std::uint32_t other = 0; other < g_count; ++other)
+          if (placed[other] && state.host_of_group(other) == host)
+            affinity += group_freq[g * g_count + other];
+        const double rank = affinity_weight_ * affinity / max_global_freq +
+                            global_freq[g] / max_global_freq +
+                            (1.0 - groups.memory[g] / max_group_mem);
+        if (best_group < 0 || rank > best_rank) {
+          best_rank = rank;
+          best_group = g;
+        }
+      }
+      if (best_group < 0) break;  // host full (or nothing allowed here)
+      state.place(static_cast<std::uint32_t>(best_group), host);
+      placed[static_cast<std::size_t>(best_group)] = true;
+      ++placed_count;
+    }
+  }
+
+  // Fallback pass for anything the greedy sweep could not place (e.g. a
+  // location-constrained component whose host ranked late and filled up).
+  for (std::uint32_t g = 0; g < g_count && placed_count < g_count; ++g) {
+    if (placed[g]) continue;
+    for (const model::HostId host : host_order) {
+      if (state.fits(g, host)) {
+        state.place(g, host);
+        placed[g] = true;
+        ++placed_count;
+        break;
+      }
+    }
+  }
+
+  if (placed_count == g_count) {
+    search.consider(state.to_deployment());
+    return search.finish(std::string(name()));
+  }
+
+  // The greedy packing painted itself into a corner (fragmentation).
+  // Terminal fallbacks: keep the system's current deployment if it is
+  // feasible, else construct a random feasible one — Avala must never
+  // return infeasible on a solvable instance it was merely greedy about.
+  if (options.initial && options.initial->complete() &&
+      checker.feasible(*options.initial)) {
+    search.consider(*options.initial);
+    return search.finish(std::string(name()), "greedy failed; kept initial");
+  }
+  util::Xoshiro256ss rng(options.seed);
+  if (const auto d =
+          build_random_feasible_retry(model, checker, groups, rng, 32)) {
+    search.consider(*d);
+    return search.finish(std::string(name()),
+                         "greedy failed; random fallback");
+  }
+  return search.finish(std::string(name()), "no feasible deployment found");
+}
+
+}  // namespace dif::algo

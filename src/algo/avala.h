@@ -1,0 +1,36 @@
+// The Avala algorithm (paper Section 5.1, from companion TR [12]).
+//
+// A greedy heuristic that incrementally assigns software components to
+// hardware hosts. At each step it selects the "best" host — highest sum of
+// network reliabilities and bandwidths with other hosts plus highest memory
+// capacity — and keeps assigning the "best" component to it — highest
+// frequency of interaction (with components already on that host and with
+// the system at large) and lowest required memory — until the host is full,
+// then moves to the next best host. Complexity O(n^3).
+#pragma once
+
+#include "algo/algorithm.h"
+
+namespace dif::algo {
+
+class AvalaAlgorithm final : public Algorithm {
+ public:
+  /// Weight of affinity to components already placed on the current host
+  /// relative to a component's global interaction rank. The paper's greedy
+  /// "maximally contribute to the objective function" corresponds to a
+  /// dominant local-affinity term.
+  explicit AvalaAlgorithm(double local_affinity_weight = 2.0)
+      : affinity_weight_(local_affinity_weight) {}
+
+  [[nodiscard]] std::string_view name() const override { return "avala"; }
+
+  [[nodiscard]] AlgoResult run(const model::DeploymentModel& model,
+                               const model::Objective& objective,
+                               const model::ConstraintChecker& checker,
+                               const AlgoOptions& options) override;
+
+ private:
+  double affinity_weight_;
+};
+
+}  // namespace dif::algo

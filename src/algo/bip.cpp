@@ -1,0 +1,23 @@
+#include "algo/bip.h"
+
+#include "algo/exact.h"
+
+namespace dif::algo {
+
+AlgoResult BipBranchAndBound::run(const model::DeploymentModel& model,
+                                  const model::Objective& objective,
+                                  const model::ConstraintChecker& checker,
+                                  const AlgoOptions& options) {
+  const model::CommunicationCostObjective comm_cost;
+  ExactAlgorithm exact(/*use_pruning=*/true);
+  AlgoResult result = exact.run(model, comm_cost, checker, options);
+  result.algorithm = std::string(name());
+  if (result.feasible) {
+    result.notes += " comm_cost=" + std::to_string(result.value);
+    // Report under the caller's objective so E8 can compare like with like.
+    result.value = objective.evaluate(model, result.deployment);
+  }
+  return result;
+}
+
+}  // namespace dif::algo

@@ -1,0 +1,102 @@
+// DecAp — the decentralized auction-based redeployment algorithm
+// (paper Section 5.2, from companion TR [10]).
+//
+// Each host's agent auctions its local components to the hosts it is aware
+// of: the auction is announced to the neighbors, each bidder values hosting
+// the component using only locally known parameters (frequency/volume of
+// interaction with its own components and link reliabilities it can see),
+// the auctioneer picks the highest bid, and the component migrates to the
+// winner. A host only initiates an auction when none of its neighbors is
+// already conducting one. Complexity O(k * n^3).
+//
+// This class is the algorithmic core, run sequentially over an explicit
+// AwarenessGraph that models each host's partial knowledge; the message-
+// passing realization over the simulated network lives in core/ (the
+// decentralized framework instantiation).
+#pragma once
+
+#include <vector>
+
+#include "algo/algorithm.h"
+#include "util/rng.h"
+
+namespace dif::algo {
+
+/// Which hosts know about each other (paper Section 5.2: "awareness denotes
+/// the extent of each host's knowledge about the global system parameters").
+/// Symmetric; every host is aware of itself.
+class AwarenessGraph {
+ public:
+  /// Everyone aware of everyone (degenerates to centralized knowledge).
+  static AwarenessGraph full(std::size_t host_count);
+
+  /// Aware iff physically connected in the model — the paper's default
+  /// ("the respective models ... do not contain each other's parameters"
+  /// for unconnected hosts).
+  static AwarenessGraph from_links(const model::DeploymentModel& m);
+
+  /// Random symmetric awareness where each pair is aware with probability
+  /// `ratio` (used by the E5 awareness sweep). Self-awareness always holds.
+  static AwarenessGraph random(std::size_t host_count, double ratio,
+                               util::Xoshiro256ss& rng);
+
+  [[nodiscard]] std::size_t host_count() const noexcept { return k_; }
+  [[nodiscard]] bool aware(model::HostId a, model::HostId b) const {
+    return a == b || adj_[static_cast<std::size_t>(a) * k_ + b] != 0;
+  }
+  [[nodiscard]] std::vector<model::HostId> neighbors(model::HostId h) const;
+  /// Fraction of distinct host pairs that are mutually aware.
+  [[nodiscard]] double density() const;
+
+ private:
+  explicit AwarenessGraph(std::size_t k) : k_(k), adj_(k * k, 0) {}
+  void connect(model::HostId a, model::HostId b);
+
+  std::size_t k_;
+  std::vector<char> adj_;
+};
+
+class DecApAlgorithm final : public Algorithm {
+ public:
+  struct Params {
+    /// Auction sweeps over all hosts before giving up on further gains.
+    std::size_t max_rounds = 8;
+    /// A migration must beat staying put by at least this utility margin.
+    double min_gain = 1e-9;
+    /// Damping: a component may be auctioned away at most this many times
+    /// in one run. Partial awareness can make two hosts value a component
+    /// in mutually inconsistent ways; without a cap the component bounces
+    /// between them and the protocol never converges.
+    std::size_t max_moves_per_component = 3;
+  };
+
+  /// Runs with host awareness derived from physical connectivity.
+  DecApAlgorithm() : DecApAlgorithm(Params{}) {}
+  explicit DecApAlgorithm(Params params) : params_(params) {}
+  /// Runs with an explicit awareness graph (E5 sweep).
+  DecApAlgorithm(Params params, AwarenessGraph awareness)
+      : params_(params), awareness_(std::move(awareness)) {}
+
+  [[nodiscard]] std::string_view name() const override { return "decap"; }
+
+  [[nodiscard]] AlgoResult run(const model::DeploymentModel& model,
+                               const model::Objective& objective,
+                               const model::ConstraintChecker& checker,
+                               const AlgoOptions& options) override;
+
+  /// Protocol statistics of the most recent run().
+  struct Stats {
+    std::size_t rounds = 0;
+    std::size_t auctions = 0;
+    std::size_t messages = 0;   // announcements + bids + transfers
+    std::size_t migrations = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  Params params_;
+  std::optional<AwarenessGraph> awareness_;
+  Stats stats_;
+};
+
+}  // namespace dif::algo

@@ -1,0 +1,38 @@
+// The Exact algorithm (paper Section 5.1).
+//
+// "Tries every possible deployment, and selects the one that results in
+// maximum availability and satisfies the constraints." Complexity O(k^n) in
+// the general case, O(k^(n-m)) with m pinned components — which is why the
+// paper's analyzer only runs it for ~5 hosts and ~15 components.
+//
+// Two modes:
+//  * plain enumeration (the paper's literal algorithm), and
+//  * branch-and-bound (default) — identical results, but prunes subtrees
+//    that provably cannot beat the incumbent whenever the objective is
+//    pairwise-decomposable (availability, latency, communication cost).
+//    The ablation bench E2 compares the two frontiers.
+#pragma once
+
+#include "algo/algorithm.h"
+
+namespace dif::algo {
+
+class ExactAlgorithm final : public Algorithm {
+ public:
+  explicit ExactAlgorithm(bool use_pruning = true)
+      : use_pruning_(use_pruning) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return use_pruning_ ? "exact" : "exact-unpruned";
+  }
+
+  [[nodiscard]] AlgoResult run(const model::DeploymentModel& model,
+                               const model::Objective& objective,
+                               const model::ConstraintChecker& checker,
+                               const AlgoOptions& options) override;
+
+ private:
+  bool use_pruning_;
+};
+
+}  // namespace dif::algo

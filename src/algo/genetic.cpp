@@ -1,0 +1,172 @@
+#include "algo/genetic.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "algo/random_feasible.h"
+
+namespace dif::algo {
+
+namespace {
+
+using Chromosome = std::vector<model::HostId>;  // group -> host
+
+/// Tries to realize `proposal` as a feasible placement, repairing genes that
+/// conflict: each group is placed on its proposed host when possible,
+/// otherwise on a random host that fits; returns nullopt if some group fits
+/// nowhere.
+std::optional<Chromosome> repair(const model::DeploymentModel& model,
+                                 const model::ConstraintChecker& checker,
+                                 const ColocationGroups& groups,
+                                 const Chromosome& proposal,
+                                 util::Xoshiro256ss& rng) {
+  PlacementState state(model, checker, groups);
+  const std::size_t g_count = groups.group_count();
+  const std::size_t k = model.host_count();
+
+  std::vector<std::uint32_t> order(g_count);
+  std::iota(order.begin(), order.end(), 0u);
+  rng.shuffle(order);
+
+  Chromosome result(g_count, model::kNoHost);
+  for (const std::uint32_t g : order) {
+    if (proposal[g] != model::kNoHost && proposal[g] < k &&
+        state.fits(g, proposal[g])) {
+      state.place(g, proposal[g]);
+      result[g] = proposal[g];
+      continue;
+    }
+    // Scan hosts from a random offset so repair does not pile onto host 0.
+    const std::size_t start = rng.index(k);
+    bool placed = false;
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto h = static_cast<model::HostId>((start + i) % k);
+      if (state.fits(g, h)) {
+        state.place(g, h);
+        result[g] = h;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return std::nullopt;
+  }
+  return result;
+}
+
+model::Deployment materialize(const ColocationGroups& groups,
+                              const Chromosome& chromosome,
+                              std::size_t component_count) {
+  model::Deployment d(component_count);
+  for (std::uint32_t g = 0; g < groups.group_count(); ++g)
+    for (const model::ComponentId c : groups.members[g])
+      d.assign(c, chromosome[g]);
+  return d;
+}
+
+}  // namespace
+
+AlgoResult GeneticAlgorithm::run(const model::DeploymentModel& model,
+                                 const model::Objective& objective,
+                                 const model::ConstraintChecker& checker,
+                                 const AlgoOptions& options) {
+  SearchState search(model, objective, options);
+  const ColocationGroups groups =
+      ColocationGroups::build(model, checker.constraint_set());
+  if (groups.contradictory)
+    return search.finish(std::string(name()), "contradictory constraints");
+  util::Xoshiro256ss rng(options.seed);
+
+  const std::size_t g_count = groups.group_count();
+  const std::size_t k = model.host_count();
+  const std::size_t n = model.component_count();
+
+  // --- initial population ---------------------------------------------------
+  struct Individual {
+    Chromosome genes;
+    double value = 0.0;
+  };
+  std::vector<Individual> population;
+  population.reserve(params_.population);
+  // Seed the population with the current deployment when available.
+  if (options.initial && options.initial->complete() &&
+      checker.feasible(*options.initial)) {
+    Chromosome genes(g_count);
+    for (std::uint32_t g = 0; g < g_count; ++g)
+      genes[g] = options.initial->host_of(groups.members[g].front());
+    const double value =
+        search.consider(materialize(groups, genes, n));
+    population.push_back({std::move(genes), value});
+  }
+  for (std::size_t tries = 0;
+       population.size() < params_.population && tries < params_.population * 8;
+       ++tries) {
+    if (const auto d = build_random_feasible(model, checker, groups, rng)) {
+      Chromosome genes(g_count);
+      for (std::uint32_t g = 0; g < g_count; ++g)
+        genes[g] = d->host_of(groups.members[g].front());
+      const double value = search.consider(*d);
+      population.push_back({std::move(genes), value});
+    }
+  }
+  if (population.empty())
+    return search.finish(std::string(name()), "no feasible individuals");
+
+  const auto better = [&](const Individual& a, const Individual& b) {
+    return objective.improves(a.value, b.value);
+  };
+
+  // --- evolution -------------------------------------------------------------
+  std::size_t generation = 0;
+  for (; generation < params_.generations && !search.out_of_budget();
+       ++generation) {
+    std::vector<Individual> next;
+    next.reserve(population.size());
+
+    // Elitism: carry the best individuals over unchanged.
+    std::vector<std::size_t> ranking(population.size());
+    std::iota(ranking.begin(), ranking.end(), 0u);
+    std::stable_sort(ranking.begin(), ranking.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return better(population[a], population[b]);
+                     });
+    for (std::size_t e = 0; e < std::min(params_.elites, population.size());
+         ++e)
+      next.push_back(population[ranking[e]]);
+
+    const auto tournament_pick = [&]() -> const Individual& {
+      std::size_t best = rng.index(population.size());
+      for (std::size_t i = 1; i < params_.tournament; ++i) {
+        const std::size_t candidate = rng.index(population.size());
+        if (better(population[candidate], population[best])) best = candidate;
+      }
+      return population[best];
+    };
+
+    while (next.size() < population.size() && !search.out_of_budget()) {
+      const Individual& pa = tournament_pick();
+      const Individual& pb = tournament_pick();
+      Chromosome child = pa.genes;
+      if (rng.chance(params_.crossover_rate)) {
+        for (std::uint32_t g = 0; g < g_count; ++g)
+          if (rng.chance(0.5)) child[g] = pb.genes[g];
+      }
+      for (std::uint32_t g = 0; g < g_count; ++g)
+        if (rng.chance(params_.mutation_rate))
+          child[g] = static_cast<model::HostId>(rng.index(k));
+
+      if (const auto repaired = repair(model, checker, groups, child, rng)) {
+        const double value =
+            search.consider(materialize(groups, *repaired, n));
+        next.push_back({*repaired, value});
+      } else {
+        next.push_back(pa);  // unrepairable child: parent survives
+      }
+    }
+    population = std::move(next);
+  }
+
+  return search.finish(std::string(name()),
+                       "generations=" + std::to_string(generation));
+}
+
+}  // namespace dif::algo

@@ -1,0 +1,40 @@
+// Genetic algorithm over deployments.
+//
+// Named by the paper as an example algorithm body in DeSi's algorithm-
+// development methodology (Figure 7: "greedy algorithm, genetic algorithm,
+// etc."). Chromosome = host assignment per collocation group; uniform
+// crossover + random-reassignment mutation, both followed by greedy repair;
+// tournament selection with elitism.
+#pragma once
+
+#include "algo/algorithm.h"
+
+namespace dif::algo {
+
+class GeneticAlgorithm final : public Algorithm {
+ public:
+  struct Params {
+    std::size_t population = 32;
+    std::size_t generations = 64;
+    double crossover_rate = 0.9;
+    /// Per-gene mutation probability.
+    double mutation_rate = 0.05;
+    std::size_t tournament = 3;
+    std::size_t elites = 2;
+  };
+
+  explicit GeneticAlgorithm(Params params) : params_(params) {}
+  GeneticAlgorithm() : GeneticAlgorithm(Params{}) {}
+
+  [[nodiscard]] std::string_view name() const override { return "genetic"; }
+
+  [[nodiscard]] AlgoResult run(const model::DeploymentModel& model,
+                               const model::Objective& objective,
+                               const model::ConstraintChecker& checker,
+                               const AlgoOptions& options) override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace dif::algo

@@ -1,0 +1,120 @@
+#include "algo/local_search.h"
+
+#include "algo/random_feasible.h"
+
+namespace dif::algo {
+
+namespace {
+
+/// Loads `d` into a PlacementState; returns false if d is incomplete.
+bool load_state(PlacementState& state, const ColocationGroups& groups,
+                const model::Deployment& d) {
+  for (std::uint32_t g = 0; g < groups.group_count(); ++g) {
+    const model::HostId h = d.host_of(groups.members[g].front());
+    if (h == model::kNoHost) return false;
+    state.place(g, h);
+  }
+  return true;
+}
+
+}  // namespace
+
+AlgoResult HillClimbAlgorithm::run(const model::DeploymentModel& model,
+                                   const model::Objective& objective,
+                                   const model::ConstraintChecker& checker,
+                                   const AlgoOptions& options) {
+  SearchState search(model, objective, options);
+  const ColocationGroups groups =
+      ColocationGroups::build(model, checker.constraint_set());
+  if (groups.contradictory)
+    return search.finish(std::string(name()), "contradictory constraints");
+  util::Xoshiro256ss rng(options.seed);
+
+  // Start from the supplied deployment when it is usable, else construct.
+  model::Deployment current(model.component_count());
+  if (options.initial && options.initial->complete() &&
+      checker.feasible(*options.initial)) {
+    current = *options.initial;
+  } else if (const auto d =
+                 build_random_feasible_retry(model, checker, groups, rng, 32)) {
+    current = *d;
+  } else {
+    return search.finish(std::string(name()), "no feasible start");
+  }
+
+  PlacementState state(model, checker, groups);
+  if (!load_state(state, groups, current))
+    return search.finish(std::string(name()), "incomplete start");
+  double current_value = search.consider(current);
+
+  const std::size_t k = model.host_count();
+  const std::size_t g_count = groups.group_count();
+  std::size_t passes = 0;
+
+  for (; passes < max_passes_; ++passes) {
+    bool improved = false;
+
+    // Best single-group move.
+    for (std::uint32_t g = 0; g < g_count && !search.out_of_budget(); ++g) {
+      const model::HostId from = state.host_of_group(g);
+      state.remove(g);
+      model::HostId best_host = from;
+      double best_value = current_value;
+      for (std::size_t h = 0; h < k; ++h) {
+        const auto host = static_cast<model::HostId>(h);
+        if (host == from || !state.fits(g, host)) continue;
+        state.place(g, host);
+        const double value = search.consider(state.to_deployment());
+        if (objective.improves(value, best_value)) {
+          best_value = value;
+          best_host = host;
+        }
+        state.remove(g);
+      }
+      state.place(g, best_host);
+      if (best_host != from) {
+        current_value = best_value;
+        improved = true;
+      }
+    }
+
+    // Pairwise swaps (only attempted when moves alone made no progress;
+    // swaps escape "both hosts full" local optima that moves cannot).
+    if (use_swaps_ && !improved) {
+      for (std::uint32_t a = 0; a < g_count && !improved; ++a) {
+        for (std::uint32_t b = a + 1; b < g_count && !improved; ++b) {
+          if (search.out_of_budget()) break;
+          const model::HostId ha = state.host_of_group(a);
+          const model::HostId hb = state.host_of_group(b);
+          if (ha == hb) continue;
+          state.remove(a);
+          state.remove(b);
+          if (state.fits(a, hb) && state.fits(b, ha)) {
+            state.place(a, hb);
+            state.place(b, ha);
+            const double value = search.consider(state.to_deployment());
+            if (objective.improves(value, current_value)) {
+              current_value = value;
+              improved = true;
+            } else {
+              state.remove(a);
+              state.remove(b);
+              state.place(a, ha);
+              state.place(b, hb);
+            }
+          } else {
+            state.place(a, ha);
+            state.place(b, hb);
+          }
+        }
+      }
+    }
+
+    if (!improved || search.out_of_budget()) break;
+  }
+
+  return search.finish(std::string(name()),
+                       "passes=" + std::to_string(passes + 1));
+}
+
+}  // namespace dif::algo

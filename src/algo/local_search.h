@@ -1,0 +1,35 @@
+// Hill-climbing local search over deployments.
+//
+// Not one of the paper's three named centralized algorithms, but an instance
+// of the framework's pluggable-algorithm extension point (Section 4.3) and
+// the polish stage the analyzer can run when the system is stable. The
+// neighborhood is {move one collocation group to another host} union
+// {swap the hosts of two groups}; the search takes the best improving
+// neighbor until a local optimum or budget exhaustion.
+#pragma once
+
+#include "algo/algorithm.h"
+
+namespace dif::algo {
+
+class HillClimbAlgorithm final : public Algorithm {
+ public:
+  /// `max_passes`: upper bound on full neighborhood sweeps.
+  /// `use_swaps`: include pairwise swaps (larger, stronger neighborhood).
+  explicit HillClimbAlgorithm(std::size_t max_passes = 64,
+                              bool use_swaps = true)
+      : max_passes_(max_passes), use_swaps_(use_swaps) {}
+
+  [[nodiscard]] std::string_view name() const override { return "hillclimb"; }
+
+  [[nodiscard]] AlgoResult run(const model::DeploymentModel& model,
+                               const model::Objective& objective,
+                               const model::ConstraintChecker& checker,
+                               const AlgoOptions& options) override;
+
+ private:
+  std::size_t max_passes_;
+  bool use_swaps_;
+};
+
+}  // namespace dif::algo

@@ -1,0 +1,31 @@
+// Coign-style two-host min-cut partitioner (related-work baseline, paper
+// Section 2 [7]).
+//
+// Coign monitors inter-component communication and selects a distribution of
+// a client-server (two machine) application minimizing communication time,
+// via minimum-cut graph cutting. Reproduced here with a Dinic max-flow over
+// the component interaction graph: edge capacities are per-interaction
+// communication times on the inter-host link, and location constraints pin
+// components to a side with infinite-capacity terminal edges.
+//
+// Exactly like Coign, the method only applies to two hosts and knows nothing
+// about memory limits: on models with more hosts, or when the cut violates a
+// resource constraint, the result reports infeasible — which is the point of
+// the E8 baseline comparison.
+#pragma once
+
+#include "algo/algorithm.h"
+
+namespace dif::algo {
+
+class MinCutPartitioner final : public Algorithm {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "mincut"; }
+
+  [[nodiscard]] AlgoResult run(const model::DeploymentModel& model,
+                               const model::Objective& objective,
+                               const model::ConstraintChecker& checker,
+                               const AlgoOptions& options) override;
+};
+
+}  // namespace dif::algo

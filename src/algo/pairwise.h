@@ -1,0 +1,58 @@
+// Pairwise decomposition of objectives, enabling branch-and-bound pruning.
+//
+// Availability, latency, and communication cost are all sums of independent
+// per-interaction terms that depend only on the two hosts carrying the
+// interaction. ExactAlgorithm and BipBranchAndBound exploit this: while
+// extending a partial assignment they track the exact sum over decided pairs
+// plus an optimistic bound for undecided ones, pruning subtrees that cannot
+// beat the incumbent. Objectives that do not decompose (e.g. an arbitrary
+// user-defined one) simply fall back to leaf-only evaluation.
+#pragma once
+
+#include <optional>
+
+#include "model/deployment_model.h"
+#include "model/objective.h"
+
+namespace dif::algo {
+
+/// A decomposed view over one (model, objective) pair.
+class PairwiseObjectiveView {
+ public:
+  /// Returns a view when `objective` is one of the known decomposable types
+  /// (AvailabilityObjective, LatencyObjective, CommunicationCostObjective),
+  /// nullopt otherwise. The model must outlive the view.
+  static std::optional<PairwiseObjectiveView> try_create(
+      const model::Objective& objective, const model::DeploymentModel& m);
+
+  [[nodiscard]] model::Direction direction() const noexcept {
+    return direction_;
+  }
+
+  /// Contribution of interaction `index` when its endpoints are deployed on
+  /// hosts `ha` and `hb`.
+  [[nodiscard]] double pair_term(std::size_t index, model::HostId ha,
+                                 model::HostId hb) const;
+
+  /// Best achievable contribution of interaction `index` over any host pair
+  /// (freq for availability; 0 for latency / communication cost).
+  [[nodiscard]] double optimistic_term(std::size_t index) const;
+
+  /// Converts a completed term sum into the objective's raw value (e.g.
+  /// divides by total frequency for availability). Monotone in the sum.
+  [[nodiscard]] double finalize(double term_sum) const;
+
+ private:
+  enum class Kind { kAvailability, kLatency, kCommCost };
+
+  PairwiseObjectiveView(Kind kind, const model::DeploymentModel& m,
+                        double penalty_ms);
+
+  Kind kind_;
+  model::Direction direction_;
+  const model::DeploymentModel* model_;
+  double penalty_ms_ = 0.0;
+  double total_frequency_ = 0.0;
+};
+
+}  // namespace dif::algo

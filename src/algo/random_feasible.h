@@ -1,0 +1,112 @@
+// Shared constructive machinery: collocation groups and randomized feasible
+// deployment construction.
+//
+// Several algorithms (Stochastic, Avala, genetic/annealing initialization,
+// DecAp repair) need to build complete deployments that respect location,
+// collocation, memory, and CPU constraints. Must-collocate components are
+// handled uniformly by collapsing them into placement groups (union-find)
+// that are assigned as a unit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "model/constraints.h"
+#include "model/deployment.h"
+#include "model/deployment_model.h"
+#include "util/rng.h"
+
+namespace dif::algo {
+
+/// Components collapsed by must-collocation constraints into atomic
+/// placement groups, with aggregated resource demands.
+struct ColocationGroups {
+  /// component -> its group index
+  std::vector<std::uint32_t> group_of;
+  /// group -> member components
+  std::vector<std::vector<model::ComponentId>> members;
+  /// group -> total memory / CPU demand
+  std::vector<double> memory;
+  std::vector<double> cpu_load;
+  /// Distinct group pairs that must not share a host (lifted anti-pairs).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> anti_pairs;
+  /// True when a must-group internally contains an anti-collocation pair —
+  /// the constraint set is unsatisfiable.
+  bool contradictory = false;
+
+  [[nodiscard]] std::size_t group_count() const noexcept {
+    return members.size();
+  }
+
+  /// True when location rules allow every member of group `g` on host `h`.
+  [[nodiscard]] bool group_allowed(const model::ConstraintChecker& checker,
+                                   std::uint32_t g, model::HostId h) const;
+
+  static ColocationGroups build(const model::DeploymentModel& model,
+                                const model::ConstraintSet& set);
+};
+
+/// Incremental feasibility tracker for constructive placement: free memory
+/// and CPU per host, plus which groups sit where (for anti-pair checks).
+class PlacementState {
+ public:
+  PlacementState(const model::DeploymentModel& model,
+                 const model::ConstraintChecker& checker,
+                 const ColocationGroups& groups);
+
+  /// May group `g` be placed on `h` right now (location, memory, CPU,
+  /// anti-collocation against already-placed groups)?
+  [[nodiscard]] bool fits(std::uint32_t g, model::HostId h) const;
+
+  /// Places group `g` on `h` (caller checked fits()).
+  void place(std::uint32_t g, model::HostId h);
+
+  /// Removes group `g` from its host.
+  void remove(std::uint32_t g);
+
+  [[nodiscard]] model::HostId host_of_group(std::uint32_t g) const {
+    return group_host_[g];
+  }
+  [[nodiscard]] double free_memory(model::HostId h) const {
+    return free_memory_[h];
+  }
+
+  /// Materializes the per-component deployment (kNoHost for unplaced).
+  [[nodiscard]] model::Deployment to_deployment() const;
+
+ private:
+  const model::DeploymentModel& model_;
+  const model::ConstraintChecker& checker_;
+  const ColocationGroups& groups_;
+  std::vector<double> free_memory_;
+  std::vector<double> free_cpu_;   // infinity for hosts without CPU model
+  std::vector<model::HostId> group_host_;
+};
+
+/// One attempt at the paper's Stochastic construction: randomly order hosts
+/// and groups, fill each host in order until nothing more fits, move to the
+/// next host. Returns nullopt when some group could not be placed.
+[[nodiscard]] std::optional<model::Deployment> build_random_feasible(
+    const model::DeploymentModel& model,
+    const model::ConstraintChecker& checker, const ColocationGroups& groups,
+    util::Xoshiro256ss& rng);
+
+/// Retries build_random_feasible up to `attempts` times.
+[[nodiscard]] std::optional<model::Deployment> build_random_feasible_retry(
+    const model::DeploymentModel& model,
+    const model::ConstraintChecker& checker, const ColocationGroups& groups,
+    util::Xoshiro256ss& rng, int attempts);
+
+/// Scattered construction: each group (in random order) goes to a host
+/// chosen uniformly among all hosts it currently fits on. Unlike the
+/// pack-first Stochastic construction this spreads components across the
+/// machine park — the natural model of an uncoordinated initial deployment
+/// (used by the Generator). Returns nullopt when some group fits nowhere.
+[[nodiscard]] std::optional<model::Deployment> build_scattered_feasible(
+    const model::DeploymentModel& model,
+    const model::ConstraintChecker& checker, const ColocationGroups& groups,
+    util::Xoshiro256ss& rng);
+
+}  // namespace dif::algo

@@ -1,0 +1,69 @@
+#include "algo/registry.h"
+
+#include "algo/annealing.h"
+#include "algo/avala.h"
+#include "algo/bip.h"
+#include "algo/decap.h"
+#include "algo/exact.h"
+#include "algo/genetic.h"
+#include "algo/local_search.h"
+#include "algo/mincut.h"
+#include "algo/stochastic.h"
+
+namespace dif::algo {
+
+AlgorithmRegistry AlgorithmRegistry::with_defaults() {
+  AlgorithmRegistry registry;
+  registry.register_factory(
+      "exact", [] { return std::make_unique<ExactAlgorithm>(true); });
+  registry.register_factory(
+      "exact-unpruned", [] { return std::make_unique<ExactAlgorithm>(false); });
+  registry.register_factory(
+      "stochastic", [] { return std::make_unique<StochasticAlgorithm>(); });
+  registry.register_factory(
+      "avala", [] { return std::make_unique<AvalaAlgorithm>(); });
+  registry.register_factory(
+      "hillclimb", [] { return std::make_unique<HillClimbAlgorithm>(); });
+  registry.register_factory("annealing", [] {
+    return std::make_unique<SimulatedAnnealingAlgorithm>();
+  });
+  registry.register_factory(
+      "genetic", [] { return std::make_unique<GeneticAlgorithm>(); });
+  registry.register_factory(
+      "decap", [] { return std::make_unique<DecApAlgorithm>(); });
+  registry.register_factory(
+      "mincut", [] { return std::make_unique<MinCutPartitioner>(); });
+  registry.register_factory(
+      "bip-i5", [] { return std::make_unique<BipBranchAndBound>(); });
+  return registry;
+}
+
+void AlgorithmRegistry::register_factory(std::string name, Factory factory) {
+  factories_.insert_or_assign(std::move(name), std::move(factory));
+}
+
+bool AlgorithmRegistry::unregister(const std::string& name) {
+  return factories_.erase(name) > 0;
+}
+
+bool AlgorithmRegistry::contains(const std::string& name) const {
+  return factories_.count(name) > 0;
+}
+
+std::vector<std::string> AlgorithmRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+std::unique_ptr<Algorithm> AlgorithmRegistry::create(
+    const std::string& name) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end())
+    throw std::out_of_range("AlgorithmRegistry: unknown algorithm '" + name +
+                            "'");
+  return it->second();
+}
+
+}  // namespace dif::algo

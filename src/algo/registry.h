@@ -1,0 +1,42 @@
+// Algorithm registry: the pluggability mechanism behind DeSi's
+// AlgorithmContainer ("a pluggable environment for addition and removal of
+// algorithms that run on the model", paper Section 4.3).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/algorithm.h"
+
+namespace dif::algo {
+
+class AlgorithmRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Algorithm>()>;
+
+  /// A registry pre-populated with every algorithm in this library:
+  /// exact, exact-unpruned, stochastic, avala, hillclimb, annealing,
+  /// genetic, decap, mincut, bip-i5.
+  static AlgorithmRegistry with_defaults();
+
+  /// Registers (or replaces) a named factory.
+  void register_factory(std::string name, Factory factory);
+
+  /// Removes a factory; returns false when the name was unknown.
+  bool unregister(const std::string& name);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Instantiates an algorithm; throws std::out_of_range for unknown names.
+  [[nodiscard]] std::unique_ptr<Algorithm> create(
+      const std::string& name) const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace dif::algo

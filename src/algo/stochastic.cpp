@@ -1,0 +1,30 @@
+#include "algo/stochastic.h"
+
+#include "algo/random_feasible.h"
+
+namespace dif::algo {
+
+AlgoResult StochasticAlgorithm::run(const model::DeploymentModel& model,
+                                    const model::Objective& objective,
+                                    const model::ConstraintChecker& checker,
+                                    const AlgoOptions& options) {
+  SearchState search(model, objective, options);
+  const ColocationGroups groups =
+      ColocationGroups::build(model, checker.constraint_set());
+  util::Xoshiro256ss rng(options.seed);
+
+  std::size_t failed_constructions = 0;
+  for (std::size_t i = 0; i < iterations_; ++i) {
+    if (search.out_of_budget()) break;
+    if (const auto d = build_random_feasible(model, checker, groups, rng)) {
+      search.consider(*d);
+    } else {
+      ++failed_constructions;
+    }
+  }
+  return search.finish(std::string(name()),
+                       "failed_constructions=" +
+                           std::to_string(failed_constructions));
+}
+
+}  // namespace dif::algo

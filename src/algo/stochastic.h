@@ -1,0 +1,32 @@
+// The Stochastic algorithm (paper Section 5.1).
+//
+// "Randomly orders all the hosts and all the components. Then, going in
+// order, it assigns as many components to a given host as can fit on that
+// host, ensuring that all of the constraints are satisfied. ... This process
+// is repeated a desired number of times, and the best obtained deployment is
+// selected." Complexity O(n^2) — each of the fixed number of repetitions
+// evaluates one deployment.
+#pragma once
+
+#include "algo/algorithm.h"
+
+namespace dif::algo {
+
+class StochasticAlgorithm final : public Algorithm {
+ public:
+  /// `iterations`: how many random deployments to generate and score.
+  explicit StochasticAlgorithm(std::size_t iterations = 100)
+      : iterations_(iterations) {}
+
+  [[nodiscard]] std::string_view name() const override { return "stochastic"; }
+
+  [[nodiscard]] AlgoResult run(const model::DeploymentModel& model,
+                               const model::Objective& objective,
+                               const model::ConstraintChecker& checker,
+                               const AlgoOptions& options) override;
+
+ private:
+  std::size_t iterations_;
+};
+
+}  // namespace dif::algo

@@ -1,0 +1,97 @@
+#include "analyzer/centralized.h"
+
+#include "util/logging.h"
+
+namespace dif::analyzer {
+
+CentralizedAnalyzer::CentralizedAnalyzer(
+    const algo::AlgorithmRegistry& registry, Policy policy)
+    : registry_(registry), policy_(policy) {}
+
+std::string CentralizedAnalyzer::select_algorithm(
+    const model::DeploymentModel& m, const ExecutionProfile& profile) const {
+  if (m.host_count() <= policy_.exact_max_hosts &&
+      m.component_count() <= policy_.exact_max_components)
+    return "exact";
+  if (profile.is_stable(policy_.stability_epsilon))
+    return policy_.stable_algorithm;
+  return policy_.unstable_algorithm;
+}
+
+Decision CentralizedAnalyzer::analyze(const model::DeploymentModel& m,
+                                      const model::Objective& objective,
+                                      const model::ConstraintChecker& checker,
+                                      const model::Deployment& current,
+                                      ExecutionProfile& profile,
+                                      std::uint64_t seed) const {
+  Decision decision;
+  decision.value_before = objective.evaluate(m, current);
+  decision.algorithm = select_algorithm(m, profile);
+
+  algo::AlgoOptions options;
+  options.initial = current;
+  options.seed = seed;
+  options.max_evaluations = policy_.max_evaluations;
+  const std::unique_ptr<algo::Algorithm> algorithm =
+      registry_.create(decision.algorithm);
+  const algo::AlgoResult result =
+      algorithm->run(m, objective, checker, options);
+
+  RedeploymentRecord record;
+  record.algorithm = decision.algorithm;
+  record.value_before = decision.value_before;
+
+  if (!result.feasible) {
+    decision.reason = "algorithm found no feasible deployment";
+    record.reason = decision.reason;
+    profile.log_redeployment(std::move(record));
+    return decision;
+  }
+
+  decision.value_after = result.value;
+  decision.target = result.deployment;
+  decision.migrations = result.migrations;
+  record.value_after = result.value;
+  record.migrations = result.migrations;
+
+  // Improvement gate: is the gain worth moving components for?
+  const double gain = objective.direction() == model::Direction::kMaximize
+                          ? result.value - decision.value_before
+                          : decision.value_before - result.value;
+  if (gain < policy_.min_improvement || decision.migrations == 0) {
+    decision.reason = "improvement below threshold";
+    record.reason = decision.reason;
+    profile.log_redeployment(std::move(record));
+    return decision;
+  }
+
+  // Latency guard (multi-objective conflict resolution): the availability
+  // algorithms "typically decrease the system's overall latency [12]" — veto
+  // the rare deployment that would significantly increase it instead.
+  if (policy_.enable_latency_guard &&
+      std::string_view(objective.name()) != "latency") {
+    const model::LatencyObjective latency;
+    const double latency_before = latency.evaluate(m, current);
+    const double latency_after = latency.evaluate(m, result.deployment);
+    if (latency_after > latency_before * policy_.latency_tolerance &&
+        latency_after - latency_before > 1.0) {
+      decision.reason = "vetoed: latency regression (" +
+                        std::to_string(latency_before) + " -> " +
+                        std::to_string(latency_after) + " ms/s)";
+      record.reason = decision.reason;
+      profile.log_redeployment(std::move(record));
+      util::log_info("analyzer", decision.reason);
+      return decision;
+    }
+  }
+
+  decision.action = Decision::Action::kRedeploy;
+  decision.reason = "improvement " + std::to_string(gain) + " via " +
+                    decision.algorithm;
+  record.applied = true;
+  record.reason = decision.reason;
+  profile.log_redeployment(std::move(record));
+  return decision;
+}
+
+}  // namespace dif::analyzer

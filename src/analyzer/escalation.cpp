@@ -1,0 +1,30 @@
+#include "analyzer/escalation.h"
+
+#include <stdexcept>
+
+namespace dif::analyzer {
+
+EscalationPolicy::EscalationPolicy(Config config)
+    : config_(std::move(config)) {
+  if (config_.ladder.empty())
+    throw std::invalid_argument("EscalationPolicy: empty ladder");
+  if (config_.stall_threshold == 0)
+    throw std::invalid_argument("EscalationPolicy: zero stall threshold");
+}
+
+void EscalationPolicy::observe(const Decision& decision) {
+  if (decision.action == Decision::Action::kRedeploy) {
+    // The current rung delivered; rest back at the cheap end.
+    reset();
+    return;
+  }
+  if (++stall_ >= config_.stall_threshold) {
+    stall_ = 0;
+    if (rung_ + 1 < config_.ladder.size()) {
+      ++rung_;
+      ++escalations_;
+    }
+  }
+}
+
+}  // namespace dif::analyzer

@@ -1,0 +1,57 @@
+#include "analyzer/execution_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dif::analyzer {
+
+ExecutionProfile::ExecutionProfile(std::size_t window) : window_(window) {}
+
+void ExecutionProfile::add_sample(double time_ms, double value) {
+  (void)time_ms;  // kept in the signature for future time-aware patterns
+  window_.add(value);
+  ++samples_;
+}
+
+double ExecutionProfile::recent_spread() const { return window_.spread(); }
+
+bool ExecutionProfile::is_stable(double epsilon) const {
+  return window_.full() && window_.spread() < epsilon;
+}
+
+double ExecutionProfile::latest() const { return window_.latest(); }
+
+void ExecutionProfile::log_redeployment(RedeploymentRecord record) {
+  log_.push_back(std::move(record));
+}
+
+std::size_t ExecutionProfile::applied_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(log_.begin(), log_.end(),
+                    [](const RedeploymentRecord& r) { return r.applied; }));
+}
+
+void ExecutionProfile::record_realized(double measured_value) {
+  for (auto it = log_.rbegin(); it != log_.rend(); ++it) {
+    if (it->applied) {
+      if (!it->has_realized) {
+        it->realized = measured_value;
+        it->has_realized = true;
+      }
+      return;
+    }
+  }
+}
+
+double ExecutionProfile::mean_prediction_error() const {
+  double total = 0.0;
+  std::size_t count = 0;
+  for (const RedeploymentRecord& record : log_) {
+    if (!record.applied || !record.has_realized) continue;
+    total += std::abs(record.value_after - record.realized);
+    ++count;
+  }
+  return count ? total / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace dif::analyzer

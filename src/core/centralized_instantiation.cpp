@@ -1,0 +1,176 @@
+#include "core/centralized_instantiation.h"
+
+#include <stdexcept>
+
+namespace dif::core {
+
+CentralizedInstantiation::CentralizedInstantiation(desi::SystemData& system,
+                                                   FrameworkConfig config)
+    : system_(system), config_(config) {
+  const model::DeploymentModel& m = system.model();
+  const std::size_t k = m.host_count();
+  if (k == 0) throw std::invalid_argument("instantiation: no hosts");
+  if (config_.master_host >= k)
+    throw std::invalid_argument("instantiation: bad master host");
+  if (!system.deployment().complete())
+    throw std::invalid_argument("instantiation: incomplete deployment");
+
+  network_ = std::make_unique<sim::SimNetwork>(
+      sim::SimNetwork::from_model(sim_, m, config_.seed));
+  scaffold_ = std::make_unique<prism::SimScaffold>(sim_);
+  WorkloadComponent::register_with(factory_);
+
+  // --- per-host architectures and connectors -------------------------------
+  for (std::size_t h = 0; h < k; ++h) {
+    const auto host = static_cast<model::HostId>(h);
+    auto arch = std::make_unique<prism::Architecture>(
+        "arch@" + m.host(host).name, *scaffold_, host);
+    auto connector = std::make_unique<prism::DistributionConnector>(
+        "dist@" + m.host(host).name, *network_, host);
+    for (std::size_t g = 0; g < k; ++g)
+      if (g != h && m.connected(host, static_cast<model::HostId>(g)))
+        connector->add_peer(static_cast<model::HostId>(g));
+    if (config_.create_deployer) connector->set_mediator(config_.master_host);
+    if (config_.enable_store_and_forward)
+      connector->enable_store_and_forward(config_.store_and_forward_retry_ms);
+    connectors_.push_back(
+        &static_cast<prism::DistributionConnector&>(
+            arch->add_connector(std::move(connector))));
+    architectures_.push_back(std::move(arch));
+  }
+
+  // --- location tables: initial deployment + meta components -----------------
+  for (std::size_t h = 0; h < k; ++h) {
+    prism::DistributionConnector& connector = *connectors_[h];
+    for (std::size_t c = 0; c < m.component_count(); ++c) {
+      const auto comp = static_cast<model::ComponentId>(c);
+      connector.set_location(m.component(comp).name,
+                             system.deployment().host_of(comp));
+    }
+    for (std::size_t g = 0; g < k; ++g)
+      connector.set_location(prism::admin_name(static_cast<model::HostId>(g)),
+                             static_cast<model::HostId>(g));
+    if (config_.create_deployer)
+      connector.set_location(prism::deployer_name(), config_.master_host);
+  }
+
+  // --- monitors, admins, deployer --------------------------------------------
+  std::vector<model::HostId> all_hosts;
+  for (std::size_t h = 0; h < k; ++h)
+    all_hosts.push_back(static_cast<model::HostId>(h));
+
+  for (std::size_t h = 0; h < k; ++h) {
+    const auto host = static_cast<model::HostId>(h);
+    std::shared_ptr<prism::EvtFrequencyMonitor> freq;
+    prism::NetworkReliabilityMonitor* rel = nullptr;
+    if (config_.enable_monitoring) {
+      freq = std::make_shared<prism::EvtFrequencyMonitor>(*scaffold_);
+      rel_monitors_.push_back(
+          std::make_unique<prism::NetworkReliabilityMonitor>(
+              *connectors_[h], sim_, config_.reliability));
+      rel = rel_monitors_.back().get();
+    }
+    freq_monitors_.push_back(freq);
+
+    auto admin = std::make_unique<prism::AdminComponent>(
+        host, *connectors_[h], factory_, freq, rel, config_.admin);
+    admins_.push_back(&static_cast<prism::AdminComponent&>(
+        architectures_[h]->add_component(std::move(admin))));
+    architectures_[h]->weld(*admins_[h], *connectors_[h]);
+
+    if (config_.create_deployer && host == config_.master_host) {
+      // The deployer runs beside the master's regular admin, under its own
+      // "__deployer" identity (monitoring stays with the admin).
+      prism::DeployerComponent::DeployerParams deployer_params;
+      deployer_params.admin_hosts = all_hosts;
+      auto deployer = std::make_unique<prism::DeployerComponent>(
+          host, *connectors_[h], factory_, nullptr, nullptr, config_.admin,
+          deployer_params);
+      deployer_ = &static_cast<prism::DeployerComponent&>(
+          architectures_[h]->add_component(std::move(deployer)));
+      architectures_[h]->weld(*deployer_, *connectors_[h]);
+    }
+  }
+
+  // --- application components per the initial deployment -----------------------
+  for (std::size_t c = 0; c < m.component_count(); ++c) {
+    const auto comp = static_cast<model::ComponentId>(c);
+    const model::HostId host = system.deployment().host_of(comp);
+    std::vector<WorkloadComponent::Link> links;
+    for (const model::Interaction& ix : m.interactions()) {
+      // Send the full modelled frequency in one canonical direction so the
+      // monitored (from, to) pair maps 1:1 onto the symmetric logical link.
+      if (ix.a != comp) continue;
+      links.push_back({m.component(ix.b).name, ix.frequency,
+                       ix.avg_event_size});
+    }
+    auto workload = std::make_unique<WorkloadComponent>(
+        m.component(comp).name, m.component(comp).memory_size,
+        std::move(links));
+    prism::Component& attached =
+        architectures_[host]->add_component(std::move(workload));
+    architectures_[host]->weld(attached, *connectors_[host]);
+    if (config_.enable_monitoring && freq_monitors_[host])
+      attached.add_monitor(freq_monitors_[host]);
+  }
+
+  if (deployer_) {
+    adapter_ = std::make_unique<desi::MiddlewareAdapter>(system_, *deployer_);
+    adapter_->attach_monitor();
+  }
+}
+
+CentralizedInstantiation::~CentralizedInstantiation() = default;
+
+void CentralizedInstantiation::start() {
+  for (const auto& arch : architectures_) {
+    for (const std::string& name : arch->component_names()) {
+      if (auto* workload =
+              dynamic_cast<WorkloadComponent*>(arch->find_component(name)))
+        workload->start();
+    }
+  }
+  if (config_.enable_monitoring) {
+    for (const auto& rel : rel_monitors_) rel->start();
+    if (config_.enable_admin_reporting)
+      for (prism::AdminComponent* admin : admins_) admin->start_reporting();
+  }
+}
+
+prism::AdminComponent& CentralizedInstantiation::admin(model::HostId host) {
+  return *admins_.at(host);
+}
+
+model::Deployment CentralizedInstantiation::runtime_deployment() const {
+  const model::DeploymentModel& m = system_.model();
+  model::Deployment d(m.component_count());
+  for (std::size_t h = 0; h < architectures_.size(); ++h) {
+    for (const std::string& name : architectures_[h]->component_names()) {
+      if (name.rfind("__", 0) == 0) continue;
+      try {
+        d.assign(m.component_by_name(name), static_cast<model::HostId>(h));
+      } catch (const std::out_of_range&) {
+        // A component unknown to the model (shouldn't happen in practice).
+      }
+    }
+  }
+  return d;
+}
+
+CentralizedInstantiation::WorkloadStats
+CentralizedInstantiation::workload_stats() const {
+  WorkloadStats stats;
+  for (const auto& arch : architectures_) {
+    for (const std::string& name : arch->component_names()) {
+      if (const auto* workload =
+              dynamic_cast<const WorkloadComponent*>(
+                  arch->find_component(name))) {
+        stats.sent += workload->events_sent();
+        stats.received += workload->events_received();
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace dif::core

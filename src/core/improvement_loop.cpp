@@ -1,0 +1,91 @@
+#include "core/improvement_loop.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dif::core {
+
+ImprovementLoop::ImprovementLoop(CentralizedInstantiation& instantiation,
+                                 const model::Objective& objective,
+                                 Config config)
+    : instantiation_(instantiation),
+      objective_(objective),
+      config_(config),
+      registry_(algo::AlgorithmRegistry::with_defaults()),
+      analyzer_(registry_, config.policy),
+      escalation_(config.escalation),
+      current_interval_ms_(config.interval_ms) {}
+
+void ImprovementLoop::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next();
+}
+
+void ImprovementLoop::schedule_next() {
+  instantiation_.simulator().schedule_after(current_interval_ms_, [this] {
+    if (!running_) return;
+    tick();
+    schedule_next();
+  });
+}
+
+analyzer::Decision ImprovementLoop::tick() {
+  ++tick_count_;
+  desi::SystemData& system = instantiation_.system();
+  const model::ConstraintChecker checker(system.model(),
+                                         system.constraints());
+  const double now = instantiation_.simulator().now();
+  const double value =
+      objective_.evaluate(system.model(), system.deployment());
+  profile_.add_sample(now, value);
+  if (pending_realization_ &&
+      !instantiation_.deployer().redeployment_in_flight()) {
+    // First quiescent measurement after an applied redeployment: this is
+    // the "result of the previous redeployment" the profile logs.
+    profile_.record_realized(value);
+    pending_realization_ = false;
+  }
+
+  analyzer::Decision decision;
+  if (instantiation_.deployer().redeployment_in_flight()) {
+    decision.reason = "redeployment in flight; skipping analysis";
+    decision.value_before = value;
+  } else {
+    if (config_.enable_escalation)
+      analyzer_.set_stable_algorithm(escalation_.current());
+    decision = analyzer_.analyze(system.model(), objective_, checker,
+                                 system.deployment(), profile_,
+                                 config_.seed + tick_count_);
+    if (config_.enable_escalation) escalation_.observe(decision);
+    if (decision.action == analyzer::Decision::Action::kRedeploy) {
+      const bool accepted = instantiation_.adapter().effect(
+          decision.target, [this](bool success, std::size_t migrations) {
+            if (success) {
+              ++applied_;
+              pending_realization_ = true;
+            }
+            util::log_info("loop", "redeployment finished, success=",
+                           success, " migrations=", migrations);
+          });
+      if (!accepted) decision.reason += " (effector busy)";
+    }
+  }
+
+  if (config_.adaptive_interval) {
+    if (decision.action == analyzer::Decision::Action::kRedeploy) {
+      current_interval_ms_ = config_.interval_ms;
+    } else {
+      current_interval_ms_ = std::min(
+          current_interval_ms_ * config_.backoff_factor,
+          config_.max_interval_ms);
+    }
+  }
+
+  history_.push_back({now, value, decision.action, decision.algorithm,
+                      decision.reason, decision.migrations});
+  return decision;
+}
+
+}  // namespace dif::core

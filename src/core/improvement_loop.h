@@ -1,0 +1,93 @@
+// The autonomic improvement loop: monitor -> model -> algorithm -> analyzer
+// -> effector, repeated for the life of the system (the framework's whole
+// point — paper Section 3's three-step methodology run continuously).
+#pragma once
+
+#include <vector>
+
+#include "analyzer/centralized.h"
+#include "analyzer/escalation.h"
+#include "core/centralized_instantiation.h"
+
+namespace dif::core {
+
+class ImprovementLoop {
+ public:
+  struct Config {
+    /// Time between analyzer invocations (simulated ms).
+    double interval_ms = 5'000.0;
+    analyzer::CentralizedAnalyzer::Policy policy;
+    /// When set, an EscalationPolicy climbs this ladder after repeated
+    /// improvement-free analyses (and rests after a success), overriding
+    /// policy.stable_algorithm at each tick.
+    bool enable_escalation = false;
+    analyzer::EscalationPolicy::Config escalation;
+    /// Adaptive re-examination scheduling (paper §4.3: "scheduling the
+    /// time to (re)examine the deployment architecture"): every tick that
+    /// keeps the deployment stretches the next interval by
+    /// `backoff_factor` (up to `max_interval_ms`); a redeployment resets
+    /// it to `interval_ms`. Saves analysis work on quiescent systems while
+    /// staying responsive after changes.
+    bool adaptive_interval = false;
+    double backoff_factor = 1.5;
+    double max_interval_ms = 60'000.0;
+    std::uint64_t seed = 1;
+  };
+
+  /// One record per analyzer tick, for experiment reporting.
+  struct TickRecord {
+    double time_ms = 0.0;
+    double objective_value = 0.0;
+    analyzer::Decision::Action action = analyzer::Decision::Action::kKeep;
+    std::string algorithm;
+    std::string reason;
+    std::size_t migrations = 0;
+  };
+
+  /// All references must outlive the loop.
+  ImprovementLoop(CentralizedInstantiation& instantiation,
+                  const model::Objective& objective, Config config);
+
+  /// Schedules periodic analyzer ticks on the instantiation's simulator.
+  void start();
+  void stop() noexcept { running_ = false; }
+
+  /// Runs a single analyze-and-maybe-redeploy cycle immediately.
+  analyzer::Decision tick();
+
+  [[nodiscard]] const analyzer::ExecutionProfile& profile() const noexcept {
+    return profile_;
+  }
+  [[nodiscard]] const std::vector<TickRecord>& history() const noexcept {
+    return history_;
+  }
+  [[nodiscard]] std::size_t redeployments_applied() const noexcept {
+    return applied_;
+  }
+  [[nodiscard]] const analyzer::EscalationPolicy& escalation() const noexcept {
+    return escalation_;
+  }
+  /// The interval the next tick will be scheduled with.
+  [[nodiscard]] double current_interval_ms() const noexcept {
+    return current_interval_ms_;
+  }
+
+ private:
+  void schedule_next();
+
+  CentralizedInstantiation& instantiation_;
+  const model::Objective& objective_;
+  Config config_;
+  algo::AlgorithmRegistry registry_;
+  analyzer::CentralizedAnalyzer analyzer_;
+  analyzer::EscalationPolicy escalation_;
+  analyzer::ExecutionProfile profile_;
+  std::vector<TickRecord> history_;
+  bool running_ = false;
+  std::size_t applied_ = 0;
+  std::uint64_t tick_count_ = 0;
+  double current_interval_ms_ = 0.0;
+  bool pending_realization_ = false;
+};
+
+}  // namespace dif::core

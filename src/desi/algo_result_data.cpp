@@ -1,0 +1,30 @@
+#include "desi/algo_result_data.h"
+
+namespace dif::desi {
+
+void AlgoResultData::add(ResultEntry entry) {
+  entries_.push_back(std::move(entry));
+}
+
+void AlgoResultData::clear() { entries_.clear(); }
+
+std::optional<std::size_t> AlgoResultData::best_index(
+    const std::string& objective, model::Direction direction) const {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const ResultEntry& entry = entries_[i];
+    if (!entry.result.feasible || entry.objective != objective) continue;
+    if (!best) {
+      best = i;
+      continue;
+    }
+    const double incumbent = entries_[*best].result.value;
+    const bool better = direction == model::Direction::kMaximize
+                            ? entry.result.value > incumbent
+                            : entry.result.value < incumbent;
+    if (better) best = i;
+  }
+  return best;
+}
+
+}  // namespace dif::desi

@@ -1,0 +1,44 @@
+// DeSi's Model subsystem, part 2: AlgoResultData (paper Section 4.1).
+//
+// "AlgoResultData provides a set of facilities for capturing the outcomes of
+// the different deployment estimation algorithms: estimated deployment
+// architectures, achieved availability, algorithm's running time, estimated
+// time to effect a redeployment, and so on."
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algo/algorithm.h"
+
+namespace dif::desi {
+
+/// One recorded algorithm outcome, as displayed in DeSi's Results panel.
+struct ResultEntry {
+  algo::AlgoResult result;
+  std::string objective;
+  /// Estimated time to effect the redeployment (ms), from migration count
+  /// and measured link parameters.
+  double estimated_redeploy_ms = 0.0;
+};
+
+class AlgoResultData {
+ public:
+  void add(ResultEntry entry);
+  void clear();
+
+  [[nodiscard]] const std::vector<ResultEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Best feasible entry for `objective` under `direction`, if any.
+  [[nodiscard]] std::optional<std::size_t> best_index(
+      const std::string& objective, model::Direction direction) const;
+
+ private:
+  std::vector<ResultEntry> entries_;
+};
+
+}  // namespace dif::desi

@@ -1,0 +1,54 @@
+// DeSi's AlgorithmContainer (paper Section 4.1).
+//
+// "The AlgorithmContainer component invokes the selected redeployment
+// algorithms and updates the Model's AlgoResultData." Algorithms come from
+// the pluggable registry; each invocation runs against the SystemData's
+// model, constraints, and current deployment, and the outcome — including
+// the estimated time to effect the redeployment — is recorded.
+#pragma once
+
+#include <string>
+
+#include "algo/registry.h"
+#include "desi/algo_result_data.h"
+#include "desi/system_data.h"
+
+namespace dif::desi {
+
+class AlgorithmContainer {
+ public:
+  /// `system` and `results` must outlive the container.
+  AlgorithmContainer(SystemData& system, AlgoResultData& results);
+  AlgorithmContainer(SystemData& system, AlgoResultData& results,
+                     algo::AlgorithmRegistry registry);
+
+  [[nodiscard]] algo::AlgorithmRegistry& registry() noexcept {
+    return registry_;
+  }
+
+  /// Runs the named algorithm on the current system state and records the
+  /// outcome. `options.initial` defaults to the system's deployment.
+  const ResultEntry& invoke(const std::string& algorithm,
+                            const model::Objective& objective,
+                            algo::AlgoOptions options = {});
+
+  /// Runs every registered algorithm that can run here (mincut is skipped
+  /// unless the model has exactly two hosts; exact variants are skipped
+  /// above `exact_limit` components). Returns how many ran.
+  std::size_t invoke_all(const model::Objective& objective,
+                         std::uint64_t seed = 1,
+                         std::size_t exact_limit = 14);
+
+  /// Estimated wall-clock to effect `result` from the current deployment:
+  /// per-migration transfer time over the involved links, assuming
+  /// sequential transfers (conservative; matches the effector protocol).
+  [[nodiscard]] double estimate_redeploy_ms(
+      const algo::AlgoResult& result) const;
+
+ private:
+  SystemData& system_;
+  AlgoResultData& results_;
+  algo::AlgorithmRegistry registry_;
+};
+
+}  // namespace dif::desi

@@ -1,0 +1,70 @@
+// DeSi's Generator component (paper Section 4.1).
+//
+// "The Generator component takes as its input the desired number of hardware
+// hosts, software components, and a set of ranges for system parameters
+// (e.g., minimum and maximum network reliability, component interaction
+// frequency, available memory, and so on). Based on this information,
+// Generator creates a specific deployment architecture that satisfies the
+// given input" — used to produce the large numbers of hypothetical
+// deployment architectures the benchmarks sweep over.
+//
+// Constraints are generated consistently with the initial deployment
+// (location constraints always include the component's current host,
+// collocation pairs are sampled from components that already share a host),
+// so a generated system is feasible by construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "desi/system_data.h"
+
+namespace dif::desi {
+
+/// Inclusive parameter range.
+struct Range {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+struct GeneratorSpec {
+  std::size_t hosts = 4;
+  std::size_t components = 12;
+
+  Range host_memory{60.0, 120.0};       // KB
+  Range host_cpu{0.0, 0.0};             // 0 = CPU not modelled
+  Range component_memory{2.0, 10.0};    // KB
+  Range component_cpu{0.0, 0.0};
+
+  Range reliability{0.30, 0.99};
+  Range bandwidth{20.0, 200.0};         // KB/s
+  Range delay_ms{1.0, 20.0};
+
+  Range frequency{0.5, 10.0};           // events/s
+  Range event_size{0.1, 2.0};           // KB
+
+  /// Probability two hosts get a (non-spanning-tree) link.
+  double link_density = 0.7;
+  /// Probability two components interact.
+  double interaction_density = 0.25;
+
+  /// Numbers of generated constraints (paper's location/collocation).
+  std::size_t location_constraints = 0;
+  std::size_t colocation_pairs = 0;
+  std::size_t anti_colocation_pairs = 0;
+
+  /// Scale host memory up until a feasible deployment exists.
+  bool ensure_feasible = true;
+};
+
+class Generator {
+ public:
+  /// Generates a system per `spec`; deterministic in `seed`. The returned
+  /// SystemData carries a feasible initial deployment. Throws
+  /// std::runtime_error when no feasible deployment could be constructed
+  /// (only possible with ensure_feasible == false and hostile ranges).
+  [[nodiscard]] static std::unique_ptr<SystemData> generate(
+      const GeneratorSpec& spec, std::uint64_t seed);
+};
+
+}  // namespace dif::desi

@@ -1,0 +1,28 @@
+// DeSi's GraphView (paper Section 4.1, Figure 10).
+//
+// Renders the deployment architecture graphically: hosts as boxes containing
+// their components, solid lines between hosts for physical links, thin lines
+// between components for logical links. Headless: an ASCII rendering for
+// terminals plus Graphviz DOT export for real diagrams.
+#pragma once
+
+#include <string>
+
+#include "desi/graph_view_data.h"
+#include "desi/system_data.h"
+
+namespace dif::desi {
+
+class GraphView {
+ public:
+  /// ASCII: one box per host listing its components, then the link lists.
+  [[nodiscard]] static std::string render_ascii(const SystemData& system);
+
+  /// Graphviz DOT with host clusters (components contained in host boxes),
+  /// physical links as bold edges and logical links as thin edges —
+  /// mirroring the paper's Figure 10 conventions.
+  [[nodiscard]] static std::string to_dot(const SystemData& system,
+                                          const GraphViewData& layout);
+};
+
+}  // namespace dif::desi

@@ -1,0 +1,41 @@
+#include "desi/graph_view_data.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace dif::desi {
+
+void GraphViewData::refresh(const SystemData& system) {
+  const std::size_t k = system.model().host_count();
+  const std::size_t n = system.model().component_count();
+  hosts_.clear();
+  components_.clear();
+
+  // Deterministic circular layout, radius scaled by host count and zoom.
+  const double radius = 10.0 * zoom_ * std::max<double>(1.0, std::sqrt(k));
+  for (std::size_t h = 0; h < k; ++h) {
+    const double angle =
+        2.0 * std::numbers::pi * static_cast<double>(h) / std::max<std::size_t>(k, 1);
+    hosts_.push_back({static_cast<model::HostId>(h),
+                      radius * std::cos(angle), radius * std::sin(angle),
+                      static_cast<int>(h % 8), true});
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    const model::HostId host =
+        c < system.deployment().size()
+            ? system.deployment().host_of(static_cast<model::ComponentId>(c))
+            : model::kNoHost;
+    components_.push_back({static_cast<model::ComponentId>(c), host,
+                           host == model::kNoHost
+                               ? 0
+                               : static_cast<int>(host % 8)});
+  }
+}
+
+void GraphViewData::set_zoom(double zoom) {
+  if (zoom <= 0.0) throw std::invalid_argument("GraphViewData: zoom <= 0");
+  zoom_ = zoom;
+}
+
+}  // namespace dif::desi

@@ -1,0 +1,58 @@
+// DeSi's Model subsystem, part 3: GraphViewData (paper Section 4.1).
+//
+// "GraphViewData captures the information needed for visualizing a system's
+// deployment architecture: graphical (e.g., color, shape, border thickness)
+// and layout (e.g., juxtaposition, movability, containment) properties of
+// the depicted components, hosts, and their links." Headless here: hosts get
+// deterministic layout positions (a circle) and a color index; components
+// are contained in their host's box. GraphView renders this to DOT/ASCII.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "desi/system_data.h"
+
+namespace dif::desi {
+
+struct HostVisual {
+  model::HostId host = 0;
+  double x = 0.0;
+  double y = 0.0;
+  /// Palette index (stable per host).
+  int color = 0;
+  bool movable = true;
+};
+
+struct ComponentVisual {
+  model::ComponentId component = 0;
+  /// Containment: which host box the component is drawn inside.
+  model::HostId containing_host = model::kNoHost;
+  int color = 0;
+};
+
+class GraphViewData {
+ public:
+  /// Recomputes layout and containment from the current system state.
+  void refresh(const SystemData& system);
+
+  [[nodiscard]] const std::vector<HostVisual>& hosts() const noexcept {
+    return hosts_;
+  }
+  [[nodiscard]] const std::vector<ComponentVisual>& components()
+      const noexcept {
+    return components_;
+  }
+
+  /// Zoom factor (the paper's zoomable GraphView); purely multiplicative on
+  /// layout coordinates.
+  void set_zoom(double zoom);
+  [[nodiscard]] double zoom() const noexcept { return zoom_; }
+
+ private:
+  std::vector<HostVisual> hosts_;
+  std::vector<ComponentVisual> components_;
+  double zoom_ = 1.0;
+};
+
+}  // namespace dif::desi

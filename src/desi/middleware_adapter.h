@@ -1,0 +1,54 @@
+// DeSi's MiddlewareAdapter (paper Sections 4.1 and 4.3).
+//
+// "The MiddlewareAdapter component provides DeSi with the same information
+// from a running, real system. MiddlewareAdapter's Monitor subcomponent
+// captures the run-time data from the external MiddlewarePlatform and stores
+// it inside the Model's SystemData component. MiddlewareAdapter's Effector
+// subcomponent ... issues a set of commands to the MiddlewarePlatform to
+// modify the running system's deployment architecture."
+//
+// The Monitor subcomponent subscribes to the Prism-MW DeployerComponent's
+// aggregated HostReports and writes frequencies, reliabilities, and observed
+// component locations into SystemData; the Effector subcomponent translates
+// a model::Deployment into the deployer's name-based target configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "desi/system_data.h"
+#include "prism/deployer.h"
+
+namespace dif::desi {
+
+class MiddlewareAdapter {
+ public:
+  /// Both objects must outlive the adapter. Subscribing replaces any
+  /// previously registered report handler on the deployer.
+  MiddlewareAdapter(SystemData& system, prism::DeployerComponent& deployer);
+
+  // --- Monitor subcomponent ---------------------------------------------------
+
+  /// Begins feeding monitoring reports into SystemData.
+  void attach_monitor();
+
+  [[nodiscard]] std::uint64_t reports_received() const noexcept {
+    return reports_;
+  }
+
+  // --- Effector subcomponent ----------------------------------------------------
+
+  /// Effects `target` on the running system. Completion (or timeout) is
+  /// reported through `done`. Returns false when a redeployment is already
+  /// in flight or the deployment size mismatches the model.
+  bool effect(const model::Deployment& target,
+              prism::DeployerComponent::CompletionHandler done);
+
+ private:
+  void apply_report(const prism::HostReport& report);
+
+  SystemData& system_;
+  prism::DeployerComponent& deployer_;
+  std::uint64_t reports_ = 0;
+};
+
+}  // namespace dif::desi

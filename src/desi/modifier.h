@@ -1,0 +1,53 @@
+// DeSi's Modifier component (paper Section 4.1).
+//
+// "The Modifier component allows fine-grain tuning of the generated
+// deployment architecture (e.g., by altering a single network link's
+// reliability, a single component's required memory, and so on)" — the
+// sensitivity-analysis tool behind DeSi's editable Parameters table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "desi/system_data.h"
+
+namespace dif::desi {
+
+class Modifier {
+ public:
+  /// The system must outlive the modifier.
+  explicit Modifier(SystemData& system) : system_(system) {}
+
+  // Single-parameter edits (each fires a model notification).
+  void set_link_reliability(model::HostId a, model::HostId b, double value);
+  void set_link_bandwidth(model::HostId a, model::HostId b, double value);
+  void set_link_delay(model::HostId a, model::HostId b, double value);
+  void set_host_memory(model::HostId h, double kb);
+  void set_component_memory(model::ComponentId c, double kb);
+  void set_interaction_frequency(model::ComponentId a, model::ComponentId b,
+                                 double events_per_s);
+  void set_interaction_event_size(model::ComponentId a, model::ComponentId b,
+                                  double kb);
+
+  /// Sets an extensible property on a host / component / physical link.
+  void set_host_property(model::HostId h, std::string_view name,
+                         double value);
+  void set_component_property(model::ComponentId c, std::string_view name,
+                              double value);
+
+  /// Bulk what-if: multiply every link's reliability by `factor`
+  /// (clamped to [0, 1]) — e.g. "what if the whole network degrades 20%?".
+  void scale_all_reliabilities(double factor);
+
+  /// Proactive evacuation: forbids every component from `host` (location
+  /// constraints), so the next analyzer pass redeploys everything off it —
+  /// the move an operator makes when a device reports a dying battery.
+  /// Components pinned exclusively to that host would make the system
+  /// unsatisfiable and are left alone; their names are returned.
+  std::vector<std::string> drain_host(model::HostId host);
+
+ private:
+  SystemData& system_;
+};
+
+}  // namespace dif::desi

@@ -1,0 +1,93 @@
+#include "desi/sensitivity.h"
+
+#include <stdexcept>
+
+#include "algo/registry.h"
+#include "desi/xadl.h"
+#include "util/table.h"
+
+namespace dif::desi {
+
+template <typename Apply>
+std::vector<SensitivityAnalysis::Point> SensitivityAnalysis::sweep(
+    double lo, double hi, const model::Objective& objective,
+    const Options& options, Apply&& apply) const {
+  if (options.steps < 2)
+    throw std::invalid_argument("SensitivityAnalysis: need >= 2 steps");
+  if (!system_.deployment().complete())
+    throw std::invalid_argument("SensitivityAnalysis: incomplete deployment");
+
+  const algo::AlgorithmRegistry registry =
+      algo::AlgorithmRegistry::with_defaults();
+  std::vector<Point> points;
+  points.reserve(static_cast<std::size_t>(options.steps));
+
+  for (int i = 0; i < options.steps; ++i) {
+    const double value =
+        lo + (hi - lo) * static_cast<double>(i) /
+                 static_cast<double>(options.steps - 1);
+    // Private clone so the caller's system is never disturbed.
+    const auto clone = XadlLite::from_json(XadlLite::to_json(system_));
+    apply(*clone, value);
+
+    Point point;
+    point.parameter = value;
+    point.current = objective.evaluate(clone->model(), clone->deployment());
+
+    const model::ConstraintChecker checker(clone->model(),
+                                           clone->constraints());
+    algo::AlgoOptions algo_options;
+    algo_options.seed = options.seed;
+    algo_options.initial = clone->deployment();
+    const algo::AlgoResult result = registry.create(options.algorithm)
+                                        ->run(clone->model(), objective,
+                                              checker, algo_options);
+    point.reoptimized = result.feasible ? result.value : point.current;
+    points.push_back(point);
+  }
+  return points;
+}
+
+std::vector<SensitivityAnalysis::Point>
+SensitivityAnalysis::sweep_link_reliability(
+    model::HostId a, model::HostId b, double lo, double hi,
+    const model::Objective& objective, Options options) const {
+  return sweep(lo, hi, objective, options,
+               [a, b](SystemData& clone, double value) {
+                 clone.model().set_link_reliability(a, b, value);
+               });
+}
+
+std::vector<SensitivityAnalysis::Point>
+SensitivityAnalysis::sweep_interaction_frequency(
+    model::ComponentId a, model::ComponentId b, double lo, double hi,
+    const model::Objective& objective, Options options) const {
+  return sweep(lo, hi, objective, options,
+               [a, b](SystemData& clone, double value) {
+                 model::LogicalLink link = clone.model().logical_link(a, b);
+                 link.frequency = value;
+                 clone.model().set_logical_link(a, b, std::move(link));
+               });
+}
+
+std::vector<SensitivityAnalysis::Point> SensitivityAnalysis::sweep_host_memory(
+    model::HostId host, double lo, double hi,
+    const model::Objective& objective, Options options) const {
+  return sweep(lo, hi, objective, options,
+               [host](SystemData& clone, double value) {
+                 clone.model().host(host).memory_capacity = value;
+                 clone.model().notify_entity_changed();
+               });
+}
+
+std::string SensitivityAnalysis::render(const std::vector<Point>& points,
+                                        const std::string& parameter_name) {
+  util::Table table({parameter_name, "current deployment", "re-optimized"});
+  for (const Point& point : points) {
+    table.add_row({util::fmt(point.parameter, 3), util::fmt(point.current, 4),
+                   util::fmt(point.reoptimized, 4)});
+  }
+  return table.render();
+}
+
+}  // namespace dif::desi

@@ -1,0 +1,77 @@
+// Sensitivity analysis: DeSi's explorability utility (paper Section 4.3).
+//
+// "DeSi's visualisation of the deployment architecture and the exploratory
+// utilities allow an engineer to rapidly investigate the space of possible
+// deployments ... A user can easily assess a system's sensitivity to
+// changes in specific parameters (e.g., the reliability of a network
+// link)."
+//
+// Each sweep varies one parameter over a range on a private clone of the
+// system (the original is never touched) and reports, per point, the
+// objective value of the current deployment and of the deployment a chosen
+// algorithm would pick instead — the gap is what redeployment would buy at
+// that operating point.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "desi/system_data.h"
+#include "model/objective.h"
+
+namespace dif::desi {
+
+/// Sweep configuration (namespace scope: nested classes with default
+/// member initializers cannot be default arguments of their own enclosing
+/// class's member functions).
+struct SweepOptions {
+  std::string algorithm = "hillclimb";
+  std::uint64_t seed = 1;
+  int steps = 9;
+};
+
+class SensitivityAnalysis {
+ public:
+  /// The system is cloned per sweep; it must outlive the analysis object.
+  explicit SensitivityAnalysis(const SystemData& system) : system_(system) {}
+
+  struct Point {
+    double parameter = 0.0;
+    /// Objective on the unchanged (current) deployment.
+    double current = 0.0;
+    /// Objective after re-optimizing with the chosen algorithm.
+    double reoptimized = 0.0;
+  };
+
+  using Options = SweepOptions;
+
+  /// Sweeps the reliability of the a--b physical link across [lo, hi].
+  [[nodiscard]] std::vector<Point> sweep_link_reliability(
+      model::HostId a, model::HostId b, double lo, double hi,
+      const model::Objective& objective, Options options = Options()) const;
+
+  /// Sweeps the frequency of the a--b interaction across [lo, hi].
+  [[nodiscard]] std::vector<Point> sweep_interaction_frequency(
+      model::ComponentId a, model::ComponentId b, double lo, double hi,
+      const model::Objective& objective, Options options = Options()) const;
+
+  /// Sweeps one host's memory capacity across [lo, hi] (KB).
+  [[nodiscard]] std::vector<Point> sweep_host_memory(
+      model::HostId host, double lo, double hi,
+      const model::Objective& objective, Options options = Options()) const;
+
+  /// ASCII rendering of a sweep ("parameter / current / re-optimized").
+  [[nodiscard]] static std::string render(const std::vector<Point>& points,
+                                          const std::string& parameter_name);
+
+ private:
+  template <typename Apply>
+  [[nodiscard]] std::vector<Point> sweep(double lo, double hi,
+                                         const model::Objective& objective,
+                                         const Options& options,
+                                         Apply&& apply) const;
+
+  const SystemData& system_;
+};
+
+}  // namespace dif::desi

@@ -1,0 +1,49 @@
+#include "desi/system_data.h"
+
+#include <stdexcept>
+
+namespace dif::desi {
+
+SystemData::SystemData() {
+  model_.add_listener([this](model::ModelEvent) { notify(Change::kModel); });
+}
+
+void SystemData::set_deployment(model::Deployment d) {
+  if (d.size() != model_.component_count())
+    throw std::invalid_argument("SystemData: deployment size mismatch");
+  deployment_ = std::move(d);
+  notify(Change::kDeployment);
+}
+
+void SystemData::move_component(model::ComponentId c, model::HostId h) {
+  sync_deployment_size();
+  deployment_.assign(c, h);
+  notify(Change::kDeployment);
+}
+
+void SystemData::sync_deployment_size() {
+  while (deployment_.size() < model_.component_count()) {
+    // Grow in place, keeping existing assignments.
+    std::vector<model::HostId> assignment = deployment_.assignment();
+    assignment.resize(model_.component_count(), model::kNoHost);
+    deployment_ = model::Deployment(std::move(assignment));
+  }
+}
+
+std::size_t SystemData::add_listener(Listener listener) {
+  const std::size_t id = next_listener_id_++;
+  listeners_.emplace_back(id, std::move(listener));
+  return id;
+}
+
+void SystemData::remove_listener(std::size_t id) {
+  std::erase_if(listeners_, [id](const auto& p) { return p.first == id; });
+}
+
+void SystemData::notify_constraints_changed() { notify(Change::kConstraints); }
+
+void SystemData::notify(Change change) {
+  for (const auto& [id, listener] : listeners_) listener(change);
+}
+
+}  // namespace dif::desi

@@ -1,0 +1,73 @@
+// DeSi's Model subsystem, part 1: SystemData (paper Section 4.1).
+//
+// "SystemData is the key part of the Model and represents the software
+// system itself in terms of the architectural constructs and parameters:
+// numbers of components and hosts, distribution of components across hosts,
+// software and hardware topologies, and so on." It is reactive: views and
+// controllers subscribe for change notifications.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/constraints.h"
+#include "model/deployment.h"
+#include "model/deployment_model.h"
+
+namespace dif::desi {
+
+class SystemData {
+ public:
+  SystemData();
+  /// Immovable: the model holds a change listener bound to this object
+  /// (hand SystemData around by pointer/reference — see Generator).
+  SystemData(const SystemData&) = delete;
+  SystemData& operator=(const SystemData&) = delete;
+
+  /// The architectural model (hosts, components, links, parameters).
+  [[nodiscard]] model::DeploymentModel& model() noexcept { return model_; }
+  [[nodiscard]] const model::DeploymentModel& model() const noexcept {
+    return model_;
+  }
+
+  /// Architect-specified constraints (User Input).
+  [[nodiscard]] model::ConstraintSet& constraints() noexcept {
+    return constraints_;
+  }
+  [[nodiscard]] const model::ConstraintSet& constraints() const noexcept {
+    return constraints_;
+  }
+
+  /// The system's current deployment (distribution of components across
+  /// hosts). Kept sized to the model's component count.
+  [[nodiscard]] const model::Deployment& deployment() const noexcept {
+    return deployment_;
+  }
+  void set_deployment(model::Deployment d);
+  /// Reassigns one component (drag-and-drop in the GraphView).
+  void move_component(model::ComponentId c, model::HostId h);
+
+  /// Synchronizes the deployment vector after components were added.
+  void sync_deployment_size();
+
+  // --- reactivity ------------------------------------------------------------
+
+  enum class Change { kModel, kDeployment, kConstraints };
+  using Listener = std::function<void(Change)>;
+  std::size_t add_listener(Listener listener);
+  void remove_listener(std::size_t id);
+  /// Controllers call this after editing constraints (which are plain data).
+  void notify_constraints_changed();
+
+ private:
+  void notify(Change change);
+
+  model::DeploymentModel model_;
+  model::ConstraintSet constraints_;
+  model::Deployment deployment_;
+  std::vector<std::pair<std::size_t, Listener>> listeners_;
+  std::size_t next_listener_id_ = 0;
+};
+
+}  // namespace dif::desi

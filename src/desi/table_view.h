@@ -1,0 +1,41 @@
+// DeSi's TableView (paper Section 4.1, Figure 9).
+//
+// "TableView is intended to support a detailed layout of system parameters
+// and deployment estimation algorithms captured in the Model's SystemData
+// and AlgoResultData components." Headless: each panel of the editor's
+// table-oriented page renders to an ASCII table.
+#pragma once
+
+#include <string>
+
+#include "desi/algo_result_data.h"
+#include "desi/system_data.h"
+
+namespace dif::desi {
+
+class TableView {
+ public:
+  /// The Parameters table: hosts (memory, CPU, extensible properties).
+  [[nodiscard]] static std::string render_hosts(const SystemData& system);
+
+  /// The Parameters table: components (memory, current host).
+  [[nodiscard]] static std::string render_components(
+      const SystemData& system);
+
+  /// Physical links (reliability / bandwidth / delay).
+  [[nodiscard]] static std::string render_links(const SystemData& system);
+
+  /// Logical links (frequency / event size).
+  [[nodiscard]] static std::string render_interactions(
+      const SystemData& system);
+
+  /// The Constraints panel.
+  [[nodiscard]] static std::string render_constraints(
+      const SystemData& system);
+
+  /// The Results panel (one row per algorithm invocation).
+  [[nodiscard]] static std::string render_results(
+      const AlgoResultData& results);
+};
+
+}  // namespace dif::desi

@@ -1,0 +1,36 @@
+// xADL-lite: architecture-description serialization (paper Section 4.3).
+//
+// "DeSi has been integrated with xADL 2.0, an extensible architecture
+// description language", used to capture design-time properties — initial
+// deployment, available memory per host, constraints. Substituted here with
+// a JSON schema carrying the same information (see DESIGN.md §2); documents
+// round-trip losslessly through SystemData.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "desi/system_data.h"
+#include "util/json.h"
+
+namespace dif::desi {
+
+class XadlLite {
+ public:
+  /// Serializes the full system description: hosts, components, physical
+  /// and logical links (with extensible properties), constraints, and the
+  /// current deployment.
+  [[nodiscard]] static util::json::Value to_json(const SystemData& system);
+
+  /// Pretty-printed document text.
+  [[nodiscard]] static std::string to_text(const SystemData& system);
+
+  /// Parses a document produced by to_json/to_text.
+  /// Throws util::json::JsonError / std::out_of_range on malformed input.
+  [[nodiscard]] static std::unique_ptr<SystemData> from_json(
+      const util::json::Value& doc);
+  [[nodiscard]] static std::unique_ptr<SystemData> from_text(
+      std::string_view text);
+};
+
+}  // namespace dif::desi

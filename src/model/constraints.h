@@ -1,0 +1,156 @@
+// Deployment constraints: the framework's User Input component supplies
+// these at design time (Section 3.1): location constraints (which hosts a
+// component may be deployed on) and collocation constraints (components that
+// must / must not share a host); the checker additionally enforces resource
+// constraints (host memory/CPU, link bandwidth) from the model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/deployment.h"
+#include "model/ids.h"
+
+namespace dif::model {
+
+class DeploymentModel;
+
+/// Architect-specified constraints, independent of any model instance.
+class ConstraintSet {
+ public:
+  /// Location: restricts `c` to exactly the given hosts (replaces any prior
+  /// allow-list for `c`).
+  void allow_only(ComponentId c, std::vector<HostId> hosts);
+
+  /// Location: forbids deploying `c` on `h`.
+  void forbid_host(ComponentId c, HostId h);
+
+  /// Pins `c` to `h` (an allow-list of one).
+  void pin(ComponentId c, HostId h);
+
+  /// Collocation: `a` and `b` must share a host.
+  void require_colocation(ComponentId a, ComponentId b);
+
+  /// Collocation: `a` and `b` must be on different hosts.
+  void forbid_colocation(ComponentId a, ComponentId b);
+
+  /// True iff location rules permit `c` on `h`.
+  [[nodiscard]] bool host_allowed(ComponentId c, HostId h) const;
+
+  [[nodiscard]] const std::vector<std::pair<ComponentId, ComponentId>>&
+  colocation_pairs() const noexcept {
+    return must_pairs_;
+  }
+  [[nodiscard]] const std::vector<std::pair<ComponentId, ComponentId>>&
+  anti_colocation_pairs() const noexcept {
+    return anti_pairs_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return allowed_.empty() && forbidden_.empty() && must_pairs_.empty() &&
+           anti_pairs_.empty();
+  }
+
+  /// Raw rule accessors (serialization, views).
+  [[nodiscard]] const std::vector<std::pair<ComponentId, std::vector<HostId>>>&
+  allow_lists() const noexcept {
+    return allowed_;
+  }
+  [[nodiscard]] const std::vector<std::pair<ComponentId, HostId>>&
+  forbidden_hosts() const noexcept {
+    return forbidden_;
+  }
+
+ private:
+  friend class ConstraintChecker;
+  /// component -> explicit allow-list (absent = all hosts allowed)
+  std::vector<std::pair<ComponentId, std::vector<HostId>>> allowed_;
+  /// (component, host) forbidden pairs
+  std::vector<std::pair<ComponentId, HostId>> forbidden_;
+  std::vector<std::pair<ComponentId, ComponentId>> must_pairs_;
+  std::vector<std::pair<ComponentId, ComponentId>> anti_pairs_;
+};
+
+/// A single constraint violation, for diagnostics and DeSi display.
+struct Violation {
+  enum class Kind {
+    kUnassigned,
+    kLocation,
+    kMemory,
+    kCpu,
+    kColocationRequired,
+    kColocationForbidden,
+    kBandwidth,
+  };
+  Kind kind;
+  std::string detail;
+};
+
+[[nodiscard]] std::string_view to_string(Violation::Kind kind) noexcept;
+
+/// Compiled, model-bound constraint evaluator used by all algorithms.
+///
+/// Compilation flattens the ConstraintSet into per-component host bitmasks so
+/// the hot path (`host_allowed`) is O(1). The checker also enforces resource
+/// constraints derived from the model: component memory vs host memory, CPU
+/// load vs CPU capacity (only for hosts that model CPU), and, optionally,
+/// interaction traffic vs physical link bandwidth.
+struct CheckerOptions {
+  bool check_memory = true;
+  bool check_cpu = true;
+  /// Off by default: the paper's Section 5 scenario constrains memory and
+  /// location/collocation; bandwidth checking is an extension point.
+  bool check_bandwidth = false;
+};
+
+class ConstraintChecker {
+ public:
+  using Options = CheckerOptions;
+
+  /// The model and set must outlive the checker.
+  ConstraintChecker(const DeploymentModel& model, const ConstraintSet& set,
+                    Options options = Options());
+
+  /// O(1): do location rules allow component `c` on host `h`?
+  [[nodiscard]] bool host_allowed(ComponentId c, HostId h) const {
+    return (allowed_masks_[c * words_per_row_ + h / 64] >> (h % 64)) & 1u;
+  }
+
+  /// Full feasibility test for a complete deployment.
+  [[nodiscard]] bool feasible(const Deployment& d) const;
+
+  /// All violations (possibly empty) with human-readable details.
+  [[nodiscard]] std::vector<Violation> violations(const Deployment& d) const;
+
+  /// Memory left on `h` under deployment `d` (may be negative if violated).
+  [[nodiscard]] double host_free_memory(const Deployment& d, HostId h) const;
+
+  /// Incremental check used by constructive algorithms: may `c` be placed on
+  /// `h` given the (possibly partial) deployment `d`? Checks location,
+  /// memory/CPU headroom, and collocation against already-placed components.
+  [[nodiscard]] bool placement_ok(const Deployment& d, ComponentId c,
+                                  HostId h) const;
+
+  [[nodiscard]] const DeploymentModel& model() const noexcept {
+    return model_;
+  }
+  [[nodiscard]] const ConstraintSet& constraint_set() const noexcept {
+    return set_;
+  }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  void collect(const Deployment& d, std::vector<Violation>* out,
+               bool stop_at_first, bool* ok) const;
+
+  const DeploymentModel& model_;
+  const ConstraintSet& set_;
+  Options options_;
+  std::size_t words_per_row_;
+  /// component-major bitmask matrix: bit h of row c == host h allowed for c.
+  std::vector<std::uint64_t> allowed_masks_;
+};
+
+}  // namespace dif::model

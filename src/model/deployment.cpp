@@ -1,0 +1,64 @@
+#include "model/deployment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "model/deployment_model.h"
+
+namespace dif::model {
+
+Deployment::Deployment(std::size_t component_count)
+    : assignment_(component_count, kNoHost) {}
+
+Deployment::Deployment(std::vector<HostId> assignment)
+    : assignment_(std::move(assignment)) {}
+
+bool Deployment::complete() const noexcept {
+  return std::none_of(assignment_.begin(), assignment_.end(),
+                      [](HostId h) { return h == kNoHost; });
+}
+
+std::vector<ComponentId> Deployment::components_on(HostId h) const {
+  std::vector<ComponentId> result;
+  for (std::size_t c = 0; c < assignment_.size(); ++c)
+    if (assignment_[c] == h) result.push_back(static_cast<ComponentId>(c));
+  return result;
+}
+
+std::size_t Deployment::diff_count(const Deployment& from,
+                                   const Deployment& to) {
+  if (from.size() != to.size())
+    throw std::invalid_argument("Deployment::diff_count: size mismatch");
+  std::size_t count = 0;
+  for (std::size_t c = 0; c < from.size(); ++c)
+    if (from.assignment_[c] != to.assignment_[c]) ++count;
+  return count;
+}
+
+std::vector<Deployment::Migration> Deployment::diff(const Deployment& from,
+                                                    const Deployment& to) {
+  if (from.size() != to.size())
+    throw std::invalid_argument("Deployment::diff: size mismatch");
+  std::vector<Migration> migrations;
+  for (std::size_t c = 0; c < from.size(); ++c) {
+    if (from.assignment_[c] != to.assignment_[c]) {
+      migrations.push_back({static_cast<ComponentId>(c), from.assignment_[c],
+                            to.assignment_[c]});
+    }
+  }
+  return migrations;
+}
+
+std::string Deployment::describe(const DeploymentModel& model) const {
+  std::string out;
+  for (std::size_t c = 0; c < assignment_.size(); ++c) {
+    out += model.component(static_cast<ComponentId>(c)).name;
+    out += " -> ";
+    out += assignment_[c] == kNoHost ? "(unassigned)"
+                                     : model.host(assignment_[c]).name;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dif::model

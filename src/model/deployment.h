@@ -1,0 +1,68 @@
+// A deployment: the assignment of software components to hardware hosts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/ids.h"
+
+namespace dif::model {
+
+class DeploymentModel;
+
+/// Maps every component (by index) to a host, or kNoHost when unassigned.
+class Deployment {
+ public:
+  Deployment() = default;
+  /// Creates an all-unassigned deployment for `component_count` components.
+  explicit Deployment(std::size_t component_count);
+  /// Wraps an explicit assignment vector.
+  explicit Deployment(std::vector<HostId> assignment);
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return assignment_.size();
+  }
+
+  [[nodiscard]] HostId host_of(ComponentId c) const {
+    return assignment_.at(c);
+  }
+  void assign(ComponentId c, HostId h) { assignment_.at(c) = h; }
+  void unassign(ComponentId c) { assignment_.at(c) = kNoHost; }
+
+  [[nodiscard]] bool is_assigned(ComponentId c) const {
+    return assignment_.at(c) != kNoHost;
+  }
+  /// True when every component has a host.
+  [[nodiscard]] bool complete() const noexcept;
+
+  [[nodiscard]] const std::vector<HostId>& assignment() const noexcept {
+    return assignment_;
+  }
+
+  /// Components currently deployed on `h`.
+  [[nodiscard]] std::vector<ComponentId> components_on(HostId h) const;
+
+  /// Number of components whose host differs between the two deployments
+  /// (the migration count a redeployment from `from` to `to` would need).
+  [[nodiscard]] static std::size_t diff_count(const Deployment& from,
+                                              const Deployment& to);
+
+  /// The components that must migrate to turn `from` into `to`.
+  struct Migration {
+    ComponentId component;
+    HostId from;
+    HostId to;
+  };
+  [[nodiscard]] static std::vector<Migration> diff(const Deployment& from,
+                                                   const Deployment& to);
+
+  /// Human-readable "comp -> host" listing using model names.
+  [[nodiscard]] std::string describe(const DeploymentModel& model) const;
+
+  friend bool operator==(const Deployment&, const Deployment&) = default;
+
+ private:
+  std::vector<HostId> assignment_;
+};
+
+}  // namespace dif::model

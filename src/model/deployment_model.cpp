@@ -1,0 +1,267 @@
+#include "model/deployment_model.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace dif::model {
+
+namespace {
+
+const PhysicalLink& local_link() {
+  static const PhysicalLink link{
+      .reliability = 1.0,
+      .bandwidth = std::numeric_limits<double>::infinity(),
+      .delay_ms = 0.0,
+      .properties = {}};
+  return link;
+}
+
+const PhysicalLink& disconnected_link() {
+  static const PhysicalLink link{};
+  return link;
+}
+
+const LogicalLink& no_interaction() {
+  static const LogicalLink link{};
+  return link;
+}
+
+/// Grows a square canonical-pair matrix from old_dim to new_dim.
+template <typename T>
+void grow_square(std::vector<T>& matrix, std::size_t old_dim,
+                 std::size_t new_dim) {
+  std::vector<T> grown(new_dim * new_dim);
+  for (std::size_t i = 0; i < old_dim; ++i)
+    for (std::size_t j = 0; j < old_dim; ++j)
+      grown[i * new_dim + j] = std::move(matrix[i * old_dim + j]);
+  matrix = std::move(grown);
+}
+
+}  // namespace
+
+HostId DeploymentModel::add_host(Host host) {
+  // Names are identifiers (xADL documents and the middleware's event
+  // routing key on them); duplicates would silently corrupt both.
+  for (const Host& existing : hosts_)
+    if (existing.name == host.name)
+      throw std::invalid_argument("DeploymentModel: duplicate host name '" +
+                                  host.name + "'");
+  const auto id = static_cast<HostId>(hosts_.size());
+  hosts_.push_back(std::move(host));
+  grow_square(physical_, hosts_.size() - 1, hosts_.size());
+  notify(ModelEvent::kTopologyChanged);
+  return id;
+}
+
+ComponentId DeploymentModel::add_component(SoftwareComponent component) {
+  for (const SoftwareComponent& existing : components_)
+    if (existing.name == component.name)
+      throw std::invalid_argument(
+          "DeploymentModel: duplicate component name '" + component.name +
+          "'");
+  const auto id = static_cast<ComponentId>(components_.size());
+  components_.push_back(std::move(component));
+  grow_square(logical_, components_.size() - 1, components_.size());
+  interactions_dirty_ = true;
+  notify(ModelEvent::kTopologyChanged);
+  return id;
+}
+
+HostId DeploymentModel::host_by_name(std::string_view name) const {
+  const auto it = std::find_if(hosts_.begin(), hosts_.end(),
+                               [&](const Host& h) { return h.name == name; });
+  if (it == hosts_.end())
+    throw std::out_of_range("DeploymentModel: no host named '" +
+                            std::string(name) + "'");
+  return static_cast<HostId>(it - hosts_.begin());
+}
+
+ComponentId DeploymentModel::component_by_name(std::string_view name) const {
+  const auto it = std::find_if(
+      components_.begin(), components_.end(),
+      [&](const SoftwareComponent& c) { return c.name == name; });
+  if (it == components_.end())
+    throw std::out_of_range("DeploymentModel: no component named '" +
+                            std::string(name) + "'");
+  return static_cast<ComponentId>(it - components_.begin());
+}
+
+void DeploymentModel::check_host(HostId id) const {
+  if (id >= hosts_.size())
+    throw std::out_of_range("DeploymentModel: bad host id");
+}
+
+void DeploymentModel::check_component(ComponentId id) const {
+  if (id >= components_.size())
+    throw std::out_of_range("DeploymentModel: bad component id");
+}
+
+std::size_t DeploymentModel::phys_index(HostId a, HostId b) const {
+  check_host(a);
+  check_host(b);
+  const auto [lo, hi] = std::minmax(a, b);
+  return static_cast<std::size_t>(lo) * hosts_.size() + hi;
+}
+
+std::size_t DeploymentModel::logi_index(ComponentId a, ComponentId b) const {
+  check_component(a);
+  check_component(b);
+  const auto [lo, hi] = std::minmax(a, b);
+  return static_cast<std::size_t>(lo) * components_.size() + hi;
+}
+
+void DeploymentModel::set_physical_link(HostId a, HostId b,
+                                        PhysicalLink link) {
+  if (a == b)
+    throw std::invalid_argument("DeploymentModel: self physical link");
+  physical_[phys_index(a, b)] = std::move(link);
+  notify(ModelEvent::kPhysicalLinkChanged);
+}
+
+void DeploymentModel::clear_physical_link(HostId a, HostId b) {
+  if (a == b) return;
+  physical_[phys_index(a, b)] = PhysicalLink{};
+  notify(ModelEvent::kPhysicalLinkChanged);
+}
+
+const PhysicalLink& DeploymentModel::physical_link(HostId a, HostId b) const {
+  check_host(a);
+  check_host(b);
+  if (a == b) return local_link();
+  const PhysicalLink& link = physical_[phys_index(a, b)];
+  if (link.bandwidth <= 0.0 && link.reliability <= 0.0)
+    return disconnected_link();
+  return link;
+}
+
+bool DeploymentModel::connected(HostId a, HostId b) const {
+  if (a == b) return false;
+  return physical_[phys_index(a, b)].bandwidth > 0.0;
+}
+
+PhysicalLink& DeploymentModel::phys_ref(HostId a, HostId b) {
+  if (a == b)
+    throw std::invalid_argument("DeploymentModel: self physical link");
+  return physical_[phys_index(a, b)];
+}
+
+void DeploymentModel::set_link_reliability(HostId a, HostId b,
+                                           double reliability) {
+  phys_ref(a, b).reliability = reliability;
+  notify(ModelEvent::kPhysicalLinkChanged);
+}
+
+void DeploymentModel::set_link_bandwidth(HostId a, HostId b,
+                                         double bandwidth) {
+  phys_ref(a, b).bandwidth = bandwidth;
+  notify(ModelEvent::kPhysicalLinkChanged);
+}
+
+void DeploymentModel::set_link_delay(HostId a, HostId b, double delay_ms) {
+  phys_ref(a, b).delay_ms = delay_ms;
+  notify(ModelEvent::kPhysicalLinkChanged);
+}
+
+void DeploymentModel::set_logical_link(ComponentId a, ComponentId b,
+                                       LogicalLink link) {
+  if (a == b)
+    throw std::invalid_argument("DeploymentModel: self logical link");
+  logical_[logi_index(a, b)] = std::move(link);
+  interactions_dirty_ = true;
+  notify(ModelEvent::kLogicalLinkChanged);
+}
+
+void DeploymentModel::clear_logical_link(ComponentId a, ComponentId b) {
+  if (a == b) return;
+  logical_[logi_index(a, b)] = LogicalLink{};
+  interactions_dirty_ = true;
+  notify(ModelEvent::kLogicalLinkChanged);
+}
+
+const LogicalLink& DeploymentModel::logical_link(ComponentId a,
+                                                 ComponentId b) const {
+  check_component(a);
+  check_component(b);
+  if (a == b) return no_interaction();
+  return logical_[logi_index(a, b)];
+}
+
+std::span<const Interaction> DeploymentModel::interactions() const {
+  if (interactions_dirty_) {
+    interactions_cache_.clear();
+    const std::size_t n = components_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const LogicalLink& link = logical_[i * n + j];
+        if (link.frequency > 0.0) {
+          interactions_cache_.push_back(
+              {static_cast<ComponentId>(i), static_cast<ComponentId>(j),
+               link.frequency, link.avg_event_size});
+        }
+      }
+    }
+    interactions_dirty_ = false;
+  }
+  return interactions_cache_;
+}
+
+double DeploymentModel::total_interaction_frequency() const {
+  double total = 0.0;
+  for (const Interaction& ix : interactions()) total += ix.frequency;
+  return total;
+}
+
+std::size_t DeploymentModel::add_listener(Listener listener) {
+  const std::size_t id = next_listener_id_++;
+  listeners_.emplace_back(id, std::move(listener));
+  return id;
+}
+
+void DeploymentModel::remove_listener(std::size_t id) {
+  std::erase_if(listeners_, [id](const auto& p) { return p.first == id; });
+}
+
+void DeploymentModel::notify_entity_changed() {
+  notify(ModelEvent::kEntityParamChanged);
+}
+
+void DeploymentModel::notify(ModelEvent event) {
+  for (const auto& [id, listener] : listeners_) listener(event);
+}
+
+void DeploymentModel::validate() const {
+  for (const Host& h : hosts_) {
+    if (h.memory_capacity < 0.0 || h.cpu_capacity < 0.0)
+      throw std::invalid_argument("DeploymentModel: negative host capacity (" +
+                                  h.name + ")");
+  }
+  for (const SoftwareComponent& c : components_) {
+    if (c.memory_size < 0.0 || c.cpu_load < 0.0)
+      throw std::invalid_argument(
+          "DeploymentModel: negative component requirement (" + c.name + ")");
+  }
+  const std::size_t k = hosts_.size();
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = a + 1; b < k; ++b) {
+      const PhysicalLink& link = physical_[a * k + b];
+      if (link.reliability < 0.0 || link.reliability > 1.0)
+        throw std::invalid_argument(
+            "DeploymentModel: link reliability outside [0,1]");
+      if (link.bandwidth < 0.0 || link.delay_ms < 0.0)
+        throw std::invalid_argument(
+            "DeploymentModel: negative link bandwidth/delay");
+    }
+  }
+  const std::size_t n = components_.size();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const LogicalLink& link = logical_[a * n + b];
+      if (link.frequency < 0.0 || link.avg_event_size < 0.0)
+        throw std::invalid_argument(
+            "DeploymentModel: negative logical link parameter");
+    }
+  }
+}
+
+}  // namespace dif::model

@@ -1,0 +1,200 @@
+// The framework's Model component: the representation of a distributed
+// system's deployment architecture.
+//
+// Per the paper (Section 3.1), the model has four kinds of parts — hosts,
+// components, physical links between hosts, and logical links between
+// components — each carrying an arbitrary set of parameters. First-class
+// fields cover the parameters used by the paper's availability/latency
+// scenario (Section 5.1); everything else goes in per-entity PropertyMaps.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/ids.h"
+#include "model/property_map.h"
+
+namespace dif::model {
+
+/// A hardware host (PC, PDA, ...).
+struct Host {
+  std::string name;
+  /// Memory available for hosting components (KB).
+  double memory_capacity = 0.0;
+  /// Relative CPU capacity (arbitrary units); 0 means "not modelled".
+  double cpu_capacity = 0.0;
+  /// Extensible parameters (battery power, installed software, ...).
+  PropertyMap properties;
+};
+
+/// A software component.
+struct SoftwareComponent {
+  std::string name;
+  /// Memory the component requires on its host (KB).
+  double memory_size = 0.0;
+  /// CPU load the component induces (same units as Host::cpu_capacity).
+  double cpu_load = 0.0;
+  /// Extensible parameters (criticality, version, ...).
+  PropertyMap properties;
+};
+
+/// A physical network link between two hosts. Absent link == disconnected.
+struct PhysicalLink {
+  /// Probability that the link is up / a message survives it, in [0, 1].
+  double reliability = 0.0;
+  /// Effective bandwidth (KB/s). 0 means disconnected.
+  double bandwidth = 0.0;
+  /// One-way transmission delay (ms).
+  double delay_ms = 0.0;
+  /// Extensible parameters (security level, monetary cost, ...).
+  PropertyMap properties;
+};
+
+/// A logical interaction between two components.
+struct LogicalLink {
+  /// Interaction frequency (events per second).
+  double frequency = 0.0;
+  /// Average event size (KB).
+  double avg_event_size = 0.0;
+  /// Extensible parameters (criticality, required security, ...).
+  PropertyMap properties;
+};
+
+/// A flattened, cached view of one interacting component pair; algorithms
+/// iterate these instead of scanning the full n-by-n matrix.
+struct Interaction {
+  ComponentId a = 0;
+  ComponentId b = 0;
+  double frequency = 0.0;
+  double avg_event_size = 0.0;
+};
+
+/// Coarse change notification, used by DeSi's reactive Model and by monitors
+/// feeding runtime values into the model.
+enum class ModelEvent {
+  kTopologyChanged,       // host/component added
+  kPhysicalLinkChanged,   // reliability/bandwidth/delay updated
+  kLogicalLinkChanged,    // frequency/event size updated
+  kEntityParamChanged,    // host/component field or property updated
+};
+
+/// The deployment-architecture model.
+///
+/// Invariants:
+///  * physical and logical links are symmetric (stored canonically, a <= b);
+///  * self links are rejected (a local interaction needs no link; a host
+///    is always perfectly connected to itself);
+///  * all matrices are kept sized to the current host/component counts.
+///
+/// Not thread-safe; the framework owns it from a single (simulated) thread.
+class DeploymentModel {
+ public:
+  DeploymentModel() = default;
+
+  // --- topology -----------------------------------------------------------
+
+  HostId add_host(Host host);
+  ComponentId add_component(SoftwareComponent component);
+
+  [[nodiscard]] std::size_t host_count() const noexcept {
+    return hosts_.size();
+  }
+  [[nodiscard]] std::size_t component_count() const noexcept {
+    return components_.size();
+  }
+
+  [[nodiscard]] const Host& host(HostId id) const { return hosts_.at(id); }
+  [[nodiscard]] Host& host(HostId id) { return hosts_.at(id); }
+  [[nodiscard]] const SoftwareComponent& component(ComponentId id) const {
+    return components_.at(id);
+  }
+  [[nodiscard]] SoftwareComponent& component(ComponentId id) {
+    return components_.at(id);
+  }
+
+  /// Finds a host/component by name; throws std::out_of_range when absent.
+  [[nodiscard]] HostId host_by_name(std::string_view name) const;
+  [[nodiscard]] ComponentId component_by_name(std::string_view name) const;
+
+  // --- physical links -----------------------------------------------------
+
+  /// Sets the (symmetric) link between two distinct hosts.
+  void set_physical_link(HostId a, HostId b, PhysicalLink link);
+  /// Removes the link (hosts become disconnected).
+  void clear_physical_link(HostId a, HostId b);
+
+  /// Link parameters between two hosts. For a == b returns the implicit
+  /// perfect local link (reliability 1, infinite bandwidth, zero delay).
+  /// For unconnected pairs returns the all-zero disconnected link.
+  [[nodiscard]] const PhysicalLink& physical_link(HostId a, HostId b) const;
+
+  /// True when a != b and a physical link with bandwidth > 0 exists.
+  [[nodiscard]] bool connected(HostId a, HostId b) const;
+
+  /// Mutates a single field of an existing link (monitor update path).
+  void set_link_reliability(HostId a, HostId b, double reliability);
+  void set_link_bandwidth(HostId a, HostId b, double bandwidth);
+  void set_link_delay(HostId a, HostId b, double delay_ms);
+
+  // --- logical links ------------------------------------------------------
+
+  void set_logical_link(ComponentId a, ComponentId b, LogicalLink link);
+  void clear_logical_link(ComponentId a, ComponentId b);
+  [[nodiscard]] const LogicalLink& logical_link(ComponentId a,
+                                                ComponentId b) const;
+
+  /// All component pairs with frequency > 0. Cached; invalidated on change.
+  [[nodiscard]] std::span<const Interaction> interactions() const;
+
+  /// Sum of frequencies over all interactions (denominator of availability).
+  [[nodiscard]] double total_interaction_frequency() const;
+
+  // --- extensibility ------------------------------------------------------
+
+  /// Model-level extensible parameters (e.g. global monitoring window).
+  [[nodiscard]] PropertyMap& properties() noexcept { return properties_; }
+  [[nodiscard]] const PropertyMap& properties() const noexcept {
+    return properties_;
+  }
+
+  /// Registers a change listener (DeSi view refresh, analyzer profile, ...).
+  /// Listeners must outlive the model or be removed via the returned id.
+  using Listener = std::function<void(ModelEvent)>;
+  std::size_t add_listener(Listener listener);
+  void remove_listener(std::size_t id);
+
+  /// Notifies listeners that an entity field/property was edited directly
+  /// (Host/SoftwareComponent references are mutable for Modifier's benefit).
+  void notify_entity_changed();
+
+  // --- validation ---------------------------------------------------------
+
+  /// Throws std::invalid_argument when any stored parameter is out of range
+  /// (reliability outside [0,1], negative memory/frequency/bandwidth, ...).
+  void validate() const;
+
+ private:
+  [[nodiscard]] std::size_t phys_index(HostId a, HostId b) const;
+  [[nodiscard]] std::size_t logi_index(ComponentId a, ComponentId b) const;
+  void check_host(HostId id) const;
+  void check_component(ComponentId id) const;
+  void notify(ModelEvent event);
+  PhysicalLink& phys_ref(HostId a, HostId b);
+
+  std::vector<Host> hosts_;
+  std::vector<SoftwareComponent> components_;
+  /// Upper-triangular (a < b) dense storage, row-major over host pairs.
+  std::vector<PhysicalLink> physical_;
+  std::vector<LogicalLink> logical_;
+  PropertyMap properties_;
+
+  mutable std::vector<Interaction> interactions_cache_;
+  mutable bool interactions_dirty_ = true;
+
+  std::vector<std::pair<std::size_t, Listener>> listeners_;
+  std::size_t next_listener_id_ = 0;
+};
+
+}  // namespace dif::model

@@ -1,0 +1,18 @@
+// Identifier types shared across the framework.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dif::model {
+
+/// Index of a hardware host within a DeploymentModel.
+using HostId = std::uint32_t;
+
+/// Index of a software component within a DeploymentModel.
+using ComponentId = std::uint32_t;
+
+/// Sentinel meaning "component not (yet) assigned to any host".
+inline constexpr HostId kNoHost = std::numeric_limits<HostId>::max();
+
+}  // namespace dif::model

@@ -1,0 +1,58 @@
+#include "model/property_map.h"
+
+#include <stdexcept>
+
+namespace dif::model {
+
+void PropertyMap::set(std::string_view name, double value) {
+  auto it = values_.find(name);
+  if (it != values_.end()) {
+    it->second = value;
+  } else {
+    values_.emplace(std::string(name), value);
+  }
+}
+
+std::optional<double> PropertyMap::get(std::string_view name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+double PropertyMap::get_or(std::string_view name, double dflt) const {
+  return get(name).value_or(dflt);
+}
+
+double PropertyMap::at(std::string_view name) const {
+  const auto v = get(name);
+  if (!v)
+    throw std::out_of_range("PropertyMap: missing property '" +
+                            std::string(name) + "'");
+  return *v;
+}
+
+bool PropertyMap::contains(std::string_view name) const {
+  return values_.find(name) != values_.end();
+}
+
+bool PropertyMap::erase(std::string_view name) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  values_.erase(it);
+  return true;
+}
+
+util::json::Value PropertyMap::to_json() const {
+  util::json::Object obj;
+  for (const auto& [name, value] : values_) obj.emplace(name, value);
+  return util::json::Value(std::move(obj));
+}
+
+PropertyMap PropertyMap::from_json(const util::json::Value& v) {
+  PropertyMap map;
+  for (const auto& [name, value] : v.as_object())
+    map.set(name, value.as_number());
+  return map;
+}
+
+}  // namespace dif::model

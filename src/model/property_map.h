@@ -1,0 +1,52 @@
+// Extensible named parameters.
+//
+// The paper's Model "could be associated with an arbitrary set of parameters"
+// (host battery power, link security, ...). Hosts, components, and links each
+// carry a PropertyMap so new concerns plug in without changing any type, and
+// objectives/algorithms can be written against named properties.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/json.h"
+
+namespace dif::model {
+
+/// An ordered string -> double dictionary of extensible parameters.
+/// Ordered so that serialization and iteration are deterministic.
+class PropertyMap {
+ public:
+  /// Sets (or overwrites) a property value.
+  void set(std::string_view name, double value);
+
+  /// Returns the value, or nullopt when the property is absent.
+  [[nodiscard]] std::optional<double> get(std::string_view name) const;
+
+  /// Returns the value, or `dflt` when absent.
+  [[nodiscard]] double get_or(std::string_view name, double dflt) const;
+
+  /// Returns the value; throws std::out_of_range when absent.
+  [[nodiscard]] double at(std::string_view name) const;
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+  bool erase(std::string_view name);
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+  [[nodiscard]] auto begin() const noexcept { return values_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return values_.end(); }
+
+  /// JSON round-trip (an object of name -> number).
+  [[nodiscard]] util::json::Value to_json() const;
+  [[nodiscard]] static PropertyMap from_json(const util::json::Value& v);
+
+  friend bool operator==(const PropertyMap&, const PropertyMap&) = default;
+
+ private:
+  std::map<std::string, double, std::less<>> values_;
+};
+
+}  // namespace dif::model

@@ -1,0 +1,417 @@
+#include "prism/admin.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace dif::prism {
+
+void ComponentFactory::register_type(std::string type_name, Creator creator) {
+  creators_.insert_or_assign(std::move(type_name), std::move(creator));
+}
+
+bool ComponentFactory::contains(const std::string& type_name) const {
+  return creators_.count(type_name) > 0;
+}
+
+std::unique_ptr<Component> ComponentFactory::create(
+    const std::string& type_name, std::string name) const {
+  const auto it = creators_.find(type_name);
+  if (it == creators_.end())
+    throw std::out_of_range("ComponentFactory: unknown type '" + type_name +
+                            "'");
+  return it->second(std::move(name));
+}
+
+std::string admin_name(model::HostId host) {
+  return "__admin@" + std::to_string(host);
+}
+
+AdminComponent::AdminComponent(
+    model::HostId host, DistributionConnector& connector,
+    ComponentFactory& factory,
+    std::shared_ptr<EvtFrequencyMonitor> freq_monitor,
+    NetworkReliabilityMonitor* reliability_monitor, Params params)
+    : AdminComponent(admin_name(host), host, connector, factory,
+                     std::move(freq_monitor), reliability_monitor, params) {}
+
+AdminComponent::AdminComponent(
+    std::string component_name, model::HostId host,
+    DistributionConnector& connector, ComponentFactory& factory,
+    std::shared_ptr<EvtFrequencyMonitor> freq_monitor,
+    NetworkReliabilityMonitor* reliability_monitor, Params params)
+    : Component(std::move(component_name)),
+      host_(host),
+      connector_(connector),
+      factory_(factory),
+      freq_monitor_(std::move(freq_monitor)),
+      reliability_monitor_(reliability_monitor),
+      params_(params) {}
+
+void AdminComponent::on_attached() {
+  architecture()->set_undeliverable_handler(
+      [this](const Event& event) { on_undeliverable(event); });
+}
+
+void AdminComponent::send_to_deployer(Event event) {
+  event.set_to(deployer_name());
+  send(std::move(event));
+}
+
+void AdminComponent::start_reporting() {
+  if (reporting_ || !architecture()) return;
+  reporting_ = true;
+  architecture()->scaffold().schedule(params_.report_interval_ms, [this] {
+    if (!reporting_) return;
+    collect_and_report();
+    reporting_ = false;     // restart cleanly through the public entry
+    start_reporting();
+  });
+}
+
+void AdminComponent::collect_and_report() {
+  Event report("__monitor_report");
+  report.set("host", static_cast<double>(host_));
+  report.set("memory_kb", architecture()->total_memory_kb());
+
+  // Component inventory (every report; it is tiny). Encoding: u32 count,
+  // then per record: str name, f64 memory_kb.
+  {
+    ByteWriter body;
+    std::uint32_t count = 0;
+    for (const std::string& name : architecture()->component_names()) {
+      if (name.rfind("__", 0) == 0) continue;  // skip meta components
+      const Component* c = architecture()->find_component(name);
+      body.str(name);
+      body.f64(c ? c->memory_kb() : 0.0);
+      ++count;
+    }
+    ByteWriter full;
+    full.u32(count);
+    const std::vector<std::uint8_t> tail = body.take();
+    full.raw(tail);
+    report.set("components", full.take());
+  }
+
+  const auto filter_for = [this](const std::string& key) -> StabilityFilter& {
+    auto it = filters_.find(key);
+    if (it == filters_.end())
+      it = filters_
+               .emplace(key, StabilityFilter(params_.stability_window,
+                                             params_.stability_epsilon))
+               .first;
+    return it->second;
+  };
+
+  // Event frequencies, gated by per-pair stability filters. Series seen in
+  // earlier windows but silent now are fed a 0 sample so that a stopped
+  // interaction eventually reports a stable zero.
+  if (freq_monitor_) {
+    std::map<std::string, EvtFrequencyMonitor::PairFrequency> latest;
+    for (const EvtFrequencyMonitor::PairFrequency& pf :
+         freq_monitor_->collect())
+      latest.emplace("freq:" + pf.from + "->" + pf.to, pf);
+    for (auto& [key, filter] : filters_) {
+      if (key.rfind("freq:", 0) == 0 && !latest.count(key)) filter.add(0.0);
+    }
+    ByteWriter body;
+    std::uint32_t count = 0;
+    for (const auto& [key, pf] : latest) {
+      const std::optional<double> stable =
+          filter_for(key).add(pf.frequency);
+      if (!stable) continue;
+      body.str(pf.from);
+      body.str(pf.to);
+      body.f64(*stable);
+      body.f64(pf.avg_event_size_kb);
+      ++count;
+    }
+    ByteWriter full;
+    full.u32(count);
+    const std::vector<std::uint8_t> tail = body.take();
+    full.raw(tail);
+    report.set("freqs", full.take());
+  }
+
+  // Link reliabilities from the pinging monitor, stability-gated likewise.
+  if (reliability_monitor_) {
+    ByteWriter body;
+    std::uint32_t count = 0;
+    for (const NetworkReliabilityMonitor::PeerReliability& pr :
+         reliability_monitor_->collect()) {
+      const std::optional<double> stable =
+          filter_for("rel:" + std::to_string(pr.peer)).add(pr.reliability);
+      if (!stable) continue;
+      body.u32(pr.peer);
+      body.f64(*stable);
+      ++count;
+    }
+    ByteWriter full;
+    full.u32(count);
+    const std::vector<std::uint8_t> tail = body.take();
+    full.raw(tail);
+    report.set("rels", full.take());
+  }
+
+  send_to_deployer(std::move(report));
+}
+
+void AdminComponent::handle(const Event& event) {
+  if (event.name() == "__new_config") {
+    handle_new_config(event);
+  } else if (event.name() == "__request_component") {
+    handle_request_component(event);
+  } else if (event.name() == "__component_transfer") {
+    handle_component_transfer(event);
+  } else if (event.name() == "__location_update") {
+    handle_location_update(event);
+  } else if (event.name() == "__transfer_ack") {
+    if (const std::string* component = event.get_string("component"))
+      pending_transfers_.erase(*component);
+  }
+}
+
+void AdminComponent::handle_new_config(const Event& event) {
+  const std::vector<std::uint8_t>* locations = event.get_bytes("locations");
+  if (locations) {
+    ByteReader r(*locations);
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::string component = r.str();
+      const model::HostId host = r.u32();
+      connector_.set_location(component, host);
+    }
+  }
+  const std::vector<std::uint8_t>* config = event.get_bytes("config");
+  if (!config) return;
+  ByteReader r(*config);
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string component = r.str();
+    const model::HostId target = r.u32();
+    if (target != host_) continue;                       // not my business
+    if (architecture()->find_component(component)) continue;  // already here
+    const std::optional<model::HostId> current =
+        connector_.location(component);
+    if (!current || *current == host_) {
+      // Routine during re-notification races (the component is already in
+      // flight toward us, or a failed transfer bounced it home): the next
+      // renotify round supplies a fresh location.
+      util::log_debug("prism.admin",
+                      "cannot locate component '", component,
+                      "' to request");
+      continue;
+    }
+    Event request("__request_component");
+    request.set_to(admin_name(*current));
+    request.set("component", component);
+    request.set("requester", static_cast<double>(host_));
+    send(std::move(request));
+  }
+}
+
+void AdminComponent::handle_request_component(const Event& event) {
+  const std::string* component = event.get_string("component");
+  const std::optional<double> requester = event.get_double("requester");
+  if (!component || !requester) return;
+  std::unique_ptr<Component> detached =
+      architecture()->detach_component(*component);
+  if (!detached) return;  // already gone (e.g. duplicate request)
+  const auto target = static_cast<model::HostId>(*requester);
+
+  ByteWriter state;
+  detached->serialize_state(state);
+
+  Event transfer("__component_transfer");
+  transfer.set_to(admin_name(target));
+  transfer.set("component", *component);
+  transfer.set("type", detached->type_name());
+  transfer.set("memory_kb", detached->memory_kb());
+  transfer.set("origin", static_cast<double>(host_));
+  transfer.set("state", state.take());
+  // Point our own routing at the new host before the transfer leaves, so
+  // events arriving meanwhile chase the component instead of piling up.
+  connector_.set_location(*component, target);
+  ++components_shipped_;
+  // Keep the serialized component until arrival is confirmed by a location
+  // update — transfers ride lossy links.
+  pending_transfers_[*component] = {transfer, target, 1};
+  schedule_transfer_retry(*component);
+  send(std::move(transfer));
+}
+
+void AdminComponent::schedule_transfer_retry(const std::string& component) {
+  if (!architecture()) return;
+  architecture()->scaffold().schedule(
+      params_.transfer_retry_interval_ms, [this, component] {
+        const auto it = pending_transfers_.find(component);
+        if (it == pending_transfers_.end()) return;  // confirmed
+        PendingTransfer& pending = it->second;
+        if (pending.attempts >= params_.transfer_max_attempts) {
+          // Give up: reconstitute the component locally so it is not lost.
+          // The copy is provisional — if the transfer actually arrived and
+          // only the confirmations were lost, the ownership-resolution
+          // protocol below destroys this copy again.
+          util::log_warn("prism.admin", "transfer of '", component,
+                         "' failed after ", pending.attempts,
+                         " attempts; restoring locally (provisional)");
+          Event restore = pending.transfer;
+          pending_transfers_.erase(it);
+          restore.set_to(name());
+          restore.set("restored", true);
+          handle_component_transfer(restore);
+          return;
+        }
+        ++pending.attempts;
+        send(Event(pending.transfer));
+        schedule_transfer_retry(component);
+      });
+}
+
+void AdminComponent::handle_component_transfer(const Event& event) {
+  const std::string* component = event.get_string("component");
+  const std::string* type = event.get_string("type");
+  const std::vector<std::uint8_t>* state = event.get_bytes("state");
+  if (!component || !type) return;
+  const bool provisional = event.get_bool("restored").value_or(false);
+  const auto ack_origin = [&] {
+    if (provisional) return;  // self-restore: nobody to ack
+    if (const std::optional<double> origin = event.get_double("origin")) {
+      Event ack("__transfer_ack");
+      ack.set_to(admin_name(static_cast<model::HostId>(*origin)));
+      ack.set("component", *component);
+      send(std::move(ack));
+    }
+  };
+  if (architecture()->find_component(*component)) {
+    // Duplicate transfer (a retransmission raced the original): re-ack so
+    // the sender stops retrying, and drop the duplicate. A genuine arrival
+    // also upgrades a provisional copy to authoritative.
+    if (!provisional && restored_.erase(*component) > 0)
+      announce_ownership(*component, /*restored=*/false);
+    ack_origin();
+    return;
+  }
+  if (!factory_.contains(*type)) {
+    util::log_error("prism.admin", "no factory for component type '", *type,
+                    "'");
+    return;
+  }
+  std::unique_ptr<Component> migrant = factory_.create(*type, *component);
+  if (state && !state->empty()) {
+    ByteReader r(*state);
+    migrant->restore_state(r);
+  }
+  Component& attached = architecture()->add_component(std::move(migrant));
+  architecture()->weld(attached, connector_);
+  connector_.set_location(*component, host_);
+  ++components_received_;
+  ack_origin();
+
+  if (provisional) {
+    restored_.insert(*component);
+    // Claim provisionally, repeatedly: should the real owner exist, its
+    // authoritative counter-claim tells this copy to stand down. Reclaims
+    // continue (with backoff) until the copy is either confirmed sole or
+    // destroyed — a partition must not leave the conflict unresolved.
+    announce_ownership(*component, /*restored=*/true);
+    schedule_restored_reclaims(*component,
+                               params_.transfer_retry_interval_ms);
+  } else {
+    restored_.erase(*component);
+    announce_ownership(*component, /*restored=*/false);
+    Event ack("__migration_ack");
+    ack.set("component", *component);
+    ack.set("host", static_cast<double>(host_));
+    send_to_deployer(std::move(ack));
+  }
+
+  flush_buffer(*component);
+}
+
+void AdminComponent::announce_ownership(const std::string& component,
+                                        bool restored) {
+  Event update("__location_update");
+  update.set("component", component);
+  update.set("host", static_cast<double>(host_));
+  update.set("restored", restored);
+  send(std::move(update));  // broadcast to peers (deployer rebroadcasts)
+}
+
+void AdminComponent::schedule_restored_reclaims(const std::string& component,
+                                                double delay_ms) {
+  if (!architecture()) return;
+  architecture()->scaffold().schedule(
+      delay_ms, [this, component, delay_ms] {
+        if (!restored_.count(component)) return;        // resolved
+        if (!architecture()->find_component(component)) return;
+        announce_ownership(component, /*restored=*/true);
+        // Exponential backoff, capped: cheap insurance forever.
+        schedule_restored_reclaims(component,
+                                   std::min(delay_ms * 2.0, 30'000.0));
+      });
+}
+
+void AdminComponent::handle_location_update(const Event& event) {
+  const std::string* component = event.get_string("component");
+  const std::optional<double> host = event.get_double("host");
+  if (!component || !host) return;
+  const auto claimant = static_cast<model::HostId>(*host);
+
+  if (claimant != host_ && architecture()->find_component(*component)) {
+    // Someone else claims a component we hold: resolve ownership.
+    const bool claim_restored = event.get_bool("restored").value_or(false);
+    const bool mine_restored = restored_.count(*component) > 0;
+    if (mine_restored && (!claim_restored || host_ > claimant)) {
+      // A provisional copy yields to an authoritative claim (and, between
+      // two provisional copies, the higher host id yields — both sides
+      // apply the same deterministic rule).
+      util::log_info("prism.admin", "yielding provisional copy of '",
+                     *component, "' to host ", claimant);
+      restored_.erase(*component);
+      (void)architecture()->detach_component(*component);  // destroyed
+      connector_.set_location(*component, claimant);
+      flush_buffer(*component);
+    } else {
+      // We are authoritative (or the senior provisional holder): re-assert
+      // so the other copy stands down.
+      announce_ownership(*component, mine_restored);
+    }
+    pending_transfers_.erase(*component);
+    return;
+  }
+
+  connector_.set_location(*component, claimant);
+  // Arrival confirmation for a transfer we shipped.
+  pending_transfers_.erase(*component);
+  flush_buffer(*component);
+}
+
+void AdminComponent::on_undeliverable(const Event& event) {
+  if (event.to().empty() || event.to() == name()) return;
+  const std::optional<model::HostId> where = connector_.location(event.to());
+  if (where && *where != host_) {
+    connector_.resend(event);  // chase the component to its new host
+    return;
+  }
+  std::deque<Event>& buffer = buffers_[event.to()];
+  if (buffer.size() >= kMaxBufferedPerComponent) buffer.pop_front();
+  buffer.push_back(event);
+}
+
+void AdminComponent::flush_buffer(const std::string& component) {
+  const auto it = buffers_.find(component);
+  if (it == buffers_.end()) return;
+  std::deque<Event> drained = std::move(it->second);
+  buffers_.erase(it);
+  for (Event& event : drained) connector_.resend(std::move(event));
+}
+
+std::size_t AdminComponent::buffered_events() const {
+  std::size_t total = 0;
+  for (const auto& [component, buffer] : buffers_) total += buffer.size();
+  return total;
+}
+
+}  // namespace dif::prism

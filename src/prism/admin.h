@@ -1,0 +1,164 @@
+// AdminComponent: Prism-MW's meta-level component for architectural
+// self-awareness (paper Section 4.2/4.3).
+//
+// An ExtensibleComponent holding a reference to its local Architecture, it
+// (1) periodically gathers the host's monitoring data — component inventory,
+// event frequencies, link reliabilities — passes each series through a
+// StabilityFilter, and ships stable values to the DeployerComponent as
+// serialized events; and (2) executes its side of the redeployment protocol:
+//
+//   * "__new_config"        (from Deployer): request missing components from
+//                           the hosts currently holding them;
+//   * "__request_component" (from a peer Admin): detach the component,
+//                           serialize it, and send it to the requester;
+//   * "__component_transfer": reconstitute the migrant component via the
+//                           ComponentFactory, attach + weld it, broadcast a
+//                           location update, and ack the Deployer.
+//
+// While a component is in flight, events addressed to it land in the
+// architecture's undeliverable hook, which the Admin owns: known-elsewhere
+// events are re-routed, unknown ones are buffered and flushed on the next
+// location update (the paper's effector "buffering/relaying" duty).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "prism/architecture.h"
+#include "prism/distribution.h"
+#include "prism/monitors.h"
+
+namespace dif::prism {
+
+/// Reconstitutes migrated components from their serialized form.
+class ComponentFactory {
+ public:
+  using Creator = std::function<std::unique_ptr<Component>(std::string name)>;
+
+  void register_type(std::string type_name, Creator creator);
+  [[nodiscard]] bool contains(const std::string& type_name) const;
+  /// Throws std::out_of_range for unregistered types.
+  [[nodiscard]] std::unique_ptr<Component> create(const std::string& type_name,
+                                                  std::string name) const;
+
+ private:
+  std::map<std::string, Creator> creators_;
+};
+
+/// Canonical name of the admin component on host `h` ("__admin@h").
+[[nodiscard]] std::string admin_name(model::HostId host);
+
+/// Canonical name of the deployer component ("__deployer").
+[[nodiscard]] inline std::string deployer_name() { return "__deployer"; }
+
+class AdminComponent : public Component {
+ public:
+  struct Params {
+    /// Cadence of monitoring collection / reporting.
+    double report_interval_ms = 1000.0;
+    /// Stability filter: consecutive windows and epsilon (paper Section 3.1).
+    std::size_t stability_window = 3;
+    double stability_epsilon = 0.05;
+    /// Component transfers ride unreliable links; the shipping admin keeps
+    /// the serialized component and retransmits until a location update
+    /// confirms arrival (or attempts run out — the component is then
+    /// reattached locally rather than lost).
+    double transfer_retry_interval_ms = 1'000.0;
+    int transfer_max_attempts = 20;
+  };
+
+  /// The connector, factory, and monitors must outlive the admin. Monitors
+  /// may be null (monitoring disabled, redeployment still works).
+  AdminComponent(model::HostId host, DistributionConnector& connector,
+                 ComponentFactory& factory,
+                 std::shared_ptr<EvtFrequencyMonitor> freq_monitor,
+                 NetworkReliabilityMonitor* reliability_monitor,
+                 Params params);
+
+  [[nodiscard]] std::string type_name() const override { return "__admin"; }
+  [[nodiscard]] model::HostId host_id() const noexcept { return host_; }
+
+  /// Begins periodic monitoring reports (requires a timer-capable scaffold).
+  void start_reporting();
+  void stop_reporting() noexcept { reporting_ = false; }
+
+  void handle(const Event& event) override;
+  void on_attached() override;
+
+  /// Number of events currently buffered for in-flight components.
+  [[nodiscard]] std::size_t buffered_events() const;
+  /// Migrations this admin completed (components received and reattached).
+  [[nodiscard]] std::uint64_t components_received() const noexcept {
+    return components_received_;
+  }
+  [[nodiscard]] std::uint64_t components_shipped() const noexcept {
+    return components_shipped_;
+  }
+
+ protected:
+  [[nodiscard]] DistributionConnector& connector() noexcept {
+    return connector_;
+  }
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
+  /// Sends `event` toward the deployer component.
+  void send_to_deployer(Event event);
+
+  /// Subclass constructor with an explicit component name (DeployerComponent
+  /// runs beside the master host's regular admin under its own identity).
+  AdminComponent(std::string component_name, model::HostId host,
+                 DistributionConnector& connector, ComponentFactory& factory,
+                 std::shared_ptr<EvtFrequencyMonitor> freq_monitor,
+                 NetworkReliabilityMonitor* reliability_monitor,
+                 Params params);
+
+ private:
+  void collect_and_report();
+  void handle_new_config(const Event& event);
+  void handle_request_component(const Event& event);
+  void handle_component_transfer(const Event& event);
+  void handle_location_update(const Event& event);
+  void on_undeliverable(const Event& event);
+  void flush_buffer(const std::string& component);
+
+  model::HostId host_;
+  DistributionConnector& connector_;
+  ComponentFactory& factory_;
+  std::shared_ptr<EvtFrequencyMonitor> freq_monitor_;
+  NetworkReliabilityMonitor* reliability_monitor_;
+  Params params_;
+  bool reporting_ = false;
+
+  void schedule_transfer_retry(const std::string& component);
+  void announce_ownership(const std::string& component, bool restored);
+  void schedule_restored_reclaims(const std::string& component,
+                                  double delay_ms);
+
+  /// Stability filters keyed per monitored series ("freq:a->b", "rel:3").
+  std::map<std::string, StabilityFilter> filters_;
+  /// Components this admin re-attached after a failed outbound transfer.
+  /// Such a copy is *provisional*: if anyone else turns out to hold the
+  /// component (the transfer had actually arrived and only the acks were
+  /// lost), the restored copy yields and destroys itself — the resolution
+  /// protocol that keeps every component existing exactly once.
+  std::set<std::string> restored_;
+  /// In-flight outbound transfers awaiting arrival confirmation.
+  struct PendingTransfer {
+    Event transfer;
+    model::HostId target = 0;
+    int attempts = 0;
+  };
+  std::map<std::string, PendingTransfer> pending_transfers_;
+  /// Events buffered for components with no known location (bounded).
+  std::map<std::string, std::deque<Event>> buffers_;
+  static constexpr std::size_t kMaxBufferedPerComponent = 64;
+
+  std::uint64_t components_received_ = 0;
+  std::uint64_t components_shipped_ = 0;
+};
+
+}  // namespace dif::prism

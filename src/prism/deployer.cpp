@@ -1,0 +1,208 @@
+#include "prism/deployer.h"
+
+#include "util/logging.h"
+
+namespace dif::prism {
+
+DeployerComponent::DeployerComponent(
+    model::HostId host, DistributionConnector& connector,
+    ComponentFactory& factory,
+    std::shared_ptr<EvtFrequencyMonitor> freq_monitor,
+    NetworkReliabilityMonitor* reliability_monitor, Params admin_params,
+    DeployerParams deployer_params)
+    : AdminComponent(deployer_name(), host, connector, factory,
+                     std::move(freq_monitor), reliability_monitor,
+                     admin_params),
+      deployer_params_(std::move(deployer_params)) {}
+
+void DeployerComponent::handle(const Event& event) {
+  if (event.name() == "__monitor_report") {
+    handle_monitor_report(event);
+    return;
+  }
+  if (event.name() == "__migration_ack") {
+    handle_migration_ack(event);
+    return;
+  }
+  if (event.name() == "__location_update") {
+    // Mediation: make sure location knowledge reaches hosts that are not
+    // directly connected to the migration target — rebroadcast once.
+    AdminComponent::handle(event);
+    const std::string* component = event.get_string("component");
+    const std::optional<double> host = event.get_double("host");
+    if (component && host) {
+      Event rebroadcast("__location_update");
+      rebroadcast.set("component", *component);
+      rebroadcast.set("host", *host);
+      rebroadcast.set("restored",
+                      event.get_bool("restored").value_or(false));
+      send(std::move(rebroadcast));
+      // A location update doubles as an ack: the component demonstrably
+      // arrived somewhere, even if the explicit __migration_ack was lost.
+      if (pending_.erase(*component) && pending_.empty() && completion_)
+        finish(true);
+    }
+    return;
+  }
+  AdminComponent::handle(event);
+}
+
+void DeployerComponent::handle_monitor_report(const Event& event) {
+  const std::optional<double> host = event.get_double("host");
+  if (!host) return;
+  HostReport report;
+  report.host = static_cast<model::HostId>(*host);
+  report.memory_kb = event.get_double("memory_kb").value_or(0.0);
+
+  if (const auto* blob = event.get_bytes("components")) {
+    ByteReader r(*blob);
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      HostReport::ComponentInfo info;
+      info.name = r.str();
+      info.memory_kb = r.f64();
+      // Keep the deployer's routing table fresh from the ground truth.
+      connector().set_location(info.name, report.host);
+      report.components.push_back(std::move(info));
+    }
+  }
+  if (const auto* blob = event.get_bytes("freqs")) {
+    ByteReader r(*blob);
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      HostReport::InteractionInfo info;
+      info.from = r.str();
+      info.to = r.str();
+      info.frequency = r.f64();
+      info.avg_size_kb = r.f64();
+      report.interactions.push_back(std::move(info));
+    }
+  }
+  if (const auto* blob = event.get_bytes("rels")) {
+    ByteReader r(*blob);
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      HostReport::ReliabilityInfo info;
+      info.peer = r.u32();
+      info.reliability = r.f64();
+      report.reliabilities.push_back(info);
+    }
+  }
+  if (report_handler_) report_handler_(report);
+}
+
+bool DeployerComponent::effect_deployment(const TargetDeployment& target,
+                                          CompletionHandler done) {
+  if (!pending_.empty()) return false;
+  completion_ = std::move(done);
+  migrations_requested_ = 0;
+  ++epoch_;
+
+  // Serialize desired configuration + current locations once.
+  std::uint32_t moves = 0;
+  ByteWriter all_config;
+  for (const auto& [component, host] : target) {
+    all_config.str(component);
+    all_config.u32(host);
+    const std::optional<model::HostId> current =
+        connector().location(component);
+    if (current && *current != host) {
+      pending_.insert(component);
+      ++moves;
+    }
+  }
+  migrations_requested_ = moves;
+
+  if (pending_.empty()) {
+    finish(true);
+    return true;
+  }
+
+  current_target_ = target;
+  broadcast_new_config();
+
+  // Timeout guard: if this epoch is still pending after the deadline, the
+  // redeployment failed (e.g. a partition swallowed every retry).
+  const std::uint64_t epoch = epoch_;
+  architecture()->scaffold().schedule(
+      deployer_params_.redeploy_timeout_ms, [this, epoch] {
+        if (epoch == epoch_ && !pending_.empty()) {
+          util::log_warn("prism.deployer", "redeployment timed out with ",
+                         pending_.size(), " components unacked");
+          pending_.clear();
+          finish(false);
+        }
+      });
+  schedule_renotify(epoch);
+  return true;
+}
+
+void DeployerComponent::broadcast_new_config() {
+  // Serialize desired configuration + currently believed locations. Built
+  // fresh on every (re)broadcast so locations reflect partial progress.
+  ByteWriter config_body;
+  for (const auto& [component, host] : current_target_) {
+    config_body.str(component);
+    config_body.u32(host);
+  }
+  ByteWriter config;
+  config.u32(static_cast<std::uint32_t>(current_target_.size()));
+  const std::vector<std::uint8_t> config_tail = config_body.take();
+  config.raw(config_tail);
+  const std::vector<std::uint8_t> config_blob = config.take();
+
+  ByteWriter location_body;
+  std::uint32_t location_count = 0;
+  for (const auto& [component, host] : current_target_) {
+    if (const std::optional<model::HostId> current =
+            connector().location(component)) {
+      location_body.str(component);
+      location_body.u32(*current);
+      ++location_count;
+    }
+  }
+  ByteWriter locations;
+  locations.u32(location_count);
+  const std::vector<std::uint8_t> location_tail = location_body.take();
+  locations.raw(location_tail);
+  const std::vector<std::uint8_t> locations_blob = locations.take();
+
+  for (const model::HostId admin_host : deployer_params_.admin_hosts) {
+    Event new_config("__new_config");
+    new_config.set_to(admin_name(admin_host));
+    new_config.set("config", config_blob);
+    new_config.set("locations", locations_blob);
+    // The master host's own admin is a separate component welded to the
+    // same connector, so local and remote admins are addressed uniformly.
+    send(std::move(new_config));
+  }
+}
+
+void DeployerComponent::schedule_renotify(std::uint64_t epoch) {
+  architecture()->scaffold().schedule(
+      deployer_params_.renotify_interval_ms, [this, epoch] {
+        if (epoch != epoch_ || pending_.empty()) return;
+        broadcast_new_config();
+        schedule_renotify(epoch);
+      });
+}
+
+void DeployerComponent::handle_migration_ack(const Event& event) {
+  const std::string* component = event.get_string("component");
+  const std::optional<double> host = event.get_double("host");
+  if (!component || !host) return;
+  connector().set_location(*component, static_cast<model::HostId>(*host));
+  pending_.erase(*component);
+  if (pending_.empty() && completion_) finish(true);
+}
+
+void DeployerComponent::finish(bool success) {
+  if (success) ++completed_;
+  if (completion_) {
+    CompletionHandler done = std::move(completion_);
+    completion_ = nullptr;
+    done(success, migrations_requested_);
+  }
+}
+
+}  // namespace dif::prism

@@ -1,0 +1,115 @@
+// DeployerComponent: Prism-MW's Admin subclass that interfaces with DeSi
+// (paper Section 4.2/4.3).
+//
+// It runs on the master host, doing everything an AdminComponent does for
+// its own host, plus:
+//   * aggregating the __monitor_report events from every Slave Admin and
+//     handing them to a registered observer (DeSi's MiddlewareAdapter);
+//   * driving redeployment: given a desired deployment, it informs every
+//     AdminComponent of the new configuration and of the current component
+//     locations, then counts __migration_ack events until the redeployment
+//     is complete (or times out);
+//   * mediating interactions between hosts that are not directly connected
+//     (location updates it hears are re-broadcast to its peers).
+#pragma once
+
+#include <functional>
+#include <set>
+
+#include "prism/admin.h"
+
+namespace dif::prism {
+
+/// One host's monitoring snapshot, decoded from a __monitor_report event.
+struct HostReport {
+  struct ComponentInfo {
+    std::string name;
+    double memory_kb = 0.0;
+  };
+  struct InteractionInfo {
+    std::string from;
+    std::string to;
+    double frequency = 0.0;     // events/s, stability-filtered
+    double avg_size_kb = 0.0;
+  };
+  struct ReliabilityInfo {
+    model::HostId peer = 0;
+    double reliability = 0.0;   // stability-filtered estimate
+  };
+
+  model::HostId host = 0;
+  double memory_kb = 0.0;
+  std::vector<ComponentInfo> components;
+  std::vector<InteractionInfo> interactions;
+  std::vector<ReliabilityInfo> reliabilities;
+};
+
+class DeployerComponent final : public AdminComponent {
+ public:
+  struct DeployerParams {
+    /// All hosts that run an AdminComponent (targets of __new_config).
+    std::vector<model::HostId> admin_hosts;
+    /// Give up on a redeployment after this long without full acks.
+    double redeploy_timeout_ms = 30'000.0;
+    /// While acks are outstanding, rebroadcast the new configuration at
+    /// this cadence — __new_config / __request_component ride lossy links
+    /// too, and a lost one would otherwise stall the redeployment forever.
+    double renotify_interval_ms = 4'000.0;
+  };
+
+  DeployerComponent(model::HostId host, DistributionConnector& connector,
+                    ComponentFactory& factory,
+                    std::shared_ptr<EvtFrequencyMonitor> freq_monitor,
+                    NetworkReliabilityMonitor* reliability_monitor,
+                    Params admin_params, DeployerParams deployer_params);
+
+  [[nodiscard]] std::string type_name() const override { return "__deployer"; }
+
+  // --- monitoring aggregation -------------------------------------------------
+
+  using ReportHandler = std::function<void(const HostReport&)>;
+  void set_report_handler(ReportHandler handler) {
+    report_handler_ = std::move(handler);
+  }
+
+  // --- redeployment -------------------------------------------------------------
+
+  /// Desired placement: component name -> target host.
+  using TargetDeployment = std::vector<std::pair<std::string, model::HostId>>;
+  /// `success` is false on timeout; `migrations` counts components moved.
+  using CompletionHandler =
+      std::function<void(bool success, std::size_t migrations)>;
+
+  /// Starts effecting `target`. Returns false (and does nothing) when a
+  /// redeployment is already in flight. Completion is reported through
+  /// `done` (which may fire immediately when nothing needs to move).
+  bool effect_deployment(const TargetDeployment& target,
+                         CompletionHandler done);
+
+  [[nodiscard]] bool redeployment_in_flight() const noexcept {
+    return !pending_.empty();
+  }
+  [[nodiscard]] std::uint64_t redeployments_completed() const noexcept {
+    return completed_;
+  }
+
+  void handle(const Event& event) override;
+
+ private:
+  void handle_monitor_report(const Event& event);
+  void handle_migration_ack(const Event& event);
+  void broadcast_new_config();
+  void schedule_renotify(std::uint64_t epoch);
+  void finish(bool success);
+
+  ReportHandler report_handler_;
+  DeployerParams deployer_params_;
+  std::set<std::string> pending_;
+  TargetDeployment current_target_;
+  CompletionHandler completion_;
+  std::size_t migrations_requested_ = 0;
+  std::uint64_t epoch_ = 0;  // distinguishes timeout checks across rounds
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace dif::prism

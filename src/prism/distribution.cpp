@@ -1,0 +1,197 @@
+#include "prism/distribution.h"
+
+#include <algorithm>
+
+#include "prism/architecture.h"
+#include "util/logging.h"
+
+namespace dif::prism {
+
+namespace {
+constexpr const char* kEventChannel = "prism.event";
+constexpr const char* kPingChannel = "prism.ping";
+constexpr const char* kPongChannel = "prism.pong";
+/// Marks events that already crossed the network once (no re-flooding).
+constexpr const char* kRemoteMark = "__remote";
+}  // namespace
+
+DistributionConnector::DistributionConnector(std::string name,
+                                             sim::SimNetwork& network,
+                                             model::HostId host)
+    : Connector(std::move(name)), network_(network), host_(host) {
+  network_.set_receiver(
+      host_, [this](const sim::NetMessage& m) { on_net_message(m); });
+}
+
+DistributionConnector::~DistributionConnector() {
+  network_.set_receiver(host_, nullptr);
+}
+
+void DistributionConnector::add_peer(model::HostId peer) {
+  if (peer != host_ && !std::count(peers_.begin(), peers_.end(), peer))
+    peers_.push_back(peer);
+}
+
+void DistributionConnector::remove_peer(model::HostId peer) {
+  std::erase(peers_, peer);
+}
+
+void DistributionConnector::set_location(const std::string& component,
+                                         model::HostId host) {
+  locations_[component] = host;
+}
+
+std::optional<model::HostId> DistributionConnector::location(
+    const std::string& component) const {
+  const auto it = locations_.find(component);
+  if (it == locations_.end()) return std::nullopt;
+  return it->second;
+}
+
+void DistributionConnector::forward_remote(const Event& event,
+                                           model::HostId destination) {
+  Event remote = event;
+  remote.set(kRemoteMark, true);
+  sim::NetMessage message;
+  message.from = host_;
+  message.to = destination;
+  message.channel = kEventChannel;
+  message.payload = remote.serialize();
+  // Bandwidth accounting: events that carry a whole component are charged
+  // the component's memory footprint, not just the serialized control
+  // state (the real Prism-MW ships code + heap image; our simulated
+  // components only materialize a token state blob).
+  message.size_kb = std::max(remote.size_kb(),
+                             remote.get_double("memory_kb").value_or(0.0));
+  if (network_.send(message)) return;
+  if (store_and_forward_) {
+    // Queue for the disconnected peer; retried until the link returns.
+    std::deque<sim::NetMessage>& queue = queues_[destination];
+    if (queue.size() >= max_queued_) queue.pop_front();
+    queue.push_back(std::move(message));
+    schedule_flush();
+  } else {
+    ++undeliverable_remote_;
+  }
+}
+
+void DistributionConnector::enable_store_and_forward(double retry_interval_ms,
+                                                     std::size_t max_queued) {
+  store_and_forward_ = true;
+  flush_interval_ms_ = retry_interval_ms;
+  max_queued_ = max_queued;
+}
+
+std::size_t DistributionConnector::queued_messages() const {
+  std::size_t total = 0;
+  for (const auto& [peer, queue] : queues_) total += queue.size();
+  return total;
+}
+
+void DistributionConnector::schedule_flush() {
+  if (flush_scheduled_) return;
+  flush_scheduled_ = true;
+  network_.simulator().schedule_after(flush_interval_ms_, [this] {
+    flush_scheduled_ = false;
+    flush_queues();
+    if (queued_messages() > 0) schedule_flush();
+  });
+}
+
+void DistributionConnector::flush_queues() {
+  for (auto& [peer, queue] : queues_) {
+    while (!queue.empty() && network_.reachable(host_, peer)) {
+      sim::NetMessage message = std::move(queue.front());
+      queue.pop_front();
+      ++flushed_;
+      network_.send(std::move(message));
+    }
+  }
+}
+
+void DistributionConnector::route(const Event& event, Component* sender) {
+  notify_received(event);
+  deliver_locally(event, sender);
+
+  const bool arrived_from_network = event.get_bool(kRemoteMark).value_or(false);
+  if (arrived_from_network) return;  // never re-forward remote events
+
+  if (!event.to().empty()) {
+    // Directed event: if the destination is local, local delivery covered
+    // it; otherwise forward toward its host.
+    if (architecture() && architecture()->find_component(event.to())) return;
+    const std::optional<model::HostId> destination = location(event.to());
+    if (!destination || *destination == host_) {
+      ++undeliverable_remote_;
+      util::log_debug("prism.dist",
+                      "no known location for '", event.to(), "'");
+      return;
+    }
+    const bool direct =
+        std::count(peers_.begin(), peers_.end(), *destination) > 0;
+    if (direct) {
+      forward_remote(event, *destination);
+    } else if (mediator_ && *mediator_ != host_) {
+      // Not directly connected: the Deployer's host mediates (paper §4.3).
+      forward_remote(event, *mediator_);
+    } else {
+      ++undeliverable_remote_;
+    }
+    return;
+  }
+
+  // Broadcast: flood to every peer.
+  for (const model::HostId peer : peers_) forward_remote(event, peer);
+}
+
+void DistributionConnector::resend(Event event) {
+  event.set(kRemoteMark, false);
+  route(event, nullptr);
+}
+
+void DistributionConnector::send_ping(model::HostId peer,
+                                      std::uint64_t ping_id) {
+  sim::NetMessage message;
+  message.from = host_;
+  message.to = peer;
+  message.channel = kPingChannel;
+  ByteWriter w;
+  w.u64(ping_id);
+  message.payload = w.take();
+  message.size_kb = 0.05;  // tiny probe
+  network_.send(std::move(message));
+}
+
+void DistributionConnector::on_net_message(const sim::NetMessage& message) {
+  if (message.channel == kPingChannel) {
+    // Reflect the probe back to the sender.
+    sim::NetMessage pong;
+    pong.from = host_;
+    pong.to = message.from;
+    pong.channel = kPongChannel;
+    pong.payload = message.payload;
+    pong.size_kb = 0.05;
+    network_.send(std::move(pong));
+    return;
+  }
+  if (message.channel == kPongChannel) {
+    if (pong_handler_) {
+      ByteReader r(message.payload);
+      pong_handler_(message.from, r.u64());
+    }
+    return;
+  }
+  if (message.channel != kEventChannel) return;
+
+  Event event = Event::deserialize(message.payload);
+  if (!architecture()) return;
+  if (!event.to().empty()) {
+    // post_to re-resolves at dispatch; a missing destination lands in the
+    // architecture's undeliverable handler (admin buffering / re-routing).
+    architecture()->post_to(event.to(), event);
+  } else {
+    deliver_locally(event, nullptr);
+  }
+}
+
+}  // namespace dif::prism

@@ -1,0 +1,118 @@
+// Prism-MW DistributionConnector: routes events across address spaces.
+//
+// "A distributed application is implemented as a set of interacting
+// Architecture objects, communicating via DistributionConnectors across
+// process or machine boundaries" (paper Section 4.2). This implementation
+// rides the simulated network: events are serialized, subjected to the
+// link's reliability/bandwidth/delay, and deserialized on the peer.
+//
+// One DistributionConnector per host: it registers itself as the host's
+// network receiver and demultiplexes application events from the ping
+// traffic used by NetworkReliabilityMonitor.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "prism/brick.h"
+#include "sim/network.h"
+
+namespace dif::prism {
+
+class DistributionConnector final : public Connector {
+ public:
+  /// Registers as `host`'s receiver in `network` (which must outlive the
+  /// connector).
+  DistributionConnector(std::string name, sim::SimNetwork& network,
+                        model::HostId host);
+  ~DistributionConnector() override;
+
+  [[nodiscard]] model::HostId host() const noexcept { return host_; }
+
+  // --- peer management -------------------------------------------------------
+
+  /// Declares a host this connector exchanges events with directly.
+  void add_peer(model::HostId peer);
+  void remove_peer(model::HostId peer);
+  [[nodiscard]] const std::vector<model::HostId>& peers() const noexcept {
+    return peers_;
+  }
+
+  /// Host that mediates delivery to non-peer hosts (the paper's Deployer-
+  /// mediated exchange between devices that are not directly connected).
+  void set_mediator(model::HostId host) { mediator_ = host; }
+
+  // --- component location table ------------------------------------------------
+
+  /// Records that `component` currently lives on `host` (updated by
+  /// location-update events during redeployment).
+  void set_location(const std::string& component, model::HostId host);
+  [[nodiscard]] std::optional<model::HostId> location(
+      const std::string& component) const;
+
+  // --- routing ------------------------------------------------------------------
+
+  /// Local routing as Connector, plus network forwarding: directed events
+  /// travel to their destination's host per the location table (via the
+  /// mediator when that host is not a peer); broadcast events that
+  /// originated locally flood to all peers.
+  void route(const Event& event, Component* sender) override;
+
+  /// Re-injects an event that already crossed the network once (admin
+  /// re-routing / buffer flushing): clears the remote mark so the event may
+  /// be forwarded again toward its destination's current host.
+  void resend(Event event);
+
+  // --- store-and-forward (paper §6 future work: "queuing of remote calls") --
+
+  /// Enables disconnection queuing: events that cannot be sent because the
+  /// link is severed/absent are held (up to `max_queued` per peer, oldest
+  /// dropped first) and retried every `retry_interval_ms` until the link
+  /// returns. Off by default — without it, unroutable events count into
+  /// undeliverable_remote() and are lost, the paper's base behaviour.
+  void enable_store_and_forward(double retry_interval_ms = 1'000.0,
+                                std::size_t max_queued = 256);
+
+  [[nodiscard]] std::size_t queued_messages() const;
+  [[nodiscard]] std::uint64_t flushed_messages() const noexcept {
+    return flushed_;
+  }
+
+  /// Counters for events this connector could not forward.
+  [[nodiscard]] std::uint64_t undeliverable_remote() const noexcept {
+    return undeliverable_remote_;
+  }
+
+  // --- ping support (NetworkReliabilityMonitor) ----------------------------------
+
+  using PongHandler =
+      std::function<void(model::HostId peer, std::uint64_t ping_id)>;
+  void send_ping(model::HostId peer, std::uint64_t ping_id);
+  void set_pong_handler(PongHandler handler) {
+    pong_handler_ = std::move(handler);
+  }
+
+ private:
+  void on_net_message(const sim::NetMessage& message);
+  void forward_remote(const Event& event, model::HostId destination);
+  void schedule_flush();
+  void flush_queues();
+
+  sim::SimNetwork& network_;
+  model::HostId host_;
+  std::vector<model::HostId> peers_;
+  std::optional<model::HostId> mediator_;
+  std::unordered_map<std::string, model::HostId> locations_;
+  PongHandler pong_handler_;
+  std::uint64_t undeliverable_remote_ = 0;
+
+  bool store_and_forward_ = false;
+  double flush_interval_ms_ = 1'000.0;
+  std::size_t max_queued_ = 256;
+  bool flush_scheduled_ = false;
+  std::unordered_map<model::HostId, std::deque<sim::NetMessage>> queues_;
+  std::uint64_t flushed_ = 0;
+};
+
+}  // namespace dif::prism

@@ -1,0 +1,107 @@
+#include "prism/event.h"
+
+#include <algorithm>
+
+namespace dif::prism {
+
+void Event::set(std::string key, ParamValue value) {
+  const auto it =
+      std::find_if(params_.begin(), params_.end(),
+                   [&](const auto& p) { return p.first == key; });
+  if (it != params_.end()) {
+    it->second = std::move(value);
+  } else {
+    params_.emplace_back(std::move(key), std::move(value));
+  }
+}
+
+bool Event::has(std::string_view key) const {
+  return std::any_of(params_.begin(), params_.end(),
+                     [&](const auto& p) { return p.first == key; });
+}
+
+namespace {
+const ParamValue* find_param(
+    const std::vector<std::pair<std::string, ParamValue>>& params,
+    std::string_view key) {
+  const auto it = std::find_if(params.begin(), params.end(),
+                               [&](const auto& p) { return p.first == key; });
+  return it == params.end() ? nullptr : &it->second;
+}
+}  // namespace
+
+std::optional<bool> Event::get_bool(std::string_view key) const {
+  const ParamValue* v = find_param(params_, key);
+  if (!v) return std::nullopt;
+  if (const bool* b = std::get_if<bool>(v)) return *b;
+  return std::nullopt;
+}
+
+std::optional<double> Event::get_double(std::string_view key) const {
+  const ParamValue* v = find_param(params_, key);
+  if (!v) return std::nullopt;
+  if (const double* d = std::get_if<double>(v)) return *d;
+  return std::nullopt;
+}
+
+const std::string* Event::get_string(std::string_view key) const {
+  const ParamValue* v = find_param(params_, key);
+  return v ? std::get_if<std::string>(v) : nullptr;
+}
+
+const std::vector<std::uint8_t>* Event::get_bytes(std::string_view key) const {
+  const ParamValue* v = find_param(params_, key);
+  return v ? std::get_if<std::vector<std::uint8_t>>(v) : nullptr;
+}
+
+double Event::size_kb() const {
+  // Header + param payload; close enough for bandwidth accounting.
+  std::size_t bytes = name_.size() + to_.size() + from_.size() + 16;
+  for (const auto& [key, value] : params_) {
+    bytes += key.size() + 8;
+    if (const auto* s = std::get_if<std::string>(&value)) bytes += s->size();
+    if (const auto* b = std::get_if<std::vector<std::uint8_t>>(&value))
+      bytes += b->size();
+  }
+  return static_cast<double>(bytes) / 1024.0;
+}
+
+std::vector<std::uint8_t> Event::serialize() const {
+  ByteWriter w;
+  w.str(name_);
+  w.str(to_);
+  w.str(from_);
+  w.u32(static_cast<std::uint32_t>(params_.size()));
+  for (const auto& [key, value] : params_) {
+    w.str(key);
+    w.u8(static_cast<std::uint8_t>(value.index()));
+    switch (value.index()) {
+      case 0: w.u8(std::get<bool>(value) ? 1 : 0); break;
+      case 1: w.f64(std::get<double>(value)); break;
+      case 2: w.str(std::get<std::string>(value)); break;
+      case 3: w.bytes(std::get<std::vector<std::uint8_t>>(value)); break;
+    }
+  }
+  return w.take();
+}
+
+Event Event::deserialize(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  Event event(r.str());
+  event.to_ = r.str();
+  event.from_ = r.str();
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string key = r.str();
+    switch (r.u8()) {
+      case 0: event.params_.emplace_back(std::move(key), r.u8() != 0); break;
+      case 1: event.params_.emplace_back(std::move(key), r.f64()); break;
+      case 2: event.params_.emplace_back(std::move(key), r.str()); break;
+      case 3: event.params_.emplace_back(std::move(key), r.bytes()); break;
+      default: throw DecodeError("Event: unknown parameter type tag");
+    }
+  }
+  return event;
+}
+
+}  // namespace dif::prism

@@ -1,0 +1,118 @@
+#include "prism/monitors.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dif::prism {
+
+StabilityFilter::StabilityFilter(std::size_t window, double epsilon)
+    : window_(window), epsilon_(epsilon) {}
+
+std::optional<double> StabilityFilter::add(double sample) {
+  window_.add(sample);
+  if (!stable()) return std::nullopt;
+  return window_.mean();
+}
+
+bool StabilityFilter::stable() const {
+  return window_.full() && window_.spread() < epsilon_;
+}
+
+EvtFrequencyMonitor::EvtFrequencyMonitor(const IScaffold& scaffold)
+    : scaffold_(scaffold), window_start_ms_(scaffold.now_ms()) {}
+
+void EvtFrequencyMonitor::on_event_sent(const Brick& brick,
+                                        const Event& event) {
+  // Directed events are counted at the sender: delivery may fail on a lossy
+  // link, and the interaction frequency the model wants is how often the
+  // components *interact*, not how often the network cooperates (counting
+  // on receipt would systematically under-report exactly the links the
+  // redeployment algorithms most need to fix).
+  if (event.name().rfind("__", 0) == 0) return;  // middleware control event
+  if (event.to().empty()) return;                // broadcast: see below
+  ++observed_;
+  Counter& counter = counts_[{brick.name(), event.to()}];
+  ++counter.count;
+  counter.total_kb += event.size_kb();
+}
+
+void EvtFrequencyMonitor::on_event_received(const Brick& brick,
+                                            const Event& event) {
+  if (event.name().rfind("__", 0) == 0) return;  // middleware control event
+  if (!event.to().empty()) return;  // directed: already counted at sender
+  if (event.from().empty()) return;
+  // Broadcast events have no single destination at send time; count each
+  // delivery.
+  ++observed_;
+  Counter& counter = counts_[{event.from(), brick.name()}];
+  ++counter.count;
+  counter.total_kb += event.size_kb();
+}
+
+std::vector<EvtFrequencyMonitor::PairFrequency>
+EvtFrequencyMonitor::collect() {
+  const double now = scaffold_.now_ms();
+  const double window_s = std::max((now - window_start_ms_) / 1000.0, 1e-9);
+  std::vector<PairFrequency> out;
+  out.reserve(counts_.size());
+  for (const auto& [pair, counter] : counts_) {
+    out.push_back({pair.first, pair.second,
+                   static_cast<double>(counter.count) / window_s,
+                   counter.count ? counter.total_kb /
+                                       static_cast<double>(counter.count)
+                                 : 0.0});
+  }
+  counts_.clear();
+  window_start_ms_ = now;
+  return out;
+}
+
+NetworkReliabilityMonitor::NetworkReliabilityMonitor(
+    DistributionConnector& connector, sim::Simulator& simulator, Params params)
+    : connector_(connector), sim_(simulator), params_(params) {
+  connector_.set_pong_handler(
+      [this](model::HostId peer, std::uint64_t /*ping_id*/) {
+        ++sent_received_[peer].second;
+      });
+}
+
+void NetworkReliabilityMonitor::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next();
+}
+
+void NetworkReliabilityMonitor::schedule_next() {
+  sim_.schedule_after(params_.interval_ms, [this] {
+    if (!running_) return;
+    ping_round();
+    schedule_next();
+  });
+}
+
+void NetworkReliabilityMonitor::ping_round() {
+  for (const model::HostId peer : connector_.peers()) {
+    for (std::uint32_t i = 0; i < params_.pings_per_round; ++i) {
+      connector_.send_ping(peer, next_ping_id_++);
+      ++sent_received_[peer].first;
+    }
+  }
+}
+
+std::vector<NetworkReliabilityMonitor::PeerReliability>
+NetworkReliabilityMonitor::collect() {
+  std::vector<PeerReliability> out;
+  for (auto& [peer, counters] : sent_received_) {
+    auto& [sent, received] = counters;
+    if (sent == 0) continue;
+    const double round_trip =
+        std::min(1.0, static_cast<double>(received) /
+                          static_cast<double>(sent));
+    out.push_back({peer, std::sqrt(round_trip), sent});
+    sent = 0;
+    received = 0;
+  }
+  return out;
+}
+
+}  // namespace dif::prism

@@ -1,0 +1,72 @@
+#include "sim/fluctuation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dif::sim {
+
+FluctuationModel::FluctuationModel(SimNetwork& network, Params params,
+                                   std::uint64_t seed)
+    : network_(network), params_(params), rng_(seed) {
+  if (params.interval_ms <= 0.0)
+    throw std::invalid_argument("FluctuationModel: non-positive interval");
+  const std::size_t k = network.host_count();
+  base_bandwidth_.assign(k * k, 0.0);
+  for (std::size_t a = 0; a < k; ++a)
+    for (std::size_t b = a + 1; b < k; ++b)
+      base_bandwidth_[a * k + b] =
+          network.link(static_cast<model::HostId>(a),
+                       static_cast<model::HostId>(b))
+              .bandwidth;
+}
+
+void FluctuationModel::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next();
+}
+
+void FluctuationModel::schedule_next() {
+  network_.simulator().schedule_after(params_.interval_ms, [this] {
+    if (!running_) return;
+    step_once();
+    schedule_next();
+  });
+}
+
+void FluctuationModel::step_once() {
+  ++steps_;
+  const std::size_t k = network_.host_count();
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = a + 1; b < k; ++b) {
+      const auto ha = static_cast<model::HostId>(a);
+      const auto hb = static_cast<model::HostId>(b);
+      LinkState state = network_.link(ha, hb);
+      if (state.bandwidth <= 0.0) continue;  // never create new links
+      state.reliability = std::clamp(
+          state.reliability + rng_.uniform(-params_.reliability_step,
+                                           params_.reliability_step),
+          params_.reliability_floor, params_.reliability_ceil);
+      const double base = base_bandwidth_[a * k + b];
+      state.bandwidth = std::clamp(
+          state.bandwidth *
+              (1.0 + rng_.uniform(-params_.bandwidth_step_fraction,
+                                  params_.bandwidth_step_fraction)),
+          base * params_.bandwidth_floor_fraction,
+          base * params_.bandwidth_ceil_fraction);
+      network_.set_link(ha, hb, state);
+    }
+  }
+}
+
+void PartitionSchedule::add_outage(model::HostId a, model::HostId b,
+                                   TimePoint down_at_ms, TimePoint up_at_ms) {
+  if (up_at_ms <= down_at_ms)
+    throw std::invalid_argument("PartitionSchedule: outage ends before start");
+  network_.simulator().schedule_at(down_at_ms,
+                                   [this, a, b] { network_.sever(a, b); });
+  network_.simulator().schedule_at(up_at_ms,
+                                   [this, a, b] { network_.restore(a, b); });
+}
+
+}  // namespace dif::sim

@@ -1,0 +1,76 @@
+// Runtime fluctuation of network parameters.
+//
+// The paper's premise: system parameters "are typically not known at system
+// design time and/or may fluctuate at run time". FluctuationModel drives a
+// bounded random walk over every link's reliability and bandwidth at a fixed
+// cadence; PartitionSchedule scripts hard disconnections. Both write into a
+// SimNetwork, which is what the Prism-MW monitors then observe — closing the
+// monitor -> model -> algorithm -> effector loop the framework exists for.
+#pragma once
+
+#include <vector>
+
+#include "model/ids.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace dif::sim {
+
+class FluctuationModel {
+ public:
+  struct Params {
+    /// Time between fluctuation steps.
+    double interval_ms = 1000.0;
+    /// Max reliability change per step (uniform in [-step, step]).
+    double reliability_step = 0.02;
+    /// Max relative bandwidth change per step.
+    double bandwidth_step_fraction = 0.05;
+    /// Reliability is clamped into [floor, ceil].
+    double reliability_floor = 0.05;
+    double reliability_ceil = 1.0;
+    /// Bandwidth is clamped into [orig * floor_frac, orig * ceil_frac].
+    double bandwidth_floor_fraction = 0.25;
+    double bandwidth_ceil_fraction = 2.0;
+  };
+
+  /// Snapshots every existing link as its walk origin. The network and its
+  /// simulator must outlive this object.
+  FluctuationModel(SimNetwork& network, Params params, std::uint64_t seed);
+
+  /// Begins stepping every interval; idempotent.
+  void start();
+  /// Stops at the next step boundary.
+  void stop() noexcept { running_ = false; }
+
+  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+
+  /// Applies one fluctuation step immediately (exposed for tests).
+  void step_once();
+
+ private:
+  void schedule_next();
+
+  SimNetwork& network_;
+  Params params_;
+  util::Xoshiro256ss rng_;
+  bool running_ = false;
+  std::uint64_t steps_ = 0;
+  /// Original bandwidth per canonical link pair, for clamping.
+  std::vector<double> base_bandwidth_;
+};
+
+/// Scripts link outages: sever (a, b) at `down_at_ms`, restore at
+/// `up_at_ms`. Used by the disconnected-operation example.
+class PartitionSchedule {
+ public:
+  explicit PartitionSchedule(SimNetwork& network) : network_(network) {}
+
+  void add_outage(model::HostId a, model::HostId b, TimePoint down_at_ms,
+                  TimePoint up_at_ms);
+
+ private:
+  SimNetwork& network_;
+};
+
+}  // namespace dif::sim

@@ -1,0 +1,143 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dif::sim {
+
+SimNetwork::SimNetwork(Simulator& simulator, std::size_t host_count,
+                       std::uint64_t seed)
+    : sim_(simulator),
+      k_(host_count),
+      links_(host_count * host_count),
+      link_free_(host_count * host_count, 0.0),
+      host_up_(host_count, true),
+      receivers_(host_count),
+      rng_(seed) {
+  if (host_count == 0) throw std::invalid_argument("SimNetwork: no hosts");
+}
+
+SimNetwork SimNetwork::from_model(Simulator& simulator,
+                                  const model::DeploymentModel& m,
+                                  std::uint64_t seed) {
+  SimNetwork net(simulator, m.host_count(), seed);
+  for (std::size_t a = 0; a < m.host_count(); ++a) {
+    for (std::size_t b = a + 1; b < m.host_count(); ++b) {
+      const model::PhysicalLink& link = m.physical_link(
+          static_cast<model::HostId>(a), static_cast<model::HostId>(b));
+      if (link.bandwidth > 0.0) {
+        net.set_link(static_cast<model::HostId>(a),
+                     static_cast<model::HostId>(b),
+                     {link.reliability, link.bandwidth, link.delay_ms, false});
+      }
+    }
+  }
+  return net;
+}
+
+std::size_t SimNetwork::index(model::HostId a, model::HostId b) const {
+  if (a >= k_ || b >= k_)
+    throw std::out_of_range("SimNetwork: bad host id");
+  const auto [lo, hi] = std::minmax(a, b);
+  return static_cast<std::size_t>(lo) * k_ + hi;
+}
+
+void SimNetwork::set_link(model::HostId a, model::HostId b, LinkState state) {
+  if (a == b) throw std::invalid_argument("SimNetwork: self link");
+  links_[index(a, b)] = state;
+}
+
+const LinkState& SimNetwork::link(model::HostId a, model::HostId b) const {
+  return links_[index(a, b)];
+}
+
+void SimNetwork::sever(model::HostId a, model::HostId b) {
+  links_[index(a, b)].severed = true;
+}
+
+void SimNetwork::restore(model::HostId a, model::HostId b) {
+  links_[index(a, b)].severed = false;
+}
+
+void SimNetwork::fail_host(model::HostId host) {
+  if (host >= k_) throw std::out_of_range("SimNetwork: bad host id");
+  host_up_[host] = false;
+}
+
+void SimNetwork::recover_host(model::HostId host) {
+  if (host >= k_) throw std::out_of_range("SimNetwork: bad host id");
+  host_up_[host] = true;
+}
+
+bool SimNetwork::host_up(model::HostId host) const {
+  if (host >= k_) throw std::out_of_range("SimNetwork: bad host id");
+  return host_up_[host];
+}
+
+bool SimNetwork::reachable(model::HostId a, model::HostId b) const {
+  if (a >= k_ || b >= k_) throw std::out_of_range("SimNetwork: bad host id");
+  if (!host_up_[a] || !host_up_[b]) return false;
+  if (a == b) return true;
+  const LinkState& link = links_[index(a, b)];
+  return !link.severed && link.bandwidth > 0.0;
+}
+
+void SimNetwork::set_receiver(model::HostId host, Receiver receiver) {
+  if (host >= k_) throw std::out_of_range("SimNetwork: bad host id");
+  receivers_[host] = std::move(receiver);
+}
+
+bool SimNetwork::send(NetMessage msg) {
+  ++stats_.sent;
+  stats_.kb_sent += msg.size_kb;
+
+  const auto deliver = [this](NetMessage m, double delay_ms) {
+    sim_.schedule_after(delay_ms, [this, m = std::move(m)]() {
+      // A host that crashed while the message was in flight receives
+      // nothing.
+      if (!host_up_[m.to]) {
+        ++stats_.dropped;
+        return;
+      }
+      ++stats_.delivered;
+      stats_.kb_delivered += m.size_kb;
+      if (receivers_[m.to]) receivers_[m.to](m);
+    });
+  };
+
+  if (msg.from >= k_ || msg.to >= k_)
+    throw std::out_of_range("SimNetwork: bad host id");
+  if (!host_up_[msg.from] || !host_up_[msg.to]) {
+    ++stats_.unroutable;
+    return false;
+  }
+  if (msg.from == msg.to) {
+    deliver(std::move(msg), 0.0);
+    return true;
+  }
+
+  const std::size_t li = index(msg.from, msg.to);
+  const LinkState& link = links_[li];
+  if (link.severed || link.bandwidth <= 0.0) {
+    ++stats_.unroutable;
+    return false;
+  }
+  if (!rng_.chance(link.reliability)) {
+    ++stats_.dropped;
+    // The sender does not learn about the loss (fire-and-forget events);
+    // reliability protocols are layered above when needed.
+    return true;
+  }
+  // Serialize transfers on the link: a transfer starts when the link frees
+  // up, takes size/bandwidth, and the message additionally rides the
+  // propagation delay.
+  const TimePoint start = std::max(sim_.now(), link_free_[li]);
+  const double transfer_ms =
+      1000.0 * std::max(msg.size_kb, 0.0) / link.bandwidth;
+  link_free_[li] = start + transfer_ms;
+  const double total_delay = (start - sim_.now()) + transfer_ms + link.delay_ms;
+  deliver(std::move(msg), total_delay);
+  return true;
+}
+
+}  // namespace dif::sim

@@ -1,0 +1,118 @@
+// Simulated network connecting the hosts of a distributed system.
+//
+// Stands in for the paper's physical network (DESIGN.md §2): every pair of
+// hosts may have a link with a reliability (message survival probability),
+// a bandwidth (KB/s, transfers are serialized per link), and a propagation
+// delay. Links can be severed and restored at runtime to script the
+// "network disconnections during system execution" the paper's motivating
+// scenario is built around.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/deployment_model.h"
+#include "model/ids.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace dif::sim {
+
+/// Runtime state of one physical link.
+struct LinkState {
+  double reliability = 0.0;   // delivery probability in [0, 1]
+  double bandwidth = 0.0;     // KB/s; <= 0 means no link
+  double delay_ms = 0.0;      // propagation delay
+  bool severed = false;       // hard partition overrides everything
+};
+
+/// A message in flight between two hosts.
+struct NetMessage {
+  model::HostId from = 0;
+  model::HostId to = 0;
+  /// Demultiplexing label ("app", "monitor", "deploy", ...).
+  std::string channel;
+  /// Opaque payload (serialized Prism-MW events, component state, ...).
+  std::vector<std::uint8_t> payload;
+  /// Size used for bandwidth accounting (KB); may exceed payload.size()
+  /// to model application data not literally materialized in the test.
+  double size_kb = 0.0;
+};
+
+/// Delivery counters, total and per link.
+struct MessageStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;      // lost to reliability
+  std::uint64_t unroutable = 0;   // no link / severed
+  double kb_sent = 0.0;
+  double kb_delivered = 0.0;
+};
+
+class SimNetwork {
+ public:
+  /// The simulator must outlive the network.
+  SimNetwork(Simulator& simulator, std::size_t host_count,
+             std::uint64_t seed);
+
+  /// Builds a network whose links mirror `m`'s physical links.
+  static SimNetwork from_model(Simulator& simulator,
+                               const model::DeploymentModel& m,
+                               std::uint64_t seed);
+
+  [[nodiscard]] std::size_t host_count() const noexcept { return k_; }
+
+  // --- topology -----------------------------------------------------------
+
+  void set_link(model::HostId a, model::HostId b, LinkState state);
+  [[nodiscard]] const LinkState& link(model::HostId a, model::HostId b) const;
+
+  /// Severs / restores a link without losing its parameters.
+  void sever(model::HostId a, model::HostId b);
+  void restore(model::HostId a, model::HostId b);
+
+  /// Host failure injection: a down host can neither send nor receive on
+  /// any of its links (all other link state is preserved and comes back
+  /// when the host recovers). Models device crashes/battery death — the
+  /// dependability events the paper's framework reacts to.
+  void fail_host(model::HostId host);
+  void recover_host(model::HostId host);
+  [[nodiscard]] bool host_up(model::HostId host) const;
+
+  /// Can a message currently travel between the two hosts?
+  [[nodiscard]] bool reachable(model::HostId a, model::HostId b) const;
+
+  // --- messaging ----------------------------------------------------------
+
+  using Receiver = std::function<void(const NetMessage&)>;
+
+  /// Installs the receiver invoked when a message arrives at `host`.
+  void set_receiver(model::HostId host, Receiver receiver);
+
+  /// Sends `msg`. Local (from == to) messages are delivered next tick with
+  /// no loss. Remote messages are dropped with probability 1 - reliability;
+  /// surviving ones arrive after delay + serialized transfer time. Returns
+  /// false when the message was immediately unroutable.
+  bool send(NetMessage msg);
+
+  [[nodiscard]] const MessageStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = MessageStats{}; }
+
+  [[nodiscard]] Simulator& simulator() noexcept { return sim_; }
+
+ private:
+  [[nodiscard]] std::size_t index(model::HostId a, model::HostId b) const;
+
+  Simulator& sim_;
+  std::size_t k_;
+  std::vector<LinkState> links_;        // canonical-pair square matrix
+  std::vector<TimePoint> link_free_;    // per-link transfer queue tail
+  std::vector<bool> host_up_;
+  std::vector<Receiver> receivers_;
+  util::Xoshiro256ss rng_;
+  MessageStats stats_;
+};
+
+}  // namespace dif::sim

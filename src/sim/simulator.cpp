@@ -1,0 +1,55 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dif::sim {
+
+void Simulator::schedule_at(TimePoint t, std::function<void()> fn) {
+  queue_.push({std::max(t, now_), next_seq_++, std::move(fn)});
+}
+
+void Simulator::schedule_after(double delay_ms, std::function<void()> fn) {
+  schedule_at(now_ + std::max(delay_ms, 0.0), std::move(fn));
+}
+
+void Simulator::fire_next() {
+  // Move the event out before popping: the callback may schedule new events,
+  // which mutates the queue.
+  Scheduled event = std::move(const_cast<Scheduled&>(queue_.top()));
+  queue_.pop();
+  now_ = event.time;
+  ++processed_;
+  event.fn();
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t fired = 0;
+  while (!queue_.empty() && fired < max_events) {
+    fire_next();
+    ++fired;
+  }
+  return fired;
+}
+
+std::size_t Simulator::run_until(TimePoint t) {
+  std::size_t fired = 0;
+  while (!queue_.empty() && queue_.top().time <= t) {
+    fire_next();
+    ++fired;
+  }
+  now_ = std::max(now_, t);
+  return fired;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  fire_next();
+  return true;
+}
+
+void Simulator::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace dif::sim

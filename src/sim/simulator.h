@@ -1,0 +1,78 @@
+// Deterministic discrete-event simulation kernel.
+//
+// The paper's tools ran on physical PDAs and PCs; this simulator is the
+// substitute substrate (see DESIGN.md §2). Everything above it — the
+// Prism-MW middleware, monitors, effectors, the improvement loop — executes
+// against simulated time, so experiments are exactly reproducible and
+// disconnection/fluctuation scenarios can be scripted.
+//
+// Events fire in (time, insertion-sequence) order: two events at the same
+// timestamp run in the order they were scheduled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace dif::sim {
+
+/// Simulated time in milliseconds since simulation start.
+using TimePoint = double;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] TimePoint now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now; earlier times are clamped
+  /// to now — an event cannot fire in the past).
+  void schedule_at(TimePoint t, std::function<void()> fn);
+
+  /// Schedules `fn` `delay_ms` after the current time (negative clamps to 0).
+  void schedule_after(double delay_ms, std::function<void()> fn);
+
+  /// Runs events until the queue drains or `max_events` fire.
+  /// Returns the number of events processed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Runs all events with timestamp <= t, then advances the clock to exactly
+  /// t (even if no event fired). Returns the number of events processed.
+  std::size_t run_until(TimePoint t);
+
+  /// Fires the single earliest event; returns false when the queue is empty.
+  bool step();
+
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return processed_;
+  }
+
+  /// Drops all pending events (the clock is left where it is).
+  void clear();
+
+ private:
+  struct Scheduled {
+    TimePoint time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Scheduled& a, const Scheduled& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void fire_next();
+
+  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
+  TimePoint now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace dif::sim

@@ -1,0 +1,100 @@
+// Minimal JSON document model, parser, and writer.
+//
+// Used by the xADL-lite architecture-description serialization (desi/xadl.h)
+// and by benchmark result dumps. Supports the full JSON grammar except for
+// \uXXXX surrogate pairs outside the BMP (sufficient for our ASCII documents).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace dif::util::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// std::map keeps keys ordered, so serialization is deterministic.
+using Object = std::map<std::string, Value>;
+
+/// Thrown on malformed input or type-mismatched access.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A JSON value: null, bool, number (double), string, array, or object.
+class Value {
+ public:
+  Value() noexcept : data_(nullptr) {}
+  Value(std::nullptr_t) noexcept : data_(nullptr) {}
+  Value(bool b) noexcept : data_(b) {}
+  Value(double d) noexcept : data_(d) {}
+  Value(int i) noexcept : data_(static_cast<double>(i)) {}
+  Value(unsigned i) noexcept : data_(static_cast<double>(i)) {}
+  Value(std::int64_t i) noexcept : data_(static_cast<double>(i)) {}
+  Value(std::uint64_t i) noexcept : data_(static_cast<double>(i)) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) noexcept : data_(std::move(s)) {}
+  Value(Array a) noexcept : data_(std::move(a)) {}
+  Value(Object o) noexcept : data_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const noexcept {
+    return std::holds_alternative<std::nullptr_t>(data_);
+  }
+  [[nodiscard]] bool is_bool() const noexcept {
+    return std::holds_alternative<bool>(data_);
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return std::holds_alternative<double>(data_);
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return std::holds_alternative<std::string>(data_);
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return std::holds_alternative<Array>(data_);
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return std::holds_alternative<Object>(data_);
+  }
+
+  /// Checked accessors; throw JsonError on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Object& as_object();
+
+  /// Object member lookup; throws JsonError if not an object or key missing.
+  [[nodiscard]] const Value& at(std::string_view key) const;
+  /// Object member lookup returning nullopt when absent.
+  [[nodiscard]] std::optional<std::reference_wrapper<const Value>> find(
+      std::string_view key) const;
+
+  /// Convenience: member as number/string with a default when absent.
+  [[nodiscard]] double number_or(std::string_view key, double dflt) const;
+  [[nodiscard]] std::string string_or(std::string_view key,
+                                      std::string dflt) const;
+
+  /// Serializes to a compact string, or pretty-printed when indent > 0.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  friend bool operator==(const Value& a, const Value& b) = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+/// Parses a complete JSON document. Throws JsonError on malformed input or
+/// trailing garbage.
+[[nodiscard]] Value parse(std::string_view text);
+
+}  // namespace dif::util::json

@@ -1,0 +1,49 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace dif::util {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, std::string_view component,
+             std::string_view message) {
+    std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
+                 static_cast<int>(to_string(level).size()),
+                 to_string(level).data(), static_cast<int>(component.size()),
+                 component.data(), static_cast<int>(message.size()),
+                 message.data());
+  };
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    const LogLevel level = level_;
+    *this = Logger();  // restores the stderr sink
+    level_ = level;
+  }
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view message) {
+  if (enabled(level)) sink_(level, component, message);
+}
+
+}  // namespace dif::util

@@ -1,0 +1,83 @@
+// Lightweight leveled logger.
+//
+// The framework components (monitors, analyzers, effectors) log their
+// decisions through this so example programs can show the improvement loop at
+// work; tests run with the logger silenced.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dif::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+/// Process-wide logger. Thread-compatible: configure once up front, then log
+/// from a single thread (the framework is single-threaded by design; the
+/// thread-pool scaffold serializes its own logging).
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view component,
+                                  std::string_view message)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+
+  /// Replaces the output sink (default: stderr). Pass nullptr to restore.
+  void set_sink(Sink sink);
+
+  void log(LogLevel level, std::string_view component,
+           std::string_view message);
+
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return level >= level_;
+  }
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+/// Logs with lazy message construction: arguments are only stringified when
+/// the level is enabled.
+template <typename... Args>
+void log(LogLevel level, std::string_view component, Args&&... args) {
+  Logger& logger = Logger::instance();
+  if (!logger.enabled(level)) return;
+  logger.log(level, component, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_debug(std::string_view component, Args&&... args) {
+  log(LogLevel::kDebug, component, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(std::string_view component, Args&&... args) {
+  log(LogLevel::kInfo, component, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(std::string_view component, Args&&... args) {
+  log(LogLevel::kWarn, component, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(std::string_view component, Args&&... args) {
+  log(LogLevel::kError, component, std::forward<Args>(args)...);
+}
+
+}  // namespace dif::util

@@ -1,0 +1,78 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace dif::util {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256ss::Xoshiro256ss(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : state_) word = sm.next();
+}
+
+Xoshiro256ss::result_type Xoshiro256ss::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+Xoshiro256ss Xoshiro256ss::fork(std::uint64_t stream_id) const noexcept {
+  // Mix the current state with the stream id through SplitMix64 so that
+  // distinct ids give statistically independent children.
+  SplitMix64 sm(state_[0] ^ rotl(stream_id, 32) ^ 0xd1b54a32d192ed03ULL);
+  return Xoshiro256ss(sm.next() ^ stream_id);
+}
+
+double Xoshiro256ss::uniform() noexcept {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256ss::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Xoshiro256ss::uniform_int(std::uint64_t lo,
+                                        std::uint64_t hi) noexcept {
+  const std::uint64_t span = hi - lo + 1;
+  if (span == 0) return (*this)();  // full 64-bit range
+  // Debiased modulo (Lemire-style rejection would be overkill here; the span
+  // in this codebase is always tiny relative to 2^64, so plain modulo bias is
+  // below 2^-40 — still, reject the tail for exactness).
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t x = (*this)();
+  while (x >= limit) x = (*this)();
+  return lo + x % span;
+}
+
+bool Xoshiro256ss::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Xoshiro256ss::normal(double mean, double stddev) noexcept {
+  // Box-Muller transform; u1 nudged away from 0 to keep log() finite.
+  const double u1 = uniform() + 0x1.0p-60;
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::size_t Xoshiro256ss::index(std::size_t size) noexcept {
+  return static_cast<std::size_t>(uniform_int(0, size - 1));
+}
+
+}  // namespace dif::util

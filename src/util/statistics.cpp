@@ -1,0 +1,104 @@
+#include "util/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dif::util {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_), m = static_cast<double>(other.n_);
+  m2_ += other.m2_ + delta * delta * n * m / (n + m);
+  mean_ += delta * m / (n + m);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double percentile_sorted(const std::vector<double>& sorted,
+                         double q) noexcept {
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  OnlineStats acc;
+  for (const double x : samples) acc.add(x);
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  s.count = acc.count();
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.p50 = percentile_sorted(sorted, 0.5);
+  s.p95 = percentile_sorted(sorted, 0.95);
+  return s;
+}
+
+SlidingWindow::SlidingWindow(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("SlidingWindow: capacity 0");
+  buf_.reserve(capacity);
+}
+
+void SlidingWindow::add(double x) {
+  if (buf_.size() < capacity_) {
+    buf_.push_back(x);
+    latest_index_ = buf_.size() - 1;
+  } else {
+    buf_[next_] = x;
+    latest_index_ = next_;
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+double SlidingWindow::mean() const noexcept {
+  if (buf_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : buf_) sum += x;
+  return sum / static_cast<double>(buf_.size());
+}
+
+double SlidingWindow::spread() const noexcept {
+  if (buf_.empty()) return 0.0;
+  const auto [lo, hi] = std::minmax_element(buf_.begin(), buf_.end());
+  return *hi - *lo;
+}
+
+double SlidingWindow::latest() const {
+  if (buf_.empty()) throw std::logic_error("SlidingWindow: empty");
+  return buf_[latest_index_];
+}
+
+}  // namespace dif::util

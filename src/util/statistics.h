@@ -1,0 +1,82 @@
+// Streaming and batch descriptive statistics.
+//
+// Used by monitors (stability filtering over sampling windows), the analyzer
+// (availability-history profiles), and the benchmark harness (seed sweeps).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dif::util {
+
+/// Welford online mean/variance accumulator. O(1) memory.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Merges another accumulator (parallel Welford).
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample vector.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Summary; copies and sorts internally. Empty input -> all zeros.
+[[nodiscard]] Summary summarize(const std::vector<double>& samples);
+
+/// Linear-interpolated percentile of a sorted sample vector; q in [0, 1].
+/// Requires sorted non-empty input.
+[[nodiscard]] double percentile_sorted(const std::vector<double>& sorted,
+                                       double q) noexcept;
+
+/// Fixed-capacity sliding window of recent samples; evicts oldest.
+/// Used by the monitor stability filter and the analyzer execution profile.
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity);
+
+  void add(double x);
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] bool full() const noexcept { return buf_.size() == capacity_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] double mean() const noexcept;
+  /// max - min over the window; 0 when empty.
+  [[nodiscard]] double spread() const noexcept;
+  /// Most recent sample; requires non-empty.
+  [[nodiscard]] double latest() const;
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return buf_;
+  }
+  void clear() noexcept { buf_.clear(); next_ = 0; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;  // insertion cursor once full
+  std::vector<double> buf_;
+  std::size_t latest_index_ = 0;
+};
+
+}  // namespace dif::util

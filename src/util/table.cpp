@@ -1,0 +1,78 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dif::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+  aligns_.assign(headers_.size(), Align::kRight);
+  aligns_[0] = Align::kLeft;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("Table: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::set_align(std::size_t column, Align align) {
+  aligns_.at(column) = align;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  const auto emit_cell = [&](std::string& out, const std::string& cell,
+                             std::size_t c) {
+    const std::size_t pad = widths[c] - cell.size();
+    if (aligns_[c] == Align::kRight) out.append(pad, ' ');
+    out += cell;
+    if (aligns_[c] == Align::kLeft) out.append(pad, ' ');
+  };
+
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out += "  ";
+    emit_cell(out, headers_[c], c);
+  }
+  out += '\n';
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w;
+  out.append(total + 2 * (widths.size() - 1), '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += "  ";
+      emit_cell(out, row[c], c);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int decimals) {
+  return fmt(fraction * 100.0, decimals) + "%";
+}
+
+std::string fmt_duration_ns(double nanos) {
+  if (nanos < 1e3) return fmt(nanos, 0) + " ns";
+  if (nanos < 1e6) return fmt(nanos / 1e3, 2) + " us";
+  if (nanos < 1e9) return fmt(nanos / 1e6, 2) + " ms";
+  return fmt(nanos / 1e9, 3) + " s";
+}
+
+}  // namespace dif::util

@@ -1,0 +1,47 @@
+// ASCII table rendering.
+//
+// DeSi's TableView and every benchmark harness print their results through
+// this, so the whole suite produces consistent, paper-style tables.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dif::util {
+
+/// Column alignment within a rendered table.
+enum class Align { kLeft, kRight };
+
+/// A simple text table: set headers, append rows, render.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Sets alignment for one column (default: left for col 0, right for rest).
+  void set_align(std::size_t column, Align align);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with a header rule and column padding.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimal places.
+[[nodiscard]] std::string fmt(double value, int decimals = 3);
+
+/// Formats a double as a percentage, e.g. fmt_pct(0.123) == "12.3%".
+[[nodiscard]] std::string fmt_pct(double fraction, int decimals = 1);
+
+/// Formats nanoseconds into a human unit (ns/us/ms/s).
+[[nodiscard]] std::string fmt_duration_ns(double nanos);
+
+}  // namespace dif::util

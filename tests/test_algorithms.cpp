@@ -1,0 +1,220 @@
+// Cross-algorithm behavioural tests: feasibility invariants, determinism,
+// quality ordering, and improvement over random initial deployments.
+#include <gtest/gtest.h>
+
+#include "algo/annealing.h"
+#include "algo/avala.h"
+#include "algo/exact.h"
+#include "algo/genetic.h"
+#include "algo/local_search.h"
+#include "algo/registry.h"
+#include "algo/stochastic.h"
+#include "desi/generator.h"
+
+namespace dif::algo {
+namespace {
+
+struct Instance {
+  std::unique_ptr<desi::SystemData> system;
+  std::unique_ptr<model::ConstraintChecker> checker;
+  model::AvailabilityObjective objective;
+};
+
+Instance make_instance(std::uint64_t seed, std::size_t hosts = 5,
+                       std::size_t components = 14) {
+  Instance inst;
+  inst.system = desi::Generator::generate(
+      {.hosts = hosts,
+       .components = components,
+       .interaction_density = 0.3,
+       .location_constraints = 2,
+       .colocation_pairs = 1,
+       .anti_colocation_pairs = 1},
+      seed);
+  inst.checker = std::make_unique<model::ConstraintChecker>(
+      inst.system->model(), inst.system->constraints());
+  return inst;
+}
+
+/// Every approximative algorithm, by registry name.
+const std::vector<std::string> kApproximative = {
+    "stochastic", "avala", "hillclimb", "annealing", "genetic"};
+
+class FeasibilityTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
+};
+
+TEST_P(FeasibilityTest, ProducesCompleteFeasibleDeployment) {
+  const auto& [name, seed] = GetParam();
+  Instance inst = make_instance(seed);
+  const auto registry = AlgorithmRegistry::with_defaults();
+  AlgoOptions options;
+  options.seed = seed;
+  const AlgoResult result = registry.create(name)->run(
+      inst.system->model(), inst.objective, *inst.checker, options);
+  ASSERT_TRUE(result.feasible) << name;
+  EXPECT_TRUE(result.deployment.complete());
+  EXPECT_TRUE(inst.checker->feasible(result.deployment)) << name;
+  EXPECT_GE(result.value, 0.0);
+  EXPECT_LE(result.value, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsAndSeeds, FeasibilityTest,
+    ::testing::Combine(::testing::Values("stochastic", "avala", "hillclimb",
+                                         "annealing", "genetic", "decap"),
+                       ::testing::Values(1, 2, 3)));
+
+class DeterminismTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DeterminismTest, SameSeedSameResult) {
+  const std::string name = GetParam();
+  Instance inst = make_instance(17);
+  const auto registry = AlgorithmRegistry::with_defaults();
+  AlgoOptions options;
+  options.seed = 99;
+  const AlgoResult a = registry.create(name)->run(
+      inst.system->model(), inst.objective, *inst.checker, options);
+  const AlgoResult b = registry.create(name)->run(
+      inst.system->model(), inst.objective, *inst.checker, options);
+  EXPECT_EQ(a.deployment, b.deployment) << name;
+  EXPECT_DOUBLE_EQ(a.value, b.value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, DeterminismTest,
+                         ::testing::Values("stochastic", "avala", "hillclimb",
+                                           "annealing", "genetic", "decap",
+                                           "exact"));
+
+TEST(Quality, ExactBoundsApproximativeOnSmallInstances) {
+  for (const std::uint64_t seed : {21u, 22u, 23u}) {
+    Instance inst = make_instance(seed, 3, 8);
+    const auto registry = AlgorithmRegistry::with_defaults();
+    AlgoOptions options;
+    options.seed = seed;
+    const double optimal =
+        registry.create("exact")->run(inst.system->model(), inst.objective,
+                                      *inst.checker, options)
+            .value;
+    for (const std::string& name : kApproximative) {
+      const AlgoResult result = registry.create(name)->run(
+          inst.system->model(), inst.objective, *inst.checker, options);
+      ASSERT_TRUE(result.feasible) << name;
+      EXPECT_LE(result.value, optimal + 1e-9) << name << " seed " << seed;
+    }
+  }
+}
+
+TEST(Quality, HillClimbNeverWorseThanItsStart) {
+  Instance inst = make_instance(31);
+  HillClimbAlgorithm hillclimb;
+  AlgoOptions options;
+  options.seed = 31;
+  options.initial = inst.system->deployment();
+  const double initial_value =
+      inst.objective.evaluate(inst.system->model(), inst.system->deployment());
+  const AlgoResult result = hillclimb.run(inst.system->model(), inst.objective,
+                                          *inst.checker, options);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_GE(result.value + 1e-12, initial_value);
+}
+
+TEST(Quality, AvalaBeatsAverageStochasticSingleShot) {
+  // Avala is a deliberate heuristic; a single random deployment should lose
+  // to it in the typical case. Compare against the mean of single-shot
+  // stochastic runs across seeds.
+  double avala_total = 0.0, stochastic_total = 0.0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    Instance inst = make_instance(100 + t, 6, 18);
+    AlgoOptions options;
+    options.seed = 100 + t;
+    AvalaAlgorithm avala;
+    StochasticAlgorithm one_shot(1);
+    avala_total +=
+        avala.run(inst.system->model(), inst.objective, *inst.checker, options)
+            .value;
+    stochastic_total += one_shot
+                            .run(inst.system->model(), inst.objective,
+                                 *inst.checker, options)
+                            .value;
+  }
+  EXPECT_GT(avala_total / trials, stochastic_total / trials);
+}
+
+TEST(Stochastic, MoreIterationsNeverHurt) {
+  Instance inst = make_instance(41);
+  AlgoOptions options;
+  options.seed = 41;
+  StochasticAlgorithm few(5), many(100);
+  const double few_value =
+      few.run(inst.system->model(), inst.objective, *inst.checker, options)
+          .value;
+  const double many_value =
+      many.run(inst.system->model(), inst.objective, *inst.checker, options)
+          .value;
+  EXPECT_GE(many_value + 1e-12, few_value);
+}
+
+TEST(Annealing, StartsFromInitialWhenFeasible) {
+  Instance inst = make_instance(51);
+  SimulatedAnnealingAlgorithm annealing;
+  AlgoOptions options;
+  options.seed = 51;
+  options.initial = inst.system->deployment();
+  const AlgoResult result = annealing.run(inst.system->model(), inst.objective,
+                                          *inst.checker, options);
+  ASSERT_TRUE(result.feasible);
+  const double initial_value =
+      inst.objective.evaluate(inst.system->model(), inst.system->deployment());
+  // SearchState keeps best-seen, which includes the start.
+  EXPECT_GE(result.value + 1e-12, initial_value);
+}
+
+TEST(Genetic, RespectsEvaluationBudget) {
+  Instance inst = make_instance(61);
+  GeneticAlgorithm genetic;
+  AlgoOptions options;
+  options.seed = 61;
+  options.max_evaluations = 40;
+  const AlgoResult result = genetic.run(inst.system->model(), inst.objective,
+                                        *inst.checker, options);
+  EXPECT_LE(result.evaluations, 40u);
+  EXPECT_TRUE(result.budget_exhausted);
+}
+
+TEST(Avala, HandlesMustColocationGroups) {
+  Instance inst = make_instance(71);
+  model::ConstraintSet constraints = inst.system->constraints();
+  // Chain a few components into one group.
+  constraints.require_colocation(0, 1);
+  constraints.require_colocation(1, 2);
+  const model::ConstraintChecker checker(inst.system->model(), constraints);
+  AvalaAlgorithm avala;
+  const AlgoResult result = avala.run(inst.system->model(), inst.objective,
+                                      checker, AlgoOptions());
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.deployment.host_of(0), result.deployment.host_of(1));
+  EXPECT_EQ(result.deployment.host_of(1), result.deployment.host_of(2));
+}
+
+TEST(Algorithms, LatencyObjectiveIsMinimized) {
+  Instance inst = make_instance(81);
+  const model::LatencyObjective latency;
+  const auto registry = AlgorithmRegistry::with_defaults();
+  AlgoOptions options;
+  options.seed = 81;
+  const double exact_value =
+      registry.create("exact")->run(inst.system->model(), latency,
+                                    *inst.checker, options)
+          .value;
+  for (const std::string& name : kApproximative) {
+    const AlgoResult result = registry.create(name)->run(
+        inst.system->model(), latency, *inst.checker, options);
+    ASSERT_TRUE(result.feasible) << name;
+    EXPECT_GE(result.value + 1e-9, exact_value) << name;
+  }
+}
+
+}  // namespace
+}  // namespace dif::algo

@@ -1,0 +1,246 @@
+// Unit tests for constraint specification and checking (model/constraints.h).
+#include "model/constraints.h"
+
+#include <gtest/gtest.h>
+
+#include "model/deployment_model.h"
+
+namespace dif::model {
+namespace {
+
+DeploymentModel make_model(std::size_t hosts, std::size_t comps,
+                           double host_mem = 100.0, double comp_mem = 10.0) {
+  DeploymentModel m;
+  for (std::size_t h = 0; h < hosts; ++h)
+    m.add_host({.name = "h" + std::to_string(h), .memory_capacity = host_mem});
+  for (std::size_t c = 0; c < comps; ++c)
+    m.add_component(
+        {.name = "c" + std::to_string(c), .memory_size = comp_mem});
+  return m;
+}
+
+TEST(ConstraintSet, DefaultAllowsEverything) {
+  ConstraintSet cs;
+  EXPECT_TRUE(cs.empty());
+  EXPECT_TRUE(cs.host_allowed(0, 0));
+  EXPECT_TRUE(cs.host_allowed(3, 7));
+}
+
+TEST(ConstraintSet, AllowOnlyRestricts) {
+  ConstraintSet cs;
+  cs.allow_only(1, {0, 2});
+  EXPECT_TRUE(cs.host_allowed(1, 0));
+  EXPECT_FALSE(cs.host_allowed(1, 1));
+  EXPECT_TRUE(cs.host_allowed(1, 2));
+  EXPECT_TRUE(cs.host_allowed(0, 1));  // other components unaffected
+  EXPECT_THROW(cs.allow_only(2, {}), std::invalid_argument);
+}
+
+TEST(ConstraintSet, AllowOnlyReplacesPriorList) {
+  ConstraintSet cs;
+  cs.allow_only(0, {0});
+  cs.allow_only(0, {1});
+  EXPECT_FALSE(cs.host_allowed(0, 0));
+  EXPECT_TRUE(cs.host_allowed(0, 1));
+}
+
+TEST(ConstraintSet, ForbidHostOverridesAllowList) {
+  ConstraintSet cs;
+  cs.allow_only(0, {0, 1});
+  cs.forbid_host(0, 1);
+  EXPECT_TRUE(cs.host_allowed(0, 0));
+  EXPECT_FALSE(cs.host_allowed(0, 1));
+}
+
+TEST(ConstraintSet, PinIsSingletonAllowList) {
+  ConstraintSet cs;
+  cs.pin(2, 3);
+  EXPECT_TRUE(cs.host_allowed(2, 3));
+  EXPECT_FALSE(cs.host_allowed(2, 0));
+}
+
+TEST(ConstraintSet, SelfColocationRejected) {
+  ConstraintSet cs;
+  EXPECT_THROW(cs.require_colocation(1, 1), std::invalid_argument);
+  EXPECT_THROW(cs.forbid_colocation(2, 2), std::invalid_argument);
+}
+
+TEST(ConstraintChecker, RequiresAtLeastOneHost) {
+  DeploymentModel m;
+  m.add_component({.name = "c"});
+  ConstraintSet cs;
+  EXPECT_THROW(ConstraintChecker(m, cs), std::invalid_argument);
+}
+
+TEST(ConstraintChecker, FeasibleWhenEverythingFits) {
+  DeploymentModel m = make_model(2, 3);
+  ConstraintSet cs;
+  ConstraintChecker checker(m, cs);
+  const Deployment d(std::vector<HostId>{0, 0, 1});
+  EXPECT_TRUE(checker.feasible(d));
+  EXPECT_TRUE(checker.violations(d).empty());
+}
+
+TEST(ConstraintChecker, DetectsUnassigned) {
+  DeploymentModel m = make_model(2, 2);
+  ConstraintSet cs;
+  ConstraintChecker checker(m, cs);
+  Deployment d(2);
+  d.assign(0, 0);
+  EXPECT_FALSE(checker.feasible(d));
+  const auto violations = checker.violations(d);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, Violation::Kind::kUnassigned);
+}
+
+TEST(ConstraintChecker, DetectsMemoryOverflow) {
+  DeploymentModel m = make_model(2, 3, /*host_mem=*/25.0, /*comp_mem=*/10.0);
+  ConstraintSet cs;
+  ConstraintChecker checker(m, cs);
+  const Deployment d(std::vector<HostId>{0, 0, 0});  // 30 KB on a 25 KB host
+  EXPECT_FALSE(checker.feasible(d));
+  const auto violations = checker.violations(d);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, Violation::Kind::kMemory);
+  EXPECT_NE(violations[0].detail.find("h0"), std::string::npos);
+}
+
+TEST(ConstraintChecker, MemoryCheckCanBeDisabled) {
+  DeploymentModel m = make_model(1, 3, 5.0, 10.0);
+  ConstraintSet cs;
+  ConstraintChecker::Options options;
+  options.check_memory = false;
+  ConstraintChecker checker(m, cs, options);
+  EXPECT_TRUE(checker.feasible(Deployment(std::vector<HostId>{0, 0, 0})));
+}
+
+TEST(ConstraintChecker, DetectsCpuOverload) {
+  DeploymentModel m;
+  m.add_host({.name = "h0", .memory_capacity = 100.0, .cpu_capacity = 1.0});
+  m.add_component({.name = "c0", .memory_size = 1.0, .cpu_load = 0.7});
+  m.add_component({.name = "c1", .memory_size = 1.0, .cpu_load = 0.7});
+  ConstraintSet cs;
+  ConstraintChecker checker(m, cs);
+  const auto violations =
+      checker.violations(Deployment(std::vector<HostId>{0, 0}));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, Violation::Kind::kCpu);
+}
+
+TEST(ConstraintChecker, CpuIgnoredWhenHostDoesNotModelIt) {
+  DeploymentModel m;
+  m.add_host({.name = "h0", .memory_capacity = 100.0, .cpu_capacity = 0.0});
+  m.add_component({.name = "c0", .memory_size = 1.0, .cpu_load = 99.0});
+  ConstraintSet cs;
+  ConstraintChecker checker(m, cs);
+  EXPECT_TRUE(checker.feasible(Deployment(std::vector<HostId>{0})));
+}
+
+TEST(ConstraintChecker, DetectsLocationViolation) {
+  DeploymentModel m = make_model(3, 1);
+  ConstraintSet cs;
+  cs.allow_only(0, {1, 2});
+  ConstraintChecker checker(m, cs);
+  EXPECT_FALSE(checker.feasible(Deployment(std::vector<HostId>{0})));
+  EXPECT_TRUE(checker.feasible(Deployment(std::vector<HostId>{2})));
+  EXPECT_TRUE(checker.host_allowed(0, 1));
+  EXPECT_FALSE(checker.host_allowed(0, 0));
+}
+
+TEST(ConstraintChecker, DetectsColocationViolations) {
+  DeploymentModel m = make_model(2, 3);
+  ConstraintSet cs;
+  cs.require_colocation(0, 1);
+  cs.forbid_colocation(1, 2);
+  ConstraintChecker checker(m, cs);
+  // 0 and 1 apart: violation; 1 and 2 together: violation.
+  const auto violations =
+      checker.violations(Deployment(std::vector<HostId>{0, 1, 1}));
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].kind, Violation::Kind::kColocationRequired);
+  EXPECT_EQ(violations[1].kind, Violation::Kind::kColocationForbidden);
+  EXPECT_TRUE(checker.feasible(Deployment(std::vector<HostId>{0, 0, 1})));
+}
+
+TEST(ConstraintChecker, BandwidthConstraintOptIn) {
+  DeploymentModel m = make_model(2, 2);
+  m.set_physical_link(0, 1, {.reliability = 1.0, .bandwidth = 5.0});
+  // 4 evt/s * 2 KB = 8 KB/s of traffic over a 5 KB/s link.
+  m.set_logical_link(0, 1, {.frequency = 4.0, .avg_event_size = 2.0});
+  ConstraintSet cs;
+  const Deployment split(std::vector<HostId>{0, 1});
+
+  ConstraintChecker lax(m, cs);
+  EXPECT_TRUE(lax.feasible(split));
+
+  ConstraintChecker::Options options;
+  options.check_bandwidth = true;
+  ConstraintChecker strict(m, cs, options);
+  EXPECT_FALSE(strict.feasible(split));
+  const auto violations = strict.violations(split);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, Violation::Kind::kBandwidth);
+  // Local placement has no bandwidth footprint.
+  EXPECT_TRUE(strict.feasible(Deployment(std::vector<HostId>{0, 0})));
+}
+
+TEST(ConstraintChecker, PlacementOkChecksIncrementalState) {
+  DeploymentModel m = make_model(2, 3, 25.0, 10.0);
+  ConstraintSet cs;
+  cs.require_colocation(0, 1);
+  cs.forbid_colocation(0, 2);
+  ConstraintChecker checker(m, cs);
+
+  Deployment d(3);
+  EXPECT_TRUE(checker.placement_ok(d, 0, 0));
+  d.assign(0, 0);
+  // Memory: a second 10 KB component fits (20 <= 25), a third would not.
+  EXPECT_TRUE(checker.placement_ok(d, 1, 0));
+  d.assign(1, 0);
+  EXPECT_FALSE(checker.placement_ok(d, 2, 0));  // anti-pair with 0 + memory
+  EXPECT_TRUE(checker.placement_ok(d, 2, 1));
+  // Must-pair: moving 1 away from 0's host is not placement-ok.
+  d.unassign(1);
+  EXPECT_FALSE(checker.placement_ok(d, 1, 1));
+}
+
+TEST(ConstraintChecker, ViolationKindNames) {
+  EXPECT_EQ(to_string(Violation::Kind::kMemory), "memory");
+  EXPECT_EQ(to_string(Violation::Kind::kLocation), "location");
+  EXPECT_EQ(to_string(Violation::Kind::kBandwidth), "bandwidth");
+}
+
+TEST(ConstraintChecker, HostFreeMemory) {
+  DeploymentModel m = make_model(2, 2, 30.0, 10.0);
+  ConstraintSet cs;
+  ConstraintChecker checker(m, cs);
+  Deployment d(std::vector<HostId>{0, 0});
+  EXPECT_DOUBLE_EQ(checker.host_free_memory(d, 0), 10.0);
+  EXPECT_DOUBLE_EQ(checker.host_free_memory(d, 1), 30.0);
+}
+
+/// Property sweep: with many hosts, the compiled bitmask path (>64 hosts
+/// forces multi-word rows) must agree with the rule-level implementation.
+class CompiledMaskTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CompiledMaskTest, MatchesRuleLevelAnswer) {
+  const std::size_t hosts = GetParam();
+  DeploymentModel m = make_model(hosts, 4);
+  ConstraintSet cs;
+  cs.allow_only(0, {0, static_cast<HostId>(hosts - 1)});
+  cs.forbid_host(1, static_cast<HostId>(hosts / 2));
+  ConstraintChecker checker(m, cs);
+  for (std::size_t c = 0; c < 4; ++c)
+    for (std::size_t h = 0; h < hosts; ++h)
+      EXPECT_EQ(checker.host_allowed(static_cast<ComponentId>(c),
+                                     static_cast<HostId>(h)),
+                cs.host_allowed(static_cast<ComponentId>(c),
+                                static_cast<HostId>(h)))
+          << "c=" << c << " h=" << h;
+}
+
+INSTANTIATE_TEST_SUITE_P(HostCounts, CompiledMaskTest,
+                         ::testing::Values(1, 2, 63, 64, 65, 130));
+
+}  // namespace
+}  // namespace dif::model

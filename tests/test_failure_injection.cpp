@@ -1,0 +1,104 @@
+// Failure-injection property tests: the safety invariant of the whole
+// middleware is that every application component exists on exactly one host
+// no matter what the network does — drops, partitions, host crashes —
+// while the improvement loop concurrently migrates components.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/improvement_loop.h"
+#include "desi/generator.h"
+#include "sim/fluctuation.h"
+
+namespace dif::core {
+namespace {
+
+/// Counts how often each application component exists across all hosts.
+std::map<std::string, int> census(CentralizedInstantiation& inst,
+                                  std::size_t hosts) {
+  std::map<std::string, int> counts;
+  for (std::size_t h = 0; h < hosts; ++h) {
+    for (const std::string& name :
+         inst.architecture(static_cast<model::HostId>(h)).component_names()) {
+      if (name.rfind("__", 0) == 0) continue;
+      ++counts[name];
+    }
+  }
+  return counts;
+}
+
+class FailureInjectionTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(FailureInjectionTest, NoComponentLostOrDuplicatedUnderChurn) {
+  const std::uint64_t seed = GetParam();
+  auto system = desi::Generator::generate(
+      {.hosts = 5,
+       .components = 15,
+       .reliability = {0.5, 0.95},
+       .bandwidth = {200.0, 800.0},
+       .link_density = 0.8,
+       .interaction_density = 0.3},
+      seed);
+  const std::size_t hosts = system->model().host_count();
+  const model::AvailabilityObjective availability;
+
+  FrameworkConfig config;
+  config.seed = seed;
+  config.admin.report_interval_ms = 500.0;
+  config.admin.stability_window = 2;
+  config.admin.stability_epsilon = 1.0;
+  config.admin.transfer_retry_interval_ms = 500.0;
+  CentralizedInstantiation inst(*system, config);
+
+  // Aggressive churn: fluctuation, two scripted outages, one host crash.
+  sim::FluctuationModel fluctuation(
+      inst.network(),
+      {.interval_ms = 1'000.0, .reliability_step = 0.08,
+       .bandwidth_step_fraction = 0.1},
+      seed + 5);
+  fluctuation.start();
+  sim::PartitionSchedule partitions(inst.network());
+  partitions.add_outage(1, 2, 20'000.0, 45'000.0);
+  partitions.add_outage(0, 3, 60'000.0, 80'000.0);
+  inst.simulator().schedule_at(100'000.0,
+                               [&] { inst.network().fail_host(4); });
+  inst.simulator().schedule_at(130'000.0,
+                               [&] { inst.network().recover_host(4); });
+
+  ImprovementLoop::Config loop_config;
+  loop_config.interval_ms = 7'000.0;
+  loop_config.policy.min_improvement = 0.01;
+  loop_config.policy.enable_latency_guard = false;
+  ImprovementLoop loop(inst, availability, loop_config);
+
+  inst.start();
+  loop.start();
+
+  // Check the invariant repeatedly during the run, not just at the end.
+  // (A component mid-flight legitimately exists zero times at an instant;
+  // only persistent absence/duplication is a violation, so sample after
+  // quiet-down periods.)
+  for (double t = 50'000.0; t <= 250'000.0; t += 50'000.0) {
+    inst.simulator().run_until(t);
+    loop.stop();
+    // Let in-flight transfers and retries finish undisturbed.
+    inst.simulator().run_until(t + 40'000.0);
+    const auto counts = census(inst, hosts);
+    EXPECT_EQ(counts.size(), system->model().component_count())
+        << "seed " << seed << " t=" << t << ": component(s) missing";
+    for (const auto& [name, count] : counts)
+      EXPECT_EQ(count, 1) << "seed " << seed << " t=" << t << ": " << name
+                          << " exists " << count << " times";
+    loop.start();
+  }
+
+  // Application kept flowing throughout.
+  EXPECT_GT(inst.workload_stats().received, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FailureInjectionTest,
+                         ::testing::Values(11, 23, 37, 53));
+
+}  // namespace
+}  // namespace dif::core

@@ -1,0 +1,79 @@
+// Unit tests for the leveled logger (util/logging.h).
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace dif::util {
+namespace {
+
+struct SinkCapture {
+  std::vector<std::string> lines;
+  Logger::Sink sink() {
+    return [this](LogLevel level, std::string_view component,
+                  std::string_view message) {
+      lines.push_back(std::string(to_string(level)) + "|" +
+                      std::string(component) + "|" + std::string(message));
+    };
+  }
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_level_ = Logger::instance().level();
+  }
+  void TearDown() override {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_level(previous_level_);
+  }
+  LogLevel previous_level_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, LevelFiltersMessages) {
+  SinkCapture capture;
+  Logger::instance().set_sink(capture.sink());
+  Logger::instance().set_level(LogLevel::kWarn);
+  log_debug("t", "dropped");
+  log_info("t", "dropped");
+  log_warn("t", "kept");
+  log_error("t", "kept too");
+  ASSERT_EQ(capture.lines.size(), 2u);
+  EXPECT_EQ(capture.lines[0], "WARN|t|kept");
+  EXPECT_EQ(capture.lines[1], "ERROR|t|kept too");
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  SinkCapture capture;
+  Logger::instance().set_sink(capture.sink());
+  Logger::instance().set_level(LogLevel::kOff);
+  log_error("t", "gone");
+  EXPECT_TRUE(capture.lines.empty());
+}
+
+TEST_F(LoggingTest, ArgumentsConcatenate) {
+  SinkCapture capture;
+  Logger::instance().set_sink(capture.sink());
+  Logger::instance().set_level(LogLevel::kDebug);
+  log_info("comp", "x=", 42, " y=", 1.5, " z=", "s");
+  ASSERT_EQ(capture.lines.size(), 1u);
+  EXPECT_EQ(capture.lines[0], "INFO|comp|x=42 y=1.5 z=s");
+}
+
+TEST_F(LoggingTest, ResettingSinkPreservesLevel) {
+  Logger::instance().set_level(LogLevel::kError);
+  SinkCapture capture;
+  Logger::instance().set_sink(capture.sink());
+  Logger::instance().set_sink(nullptr);  // back to stderr
+  EXPECT_EQ(Logger::instance().level(), LogLevel::kError);
+}
+
+TEST(LogLevelNames, AllNamed) {
+  EXPECT_EQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_EQ(to_string(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace dif::util

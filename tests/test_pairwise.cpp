@@ -1,0 +1,135 @@
+// Property tests: the pairwise decomposition must agree exactly with the
+// objectives it decomposes, on randomly generated models and deployments.
+#include "algo/pairwise.h"
+
+#include <gtest/gtest.h>
+
+#include "desi/generator.h"
+#include "util/rng.h"
+
+namespace dif::algo {
+namespace {
+
+model::Deployment random_complete_deployment(const model::DeploymentModel& m,
+                                             util::Xoshiro256ss& rng) {
+  model::Deployment d(m.component_count());
+  for (std::size_t c = 0; c < m.component_count(); ++c)
+    d.assign(static_cast<model::ComponentId>(c),
+             static_cast<model::HostId>(rng.index(m.host_count())));
+  return d;
+}
+
+class PairwiseAgreementTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PairwiseAgreementTest, AvailabilityDecomposes) {
+  const auto system = desi::Generator::generate(
+      {.hosts = 5, .components = 12, .interaction_density = 0.4},
+      GetParam());
+  const model::DeploymentModel& m = system->model();
+  const model::AvailabilityObjective objective;
+  const auto view = PairwiseObjectiveView::try_create(objective, m);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->direction(), model::Direction::kMaximize);
+
+  util::Xoshiro256ss rng(GetParam() * 31 + 7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const model::Deployment d = random_complete_deployment(m, rng);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < m.interactions().size(); ++i) {
+      const model::Interaction& ix = m.interactions()[i];
+      sum += view->pair_term(i, d.host_of(ix.a), d.host_of(ix.b));
+    }
+    EXPECT_NEAR(view->finalize(sum), objective.evaluate(m, d), 1e-9);
+  }
+}
+
+TEST_P(PairwiseAgreementTest, LatencyDecomposes) {
+  const auto system = desi::Generator::generate(
+      {.hosts = 4, .components = 10, .link_density = 0.3}, GetParam());
+  const model::DeploymentModel& m = system->model();
+  const model::LatencyObjective objective(1234.5);
+  const auto view = PairwiseObjectiveView::try_create(objective, m);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->direction(), model::Direction::kMinimize);
+
+  util::Xoshiro256ss rng(GetParam() * 13 + 1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const model::Deployment d = random_complete_deployment(m, rng);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < m.interactions().size(); ++i) {
+      const model::Interaction& ix = m.interactions()[i];
+      sum += view->pair_term(i, d.host_of(ix.a), d.host_of(ix.b));
+    }
+    EXPECT_NEAR(view->finalize(sum), objective.evaluate(m, d), 1e-9);
+  }
+}
+
+TEST_P(PairwiseAgreementTest, CommCostDecomposes) {
+  const auto system =
+      desi::Generator::generate({.hosts = 3, .components = 8}, GetParam());
+  const model::DeploymentModel& m = system->model();
+  const model::CommunicationCostObjective objective;
+  const auto view = PairwiseObjectiveView::try_create(objective, m);
+  ASSERT_TRUE(view.has_value());
+
+  util::Xoshiro256ss rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const model::Deployment d = random_complete_deployment(m, rng);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < m.interactions().size(); ++i) {
+      const model::Interaction& ix = m.interactions()[i];
+      sum += view->pair_term(i, d.host_of(ix.a), d.host_of(ix.b));
+    }
+    EXPECT_NEAR(view->finalize(sum), objective.evaluate(m, d), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PairwiseAgreementTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Pairwise, OptimisticTermBoundsEveryPlacement) {
+  const auto system =
+      desi::Generator::generate({.hosts = 4, .components = 8}, 99);
+  const model::DeploymentModel& m = system->model();
+  const model::AvailabilityObjective objective;
+  const auto view = PairwiseObjectiveView::try_create(objective, m);
+  ASSERT_TRUE(view.has_value());
+  for (std::size_t i = 0; i < m.interactions().size(); ++i) {
+    for (std::size_t a = 0; a < m.host_count(); ++a)
+      for (std::size_t b = 0; b < m.host_count(); ++b)
+        EXPECT_LE(view->pair_term(i, static_cast<model::HostId>(a),
+                                  static_cast<model::HostId>(b)),
+                  view->optimistic_term(i) + 1e-12);
+  }
+}
+
+TEST(Pairwise, UnknownObjectiveIsNotDecomposable) {
+  const auto system =
+      desi::Generator::generate({.hosts = 2, .components = 4}, 1);
+  const model::SecurityObjective security;
+  EXPECT_FALSE(
+      PairwiseObjectiveView::try_create(security, system->model()).has_value());
+}
+
+}  // namespace
+}  // namespace dif::algo
+
+namespace dif::algo {
+namespace {
+
+TEST(Pairwise, WeightedObjectiveIsNotDecomposable) {
+  const auto system =
+      desi::Generator::generate({.hosts = 2, .components = 4}, 2);
+  auto availability = std::make_shared<model::AvailabilityObjective>();
+  auto latency = std::make_shared<model::LatencyObjective>();
+  const model::WeightedObjective weighted(
+      {{availability, 1.0}, {latency, 1.0}});
+  // Weighted mixes normalized scores non-linearly across terms; exact
+  // search must fall back to leaf evaluation rather than mis-prune.
+  EXPECT_FALSE(
+      PairwiseObjectiveView::try_create(weighted, system->model()).has_value());
+}
+
+}  // namespace
+}  // namespace dif::algo

@@ -1,0 +1,53 @@
+// Tests for the pluggable algorithm registry (algo/registry.h).
+#include "algo/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/stochastic.h"
+
+namespace dif::algo {
+namespace {
+
+TEST(Registry, DefaultsContainAllAlgorithms) {
+  const AlgorithmRegistry registry = AlgorithmRegistry::with_defaults();
+  for (const std::string name :
+       {"exact", "exact-unpruned", "stochastic", "avala", "hillclimb",
+        "annealing", "genetic", "decap", "mincut", "bip-i5"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+    EXPECT_NE(registry.create(name), nullptr);
+  }
+  EXPECT_EQ(registry.names().size(), 10u);
+}
+
+TEST(Registry, CreateUnknownThrows) {
+  const AlgorithmRegistry registry = AlgorithmRegistry::with_defaults();
+  EXPECT_THROW(registry.create("nonexistent"), std::out_of_range);
+}
+
+TEST(Registry, PluggingInANewAlgorithm) {
+  AlgorithmRegistry registry;
+  EXPECT_FALSE(registry.contains("custom"));
+  registry.register_factory(
+      "custom", [] { return std::make_unique<StochasticAlgorithm>(7); });
+  EXPECT_TRUE(registry.contains("custom"));
+  EXPECT_EQ(registry.create("custom")->name(), "stochastic");
+}
+
+TEST(Registry, ReplaceAndUnregister) {
+  AlgorithmRegistry registry = AlgorithmRegistry::with_defaults();
+  registry.register_factory(
+      "avala", [] { return std::make_unique<StochasticAlgorithm>(1); });
+  EXPECT_EQ(registry.create("avala")->name(), "stochastic");  // replaced
+  EXPECT_TRUE(registry.unregister("avala"));
+  EXPECT_FALSE(registry.contains("avala"));
+  EXPECT_FALSE(registry.unregister("avala"));
+}
+
+TEST(Registry, NamesAreSorted) {
+  const AlgorithmRegistry registry = AlgorithmRegistry::with_defaults();
+  const std::vector<std::string> names = registry.names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+}  // namespace
+}  // namespace dif::algo

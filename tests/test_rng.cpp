@@ -1,0 +1,162 @@
+// Unit tests for the deterministic RNG (util/rng.h).
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace dif::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i)
+    if (a.next() != b.next()) ++differing;
+  EXPECT_GE(differing, 15);
+}
+
+TEST(Xoshiro, SameSeedSameSequence) {
+  Xoshiro256ss a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, UniformIsInUnitInterval) {
+  Xoshiro256ss rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, UniformRangeRespectsBounds) {
+  Xoshiro256ss rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.5, 12.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 12.25);
+  }
+}
+
+TEST(Xoshiro, UniformMeanIsCentered) {
+  Xoshiro256ss rng(5);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro, UniformIntCoversInclusiveRange) {
+  Xoshiro256ss rng(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all of 3..7 hit
+}
+
+TEST(Xoshiro, UniformIntSingleton) {
+  Xoshiro256ss rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(9, 9), 9u);
+}
+
+TEST(Xoshiro, ChanceExtremes) {
+  Xoshiro256ss rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-1.0));
+    EXPECT_TRUE(rng.chance(2.0));
+  }
+}
+
+TEST(Xoshiro, ChanceFrequencyTracksProbability) {
+  Xoshiro256ss rng(9);
+  int hits = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Xoshiro, NormalMomentsRoughlyCorrect) {
+  Xoshiro256ss rng(10);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Xoshiro, ForkProducesIndependentStreams) {
+  Xoshiro256ss parent(11);
+  Xoshiro256ss a = parent.fork(1);
+  Xoshiro256ss b = parent.fork(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i)
+    if (a() != b()) ++differing;
+  EXPECT_GE(differing, 31);
+}
+
+TEST(Xoshiro, ForkIsDeterministic) {
+  Xoshiro256ss p1(12), p2(12);
+  Xoshiro256ss a = p1.fork(99);
+  Xoshiro256ss b = p2.fork(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, ShuffleIsPermutation) {
+  Xoshiro256ss rng(13);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), shuffled.begin()));
+  EXPECT_NE(v, shuffled);  // astronomically unlikely to be identity
+}
+
+TEST(Xoshiro, IndexStaysInBounds) {
+  Xoshiro256ss rng(14);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(17), 17u);
+}
+
+class UniformIntRangeTest
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(UniformIntRangeTest, AlwaysWithinBounds) {
+  const auto [lo, hi] = GetParam();
+  Xoshiro256ss rng(lo * 31 + hi);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = rng.uniform_int(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, UniformIntRangeTest,
+    ::testing::Values(std::pair<std::uint64_t, std::uint64_t>{0, 1},
+                      std::pair<std::uint64_t, std::uint64_t>{0, 2},
+                      std::pair<std::uint64_t, std::uint64_t>{5, 100},
+                      std::pair<std::uint64_t, std::uint64_t>{1000, 1003},
+                      std::pair<std::uint64_t, std::uint64_t>{0, 1'000'000}));
+
+}  // namespace
+}  // namespace dif::util

@@ -1,0 +1,120 @@
+// Unit tests for the discrete-event kernel (sim/simulator.h).
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace dif::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30.0, [&] { order.push_back(3); });
+  sim.schedule_at(10.0, [&] { order.push_back(1); });
+  sim.schedule_at(20.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 30.0);
+}
+
+TEST(Simulator, TiesFireInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule_at(7.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(100.0, [&] {
+    sim.schedule_after(25.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 125.0);
+}
+
+TEST(Simulator, PastTimesClampToNow) {
+  Simulator sim;
+  sim.schedule_at(50.0, [] {});
+  sim.run();
+  double fired_at = -1.0;
+  sim.schedule_at(10.0, [&] { fired_at = sim.now(); });  // in the past
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 50.0);
+  sim.schedule_after(-5.0, [&] { fired_at = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 50.0);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10.0, [&] { ++fired; });
+  sim.schedule_at(20.0, [&] { ++fired; });
+  sim.schedule_at(30.0, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(20.0), 2u);  // inclusive boundary
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 20.0);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_EQ(sim.run_until(25.0), 0u);  // no event, clock still advances
+  EXPECT_DOUBLE_EQ(sim.now(), 25.0);
+}
+
+TEST(Simulator, HandlersCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) sim.schedule_after(1.0, chain);
+  };
+  sim.schedule_at(0.0, chain);
+  EXPECT_EQ(sim.run(), 10u);
+  EXPECT_EQ(depth, 10);
+  EXPECT_DOUBLE_EQ(sim.now(), 9.0);
+}
+
+TEST(Simulator, RunWithEventCap) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) sim.schedule_at(i, [] {});
+  EXPECT_EQ(sim.run(4), 4u);
+  EXPECT_EQ(sim.pending(), 6u);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, StepFiresExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ClearDropsPendingEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.clear();
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, CountsProcessedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+}  // namespace
+}  // namespace dif::sim

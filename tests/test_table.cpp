@@ -1,0 +1,81 @@
+// Unit tests for ASCII table rendering and number formatting (util/table.h).
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace dif::util {
+namespace {
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, RendersHeaderRuleAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // 2 header lines + 2 rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, ColumnsAlignAcrossRows) {
+  Table t({"h", "v"});
+  t.add_row({"a", "1"});
+  t.add_row({"bb", "22"});
+  const std::string out = t.render();
+  // Every line has the same length (padded).
+  std::size_t expected = out.find('\n');
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, expected);
+    pos = next + 1;
+  }
+}
+
+TEST(Table, FirstColumnLeftRestRight) {
+  Table t({"aaa", "bbb"});
+  t.add_row({"x", "1"});
+  const std::string out = t.render();
+  // Row line: "x  " (left-aligned) then "  1" (right-aligned, width 3).
+  EXPECT_NE(out.find("x    "), std::string::npos);
+  EXPECT_NE(out.find("  1"), std::string::npos);
+}
+
+TEST(Table, AlignOverride) {
+  Table t({"a", "b"});
+  t.set_align(1, Align::kLeft);
+  t.add_row({"x", "y"});
+  EXPECT_NO_THROW(t.render());
+  EXPECT_THROW(t.set_align(5, Align::kLeft), std::out_of_range);
+}
+
+TEST(Fmt, FixedDecimals) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(FmtPct, ScalesFraction) {
+  EXPECT_EQ(fmt_pct(0.123), "12.3%");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100%");
+}
+
+TEST(FmtDuration, PicksUnits) {
+  EXPECT_EQ(fmt_duration_ns(500), "500 ns");
+  EXPECT_EQ(fmt_duration_ns(1500), "1.50 us");
+  EXPECT_EQ(fmt_duration_ns(2.5e6), "2.50 ms");
+  EXPECT_EQ(fmt_duration_ns(3.2e9), "3.200 s");
+}
+
+}  // namespace
+}  // namespace dif::util

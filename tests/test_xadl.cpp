@@ -1,0 +1,116 @@
+// Tests for xADL-lite serialization round trips (desi/xadl.h).
+#include "desi/xadl.h"
+
+#include <gtest/gtest.h>
+
+#include "desi/generator.h"
+
+namespace dif::desi {
+namespace {
+
+class RoundTripTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTripTest, FullSystemRoundTrips) {
+  const auto original = Generator::generate(
+      {.hosts = 5,
+       .components = 12,
+       .location_constraints = 2,
+       .colocation_pairs = 1,
+       .anti_colocation_pairs = 1},
+      GetParam());
+  original->model().host(0).properties.set("battery", 0.75);
+  original->model().component(1).properties.set("criticality", 2.0);
+
+  const std::string text = XadlLite::to_text(*original);
+  const auto restored = XadlLite::from_text(text);
+
+  const model::DeploymentModel& a = original->model();
+  const model::DeploymentModel& b = restored->model();
+  ASSERT_EQ(a.host_count(), b.host_count());
+  ASSERT_EQ(a.component_count(), b.component_count());
+  for (std::size_t h = 0; h < a.host_count(); ++h) {
+    const auto id = static_cast<model::HostId>(h);
+    EXPECT_EQ(a.host(id).name, b.host(id).name);
+    EXPECT_DOUBLE_EQ(a.host(id).memory_capacity, b.host(id).memory_capacity);
+    EXPECT_EQ(a.host(id).properties, b.host(id).properties);
+  }
+  for (std::size_t c = 0; c < a.component_count(); ++c) {
+    const auto id = static_cast<model::ComponentId>(c);
+    EXPECT_EQ(a.component(id).name, b.component(id).name);
+    EXPECT_DOUBLE_EQ(a.component(id).memory_size, b.component(id).memory_size);
+    EXPECT_EQ(a.component(id).properties, b.component(id).properties);
+  }
+  for (std::size_t x = 0; x < a.host_count(); ++x) {
+    for (std::size_t y = x + 1; y < a.host_count(); ++y) {
+      const auto hx = static_cast<model::HostId>(x);
+      const auto hy = static_cast<model::HostId>(y);
+      EXPECT_EQ(a.connected(hx, hy), b.connected(hx, hy));
+      if (a.connected(hx, hy)) {
+        EXPECT_DOUBLE_EQ(a.physical_link(hx, hy).reliability,
+                         b.physical_link(hx, hy).reliability);
+        EXPECT_DOUBLE_EQ(a.physical_link(hx, hy).bandwidth,
+                         b.physical_link(hx, hy).bandwidth);
+        EXPECT_DOUBLE_EQ(a.physical_link(hx, hy).delay_ms,
+                         b.physical_link(hx, hy).delay_ms);
+      }
+    }
+  }
+  ASSERT_EQ(a.interactions().size(), b.interactions().size());
+  for (std::size_t i = 0; i < a.interactions().size(); ++i) {
+    EXPECT_EQ(a.interactions()[i].a, b.interactions()[i].a);
+    EXPECT_EQ(a.interactions()[i].b, b.interactions()[i].b);
+    EXPECT_DOUBLE_EQ(a.interactions()[i].frequency,
+                     b.interactions()[i].frequency);
+  }
+  EXPECT_EQ(original->deployment(), restored->deployment());
+
+  // Constraint semantics survive (checked behaviourally).
+  for (std::size_t c = 0; c < a.component_count(); ++c)
+    for (std::size_t h = 0; h < a.host_count(); ++h)
+      EXPECT_EQ(original->constraints().host_allowed(
+                    static_cast<model::ComponentId>(c),
+                    static_cast<model::HostId>(h)),
+                restored->constraints().host_allowed(
+                    static_cast<model::ComponentId>(c),
+                    static_cast<model::HostId>(h)));
+  EXPECT_EQ(original->constraints().colocation_pairs().size(),
+            restored->constraints().colocation_pairs().size());
+  EXPECT_EQ(original->constraints().anti_colocation_pairs().size(),
+            restored->constraints().anti_colocation_pairs().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripTest, ::testing::Values(1, 2, 3, 4));
+
+TEST(XadlLite, DoubleRoundTripIsIdentical) {
+  const auto system = Generator::generate({.hosts = 3, .components = 7}, 9);
+  const std::string once = XadlLite::to_text(*system);
+  const std::string twice = XadlLite::to_text(*XadlLite::from_text(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(XadlLite, SchemaFieldPresent) {
+  const auto system = Generator::generate({.hosts = 2, .components = 3}, 1);
+  const util::json::Value doc = XadlLite::to_json(*system);
+  EXPECT_EQ(doc.at("schema").as_string(), "dif-xadl-lite/1");
+}
+
+TEST(XadlLite, MalformedDocumentThrows) {
+  EXPECT_THROW(XadlLite::from_text("{not json"), util::json::JsonError);
+  EXPECT_THROW(XadlLite::from_text("{}"), util::json::JsonError);
+  // Unknown host name referenced by a link.
+  EXPECT_THROW(
+      XadlLite::from_text(R"({"hosts":[{"name":"h0"}],"components":[],
+        "physical_links":[{"a":"h0","b":"ghost"}],"logical_links":[]})"),
+      std::out_of_range);
+}
+
+TEST(XadlLite, PartialDeploymentTolerated) {
+  const auto system = Generator::generate({.hosts = 2, .components = 3}, 2);
+  util::json::Value doc = XadlLite::to_json(*system);
+  doc.as_object()["deployment"] = util::json::Object{};  // wipe it
+  const auto restored = XadlLite::from_json(doc);
+  EXPECT_FALSE(restored->deployment().complete());
+}
+
+}  // namespace
+}  // namespace dif::desi

@@ -1,0 +1,243 @@
+// difctl — command-line front end to the deployment improvement framework.
+//
+// Operates on xADL-lite JSON architecture descriptions (desi/xadl.h):
+//
+//   difctl generate --hosts 6 --components 20 [--seed N] > system.json
+//       Generate a random system description (DeSi's Generator).
+//
+//   difctl evaluate system.json
+//       Score the described deployment under every built-in objective and
+//       list any constraint violations.
+//
+//   difctl improve system.json [--algorithm avala] [--objective availability]
+//       Run one algorithm (or, with --algorithm all, every applicable one),
+//       print the DeSi results table, and emit the improved description on
+//       stdout (redirect to keep it).
+//
+//   difctl render system.json [--dot]
+//       ASCII architecture view, or Graphviz DOT with --dot.
+//
+//   difctl tables system.json
+//       The DeSi table-oriented page: hosts, components, links,
+//       interactions, constraints.
+//
+//   difctl sweep system.json --from host0 --to host1 [--lo 0.1] [--hi 1.0]
+//       Sensitivity analysis: sweep the named link's reliability and show
+//       the objective on the current deployment vs after re-optimizing.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "desi/algorithm_container.h"
+#include "desi/generator.h"
+#include "desi/graph_view.h"
+#include "desi/table_view.h"
+#include "desi/sensitivity.h"
+#include "desi/xadl.h"
+
+namespace {
+
+using namespace dif;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: difctl <command> [args]\n"
+               "  generate --hosts K --components N [--seed S] "
+               "[--constraints C]\n"
+               "  evaluate <system.json>\n"
+               "  improve  <system.json> [--algorithm NAME|all] "
+               "[--objective availability|latency|comm-cost] [--seed S]\n"
+               "  render   <system.json> [--dot]\n"
+               "  tables   <system.json>\n"
+               "  sweep    <system.json> --from HOST --to HOST [--lo L] "
+               "[--hi H] [--objective NAME] [--steps N]\n");
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Very small flag parser: --name value pairs after the positional args.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) == 0) values_[argv[i] + 2] = argv[i + 1];
+    }
+    for (int i = first; i < argc; ++i)
+      if (std::strcmp(argv[i], "--dot") == 0) dot_ = true;
+  }
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& dflt) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? dflt : it->second;
+  }
+  [[nodiscard]] std::uint64_t get_u64(const std::string& name,
+                                      std::uint64_t dflt) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? dflt : std::stoull(it->second);
+  }
+  [[nodiscard]] bool dot() const noexcept { return dot_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool dot_ = false;
+};
+
+std::unique_ptr<model::Objective> make_objective(const std::string& name) {
+  if (name == "availability")
+    return std::make_unique<model::AvailabilityObjective>();
+  if (name == "latency") return std::make_unique<model::LatencyObjective>();
+  if (name == "comm-cost")
+    return std::make_unique<model::CommunicationCostObjective>();
+  if (name == "security") return std::make_unique<model::SecurityObjective>();
+  throw std::runtime_error("unknown objective '" + name + "'");
+}
+
+int cmd_generate(const Flags& flags) {
+  desi::GeneratorSpec spec;
+  spec.hosts = flags.get_u64("hosts", 4);
+  spec.components = flags.get_u64("components", 12);
+  const std::uint64_t constraints = flags.get_u64("constraints", 0);
+  spec.location_constraints = constraints;
+  spec.anti_colocation_pairs = constraints / 2;
+  spec.colocation_pairs = constraints / 2;
+  const auto system =
+      desi::Generator::generate(spec, flags.get_u64("seed", 1));
+  std::printf("%s\n", desi::XadlLite::to_text(*system).c_str());
+  return 0;
+}
+
+int cmd_evaluate(const std::string& path) {
+  const auto system = desi::XadlLite::from_text(read_file(path));
+  const model::DeploymentModel& m = system->model();
+  std::printf("%zu hosts, %zu components, %zu interactions\n",
+              m.host_count(), m.component_count(), m.interactions().size());
+  if (!system->deployment().complete()) {
+    std::printf("deployment: INCOMPLETE\n");
+    return 1;
+  }
+  for (const char* name :
+       {"availability", "latency", "comm-cost", "security"}) {
+    const auto objective = make_objective(name);
+    std::printf("%-14s %.4f\n", name,
+                objective->evaluate(m, system->deployment()));
+  }
+  const model::ConstraintChecker checker(m, system->constraints());
+  const auto violations = checker.violations(system->deployment());
+  if (violations.empty()) {
+    std::printf("constraints: all satisfied\n");
+  } else {
+    std::printf("constraints: %zu violations\n", violations.size());
+    for (const model::Violation& v : violations)
+      std::printf("  [%s] %s\n", std::string(to_string(v.kind)).c_str(),
+                  v.detail.c_str());
+  }
+  return violations.empty() ? 0 : 1;
+}
+
+int cmd_improve(const std::string& path, const Flags& flags) {
+  const auto system = desi::XadlLite::from_text(read_file(path));
+  const auto objective = make_objective(flags.get("objective",
+                                                  "availability"));
+  desi::AlgoResultData results;
+  desi::AlgorithmContainer container(*system, results);
+  const std::string algorithm = flags.get("algorithm", "avala");
+  algo::AlgoOptions options;
+  options.seed = flags.get_u64("seed", 1);
+  if (algorithm == "all") {
+    container.invoke_all(*objective, options.seed);
+  } else {
+    container.invoke(algorithm, *objective, options);
+  }
+  std::fprintf(stderr, "%s",
+               desi::TableView::render_results(results).c_str());
+
+  const auto best = results.best_index(std::string(objective->name()),
+                                       objective->direction());
+  if (!best) {
+    std::fprintf(stderr, "no feasible deployment found\n");
+    return 1;
+  }
+  const desi::ResultEntry& entry = results.entries()[*best];
+  std::fprintf(stderr, "best: %s (%s = %.4f, %zu migrations)\n",
+               entry.result.algorithm.c_str(), entry.objective.c_str(),
+               entry.result.value, entry.result.migrations);
+  system->set_deployment(entry.result.deployment);
+  std::printf("%s\n", desi::XadlLite::to_text(*system).c_str());
+  return 0;
+}
+
+int cmd_render(const std::string& path, const Flags& flags) {
+  const auto system = desi::XadlLite::from_text(read_file(path));
+  if (flags.dot()) {
+    desi::GraphViewData layout;
+    layout.refresh(*system);
+    std::printf("%s", desi::GraphView::to_dot(*system, layout).c_str());
+  } else {
+    std::printf("%s", desi::GraphView::render_ascii(*system).c_str());
+  }
+  return 0;
+}
+
+int cmd_sweep(const std::string& path, const Flags& flags) {
+  const auto system = desi::XadlLite::from_text(read_file(path));
+  const std::string from = flags.get("from", "");
+  const std::string to = flags.get("to", "");
+  if (from.empty() || to.empty())
+    throw std::runtime_error("sweep requires --from and --to host names");
+  const model::HostId a = system->model().host_by_name(from);
+  const model::HostId b = system->model().host_by_name(to);
+  const auto objective =
+      make_objective(flags.get("objective", "availability"));
+  desi::SensitivityAnalysis analysis(*system);
+  desi::SweepOptions options;
+  options.steps = static_cast<int>(flags.get_u64("steps", 9));
+  const auto points = analysis.sweep_link_reliability(
+      a, b, std::stod(flags.get("lo", "0.1")),
+      std::stod(flags.get("hi", "1.0")), *objective, options);
+  std::printf("%s", desi::SensitivityAnalysis::render(
+                        points, from + "--" + to + " reliability")
+                        .c_str());
+  return 0;
+}
+
+int cmd_tables(const std::string& path) {
+  const auto system = desi::XadlLite::from_text(read_file(path));
+  std::printf("== hosts ==\n%s\n== components ==\n%s\n== links ==\n%s\n"
+              "== interactions ==\n%s\n== constraints ==\n%s",
+              desi::TableView::render_hosts(*system).c_str(),
+              desi::TableView::render_components(*system).c_str(),
+              desi::TableView::render_links(*system).c_str(),
+              desi::TableView::render_interactions(*system).c_str(),
+              desi::TableView::render_constraints(*system).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "generate") return cmd_generate(Flags(argc, argv, 2));
+    if (argc < 3) return usage();
+    const std::string path = argv[2];
+    if (command == "evaluate") return cmd_evaluate(path);
+    if (command == "improve") return cmd_improve(path, Flags(argc, argv, 3));
+    if (command == "render") return cmd_render(path, Flags(argc, argv, 3));
+    if (command == "tables") return cmd_tables(path);
+    if (command == "sweep") return cmd_sweep(path, Flags(argc, argv, 3));
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "difctl: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,26 @@
+# CTest script: exercise the difctl pipeline end to end.
+function(run)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "command failed (${code}): ${ARGV}\n${out}\n${err}")
+  endif()
+endfunction()
+
+execute_process(COMMAND ${DIFCTL} generate --hosts 4 --components 10 --seed 3
+                OUTPUT_FILE ${WORKDIR}/sys.json RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "generate failed")
+endif()
+run(${DIFCTL} evaluate ${WORKDIR}/sys.json)
+run(${DIFCTL} tables ${WORKDIR}/sys.json)
+run(${DIFCTL} render ${WORKDIR}/sys.json)
+run(${DIFCTL} render ${WORKDIR}/sys.json --dot)
+run(${DIFCTL} sweep ${WORKDIR}/sys.json --from host0 --to host1 --steps 3)
+execute_process(COMMAND ${DIFCTL} improve ${WORKDIR}/sys.json
+                        --algorithm hillclimb
+                OUTPUT_FILE ${WORKDIR}/improved.json RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "improve failed")
+endif()
+run(${DIFCTL} evaluate ${WORKDIR}/improved.json)
