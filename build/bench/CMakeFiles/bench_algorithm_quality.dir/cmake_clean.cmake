@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_algorithm_quality.dir/bench_algorithm_quality.cpp.o"
+  "CMakeFiles/bench_algorithm_quality.dir/bench_algorithm_quality.cpp.o.d"
+  "bench_algorithm_quality"
+  "bench_algorithm_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_algorithm_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analyzer_policy.dir/bench_analyzer_policy.cpp.o"
+  "CMakeFiles/bench_analyzer_policy.dir/bench_analyzer_policy.cpp.o.d"
+  "bench_analyzer_policy"
+  "bench_analyzer_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analyzer_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

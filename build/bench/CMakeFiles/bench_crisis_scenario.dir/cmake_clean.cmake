@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crisis_scenario.dir/bench_crisis_scenario.cpp.o"
+  "CMakeFiles/bench_crisis_scenario.dir/bench_crisis_scenario.cpp.o.d"
+  "bench_crisis_scenario"
+  "bench_crisis_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crisis_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_guard.dir/bench_latency_guard.cpp.o"
+  "CMakeFiles/bench_latency_guard.dir/bench_latency_guard.cpp.o.d"
+  "bench_latency_guard"
+  "bench_latency_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

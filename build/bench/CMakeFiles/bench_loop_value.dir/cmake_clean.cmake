@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loop_value.dir/bench_loop_value.cpp.o"
+  "CMakeFiles/bench_loop_value.dir/bench_loop_value.cpp.o.d"
+  "bench_loop_value"
+  "bench_loop_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loop_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

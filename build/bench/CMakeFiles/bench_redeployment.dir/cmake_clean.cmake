@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_redeployment.dir/bench_redeployment.cpp.o"
+  "CMakeFiles/bench_redeployment.dir/bench_redeployment.cpp.o.d"
+  "bench_redeployment"
+  "bench_redeployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_redeployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crisis_response.dir/crisis_response.cpp.o"
+  "CMakeFiles/crisis_response.dir/crisis_response.cpp.o.d"
+  "crisis_response"
+  "crisis_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crisis_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

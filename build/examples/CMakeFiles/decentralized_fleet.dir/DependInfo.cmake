@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/decentralized_fleet.cpp" "examples/CMakeFiles/decentralized_fleet.dir/decentralized_fleet.cpp.o" "gcc" "examples/CMakeFiles/decentralized_fleet.dir/decentralized_fleet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dif_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/desi/CMakeFiles/dif_desi.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyzer/CMakeFiles/dif_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/prism/CMakeFiles/dif_prism.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dif_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/dif_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dif_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dif_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decentralized_fleet.dir/decentralized_fleet.cpp.o"
+  "CMakeFiles/decentralized_fleet.dir/decentralized_fleet.cpp.o.d"
+  "decentralized_fleet"
+  "decentralized_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decentralized_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

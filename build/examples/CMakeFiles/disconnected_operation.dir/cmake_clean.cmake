@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disconnected_operation.dir/disconnected_operation.cpp.o"
+  "CMakeFiles/disconnected_operation.dir/disconnected_operation.cpp.o.d"
+  "disconnected_operation"
+  "disconnected_operation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disconnected_operation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/algorithm.cpp" "src/algo/CMakeFiles/dif_algo.dir/algorithm.cpp.o" "gcc" "src/algo/CMakeFiles/dif_algo.dir/algorithm.cpp.o.d"
+  "/root/repo/src/algo/annealing.cpp" "src/algo/CMakeFiles/dif_algo.dir/annealing.cpp.o" "gcc" "src/algo/CMakeFiles/dif_algo.dir/annealing.cpp.o.d"
+  "/root/repo/src/algo/avala.cpp" "src/algo/CMakeFiles/dif_algo.dir/avala.cpp.o" "gcc" "src/algo/CMakeFiles/dif_algo.dir/avala.cpp.o.d"
+  "/root/repo/src/algo/bip.cpp" "src/algo/CMakeFiles/dif_algo.dir/bip.cpp.o" "gcc" "src/algo/CMakeFiles/dif_algo.dir/bip.cpp.o.d"
+  "/root/repo/src/algo/decap.cpp" "src/algo/CMakeFiles/dif_algo.dir/decap.cpp.o" "gcc" "src/algo/CMakeFiles/dif_algo.dir/decap.cpp.o.d"
+  "/root/repo/src/algo/exact.cpp" "src/algo/CMakeFiles/dif_algo.dir/exact.cpp.o" "gcc" "src/algo/CMakeFiles/dif_algo.dir/exact.cpp.o.d"
+  "/root/repo/src/algo/genetic.cpp" "src/algo/CMakeFiles/dif_algo.dir/genetic.cpp.o" "gcc" "src/algo/CMakeFiles/dif_algo.dir/genetic.cpp.o.d"
+  "/root/repo/src/algo/local_search.cpp" "src/algo/CMakeFiles/dif_algo.dir/local_search.cpp.o" "gcc" "src/algo/CMakeFiles/dif_algo.dir/local_search.cpp.o.d"
+  "/root/repo/src/algo/mincut.cpp" "src/algo/CMakeFiles/dif_algo.dir/mincut.cpp.o" "gcc" "src/algo/CMakeFiles/dif_algo.dir/mincut.cpp.o.d"
+  "/root/repo/src/algo/pairwise.cpp" "src/algo/CMakeFiles/dif_algo.dir/pairwise.cpp.o" "gcc" "src/algo/CMakeFiles/dif_algo.dir/pairwise.cpp.o.d"
+  "/root/repo/src/algo/random_feasible.cpp" "src/algo/CMakeFiles/dif_algo.dir/random_feasible.cpp.o" "gcc" "src/algo/CMakeFiles/dif_algo.dir/random_feasible.cpp.o.d"
+  "/root/repo/src/algo/registry.cpp" "src/algo/CMakeFiles/dif_algo.dir/registry.cpp.o" "gcc" "src/algo/CMakeFiles/dif_algo.dir/registry.cpp.o.d"
+  "/root/repo/src/algo/stochastic.cpp" "src/algo/CMakeFiles/dif_algo.dir/stochastic.cpp.o" "gcc" "src/algo/CMakeFiles/dif_algo.dir/stochastic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/dif_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dif_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dif_algo.dir/algorithm.cpp.o"
+  "CMakeFiles/dif_algo.dir/algorithm.cpp.o.d"
+  "CMakeFiles/dif_algo.dir/annealing.cpp.o"
+  "CMakeFiles/dif_algo.dir/annealing.cpp.o.d"
+  "CMakeFiles/dif_algo.dir/avala.cpp.o"
+  "CMakeFiles/dif_algo.dir/avala.cpp.o.d"
+  "CMakeFiles/dif_algo.dir/bip.cpp.o"
+  "CMakeFiles/dif_algo.dir/bip.cpp.o.d"
+  "CMakeFiles/dif_algo.dir/decap.cpp.o"
+  "CMakeFiles/dif_algo.dir/decap.cpp.o.d"
+  "CMakeFiles/dif_algo.dir/exact.cpp.o"
+  "CMakeFiles/dif_algo.dir/exact.cpp.o.d"
+  "CMakeFiles/dif_algo.dir/genetic.cpp.o"
+  "CMakeFiles/dif_algo.dir/genetic.cpp.o.d"
+  "CMakeFiles/dif_algo.dir/local_search.cpp.o"
+  "CMakeFiles/dif_algo.dir/local_search.cpp.o.d"
+  "CMakeFiles/dif_algo.dir/mincut.cpp.o"
+  "CMakeFiles/dif_algo.dir/mincut.cpp.o.d"
+  "CMakeFiles/dif_algo.dir/pairwise.cpp.o"
+  "CMakeFiles/dif_algo.dir/pairwise.cpp.o.d"
+  "CMakeFiles/dif_algo.dir/random_feasible.cpp.o"
+  "CMakeFiles/dif_algo.dir/random_feasible.cpp.o.d"
+  "CMakeFiles/dif_algo.dir/registry.cpp.o"
+  "CMakeFiles/dif_algo.dir/registry.cpp.o.d"
+  "CMakeFiles/dif_algo.dir/stochastic.cpp.o"
+  "CMakeFiles/dif_algo.dir/stochastic.cpp.o.d"
+  "libdif_algo.a"
+  "libdif_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dif_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

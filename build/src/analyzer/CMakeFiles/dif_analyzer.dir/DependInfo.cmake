@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analyzer/centralized.cpp" "src/analyzer/CMakeFiles/dif_analyzer.dir/centralized.cpp.o" "gcc" "src/analyzer/CMakeFiles/dif_analyzer.dir/centralized.cpp.o.d"
+  "/root/repo/src/analyzer/decentralized.cpp" "src/analyzer/CMakeFiles/dif_analyzer.dir/decentralized.cpp.o" "gcc" "src/analyzer/CMakeFiles/dif_analyzer.dir/decentralized.cpp.o.d"
+  "/root/repo/src/analyzer/escalation.cpp" "src/analyzer/CMakeFiles/dif_analyzer.dir/escalation.cpp.o" "gcc" "src/analyzer/CMakeFiles/dif_analyzer.dir/escalation.cpp.o.d"
+  "/root/repo/src/analyzer/execution_profile.cpp" "src/analyzer/CMakeFiles/dif_analyzer.dir/execution_profile.cpp.o" "gcc" "src/analyzer/CMakeFiles/dif_analyzer.dir/execution_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algo/CMakeFiles/dif_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dif_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dif_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

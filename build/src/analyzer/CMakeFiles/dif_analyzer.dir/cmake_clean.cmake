@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dif_analyzer.dir/centralized.cpp.o"
+  "CMakeFiles/dif_analyzer.dir/centralized.cpp.o.d"
+  "CMakeFiles/dif_analyzer.dir/decentralized.cpp.o"
+  "CMakeFiles/dif_analyzer.dir/decentralized.cpp.o.d"
+  "CMakeFiles/dif_analyzer.dir/escalation.cpp.o"
+  "CMakeFiles/dif_analyzer.dir/escalation.cpp.o.d"
+  "CMakeFiles/dif_analyzer.dir/execution_profile.cpp.o"
+  "CMakeFiles/dif_analyzer.dir/execution_profile.cpp.o.d"
+  "libdif_analyzer.a"
+  "libdif_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dif_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dif_core.dir/centralized_instantiation.cpp.o"
+  "CMakeFiles/dif_core.dir/centralized_instantiation.cpp.o.d"
+  "CMakeFiles/dif_core.dir/decentralized_instantiation.cpp.o"
+  "CMakeFiles/dif_core.dir/decentralized_instantiation.cpp.o.d"
+  "CMakeFiles/dif_core.dir/improvement_loop.cpp.o"
+  "CMakeFiles/dif_core.dir/improvement_loop.cpp.o.d"
+  "CMakeFiles/dif_core.dir/workload.cpp.o"
+  "CMakeFiles/dif_core.dir/workload.cpp.o.d"
+  "libdif_core.a"
+  "libdif_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dif_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/desi/algo_result_data.cpp" "src/desi/CMakeFiles/dif_desi.dir/algo_result_data.cpp.o" "gcc" "src/desi/CMakeFiles/dif_desi.dir/algo_result_data.cpp.o.d"
+  "/root/repo/src/desi/algorithm_container.cpp" "src/desi/CMakeFiles/dif_desi.dir/algorithm_container.cpp.o" "gcc" "src/desi/CMakeFiles/dif_desi.dir/algorithm_container.cpp.o.d"
+  "/root/repo/src/desi/generator.cpp" "src/desi/CMakeFiles/dif_desi.dir/generator.cpp.o" "gcc" "src/desi/CMakeFiles/dif_desi.dir/generator.cpp.o.d"
+  "/root/repo/src/desi/graph_view.cpp" "src/desi/CMakeFiles/dif_desi.dir/graph_view.cpp.o" "gcc" "src/desi/CMakeFiles/dif_desi.dir/graph_view.cpp.o.d"
+  "/root/repo/src/desi/graph_view_data.cpp" "src/desi/CMakeFiles/dif_desi.dir/graph_view_data.cpp.o" "gcc" "src/desi/CMakeFiles/dif_desi.dir/graph_view_data.cpp.o.d"
+  "/root/repo/src/desi/middleware_adapter.cpp" "src/desi/CMakeFiles/dif_desi.dir/middleware_adapter.cpp.o" "gcc" "src/desi/CMakeFiles/dif_desi.dir/middleware_adapter.cpp.o.d"
+  "/root/repo/src/desi/modifier.cpp" "src/desi/CMakeFiles/dif_desi.dir/modifier.cpp.o" "gcc" "src/desi/CMakeFiles/dif_desi.dir/modifier.cpp.o.d"
+  "/root/repo/src/desi/sensitivity.cpp" "src/desi/CMakeFiles/dif_desi.dir/sensitivity.cpp.o" "gcc" "src/desi/CMakeFiles/dif_desi.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/desi/system_data.cpp" "src/desi/CMakeFiles/dif_desi.dir/system_data.cpp.o" "gcc" "src/desi/CMakeFiles/dif_desi.dir/system_data.cpp.o.d"
+  "/root/repo/src/desi/table_view.cpp" "src/desi/CMakeFiles/dif_desi.dir/table_view.cpp.o" "gcc" "src/desi/CMakeFiles/dif_desi.dir/table_view.cpp.o.d"
+  "/root/repo/src/desi/xadl.cpp" "src/desi/CMakeFiles/dif_desi.dir/xadl.cpp.o" "gcc" "src/desi/CMakeFiles/dif_desi.dir/xadl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algo/CMakeFiles/dif_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyzer/CMakeFiles/dif_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/prism/CMakeFiles/dif_prism.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dif_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dif_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dif_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

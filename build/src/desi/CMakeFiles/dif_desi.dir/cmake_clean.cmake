@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dif_desi.dir/algo_result_data.cpp.o"
+  "CMakeFiles/dif_desi.dir/algo_result_data.cpp.o.d"
+  "CMakeFiles/dif_desi.dir/algorithm_container.cpp.o"
+  "CMakeFiles/dif_desi.dir/algorithm_container.cpp.o.d"
+  "CMakeFiles/dif_desi.dir/generator.cpp.o"
+  "CMakeFiles/dif_desi.dir/generator.cpp.o.d"
+  "CMakeFiles/dif_desi.dir/graph_view.cpp.o"
+  "CMakeFiles/dif_desi.dir/graph_view.cpp.o.d"
+  "CMakeFiles/dif_desi.dir/graph_view_data.cpp.o"
+  "CMakeFiles/dif_desi.dir/graph_view_data.cpp.o.d"
+  "CMakeFiles/dif_desi.dir/middleware_adapter.cpp.o"
+  "CMakeFiles/dif_desi.dir/middleware_adapter.cpp.o.d"
+  "CMakeFiles/dif_desi.dir/modifier.cpp.o"
+  "CMakeFiles/dif_desi.dir/modifier.cpp.o.d"
+  "CMakeFiles/dif_desi.dir/sensitivity.cpp.o"
+  "CMakeFiles/dif_desi.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/dif_desi.dir/system_data.cpp.o"
+  "CMakeFiles/dif_desi.dir/system_data.cpp.o.d"
+  "CMakeFiles/dif_desi.dir/table_view.cpp.o"
+  "CMakeFiles/dif_desi.dir/table_view.cpp.o.d"
+  "CMakeFiles/dif_desi.dir/xadl.cpp.o"
+  "CMakeFiles/dif_desi.dir/xadl.cpp.o.d"
+  "libdif_desi.a"
+  "libdif_desi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dif_desi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dif_desi.
+# This may be replaced when dependencies are built.

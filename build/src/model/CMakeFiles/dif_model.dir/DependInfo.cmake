@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/constraints.cpp" "src/model/CMakeFiles/dif_model.dir/constraints.cpp.o" "gcc" "src/model/CMakeFiles/dif_model.dir/constraints.cpp.o.d"
+  "/root/repo/src/model/deployment.cpp" "src/model/CMakeFiles/dif_model.dir/deployment.cpp.o" "gcc" "src/model/CMakeFiles/dif_model.dir/deployment.cpp.o.d"
+  "/root/repo/src/model/deployment_model.cpp" "src/model/CMakeFiles/dif_model.dir/deployment_model.cpp.o" "gcc" "src/model/CMakeFiles/dif_model.dir/deployment_model.cpp.o.d"
+  "/root/repo/src/model/objective.cpp" "src/model/CMakeFiles/dif_model.dir/objective.cpp.o" "gcc" "src/model/CMakeFiles/dif_model.dir/objective.cpp.o.d"
+  "/root/repo/src/model/property_map.cpp" "src/model/CMakeFiles/dif_model.dir/property_map.cpp.o" "gcc" "src/model/CMakeFiles/dif_model.dir/property_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dif_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dif_model.dir/constraints.cpp.o"
+  "CMakeFiles/dif_model.dir/constraints.cpp.o.d"
+  "CMakeFiles/dif_model.dir/deployment.cpp.o"
+  "CMakeFiles/dif_model.dir/deployment.cpp.o.d"
+  "CMakeFiles/dif_model.dir/deployment_model.cpp.o"
+  "CMakeFiles/dif_model.dir/deployment_model.cpp.o.d"
+  "CMakeFiles/dif_model.dir/objective.cpp.o"
+  "CMakeFiles/dif_model.dir/objective.cpp.o.d"
+  "CMakeFiles/dif_model.dir/property_map.cpp.o"
+  "CMakeFiles/dif_model.dir/property_map.cpp.o.d"
+  "libdif_model.a"
+  "libdif_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dif_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdif_model.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prism/admin.cpp" "src/prism/CMakeFiles/dif_prism.dir/admin.cpp.o" "gcc" "src/prism/CMakeFiles/dif_prism.dir/admin.cpp.o.d"
+  "/root/repo/src/prism/architecture.cpp" "src/prism/CMakeFiles/dif_prism.dir/architecture.cpp.o" "gcc" "src/prism/CMakeFiles/dif_prism.dir/architecture.cpp.o.d"
+  "/root/repo/src/prism/brick.cpp" "src/prism/CMakeFiles/dif_prism.dir/brick.cpp.o" "gcc" "src/prism/CMakeFiles/dif_prism.dir/brick.cpp.o.d"
+  "/root/repo/src/prism/bytes.cpp" "src/prism/CMakeFiles/dif_prism.dir/bytes.cpp.o" "gcc" "src/prism/CMakeFiles/dif_prism.dir/bytes.cpp.o.d"
+  "/root/repo/src/prism/deployer.cpp" "src/prism/CMakeFiles/dif_prism.dir/deployer.cpp.o" "gcc" "src/prism/CMakeFiles/dif_prism.dir/deployer.cpp.o.d"
+  "/root/repo/src/prism/distribution.cpp" "src/prism/CMakeFiles/dif_prism.dir/distribution.cpp.o" "gcc" "src/prism/CMakeFiles/dif_prism.dir/distribution.cpp.o.d"
+  "/root/repo/src/prism/event.cpp" "src/prism/CMakeFiles/dif_prism.dir/event.cpp.o" "gcc" "src/prism/CMakeFiles/dif_prism.dir/event.cpp.o.d"
+  "/root/repo/src/prism/monitors.cpp" "src/prism/CMakeFiles/dif_prism.dir/monitors.cpp.o" "gcc" "src/prism/CMakeFiles/dif_prism.dir/monitors.cpp.o.d"
+  "/root/repo/src/prism/thread_pool_scaffold.cpp" "src/prism/CMakeFiles/dif_prism.dir/thread_pool_scaffold.cpp.o" "gcc" "src/prism/CMakeFiles/dif_prism.dir/thread_pool_scaffold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dif_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dif_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dif_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dif_prism.dir/admin.cpp.o"
+  "CMakeFiles/dif_prism.dir/admin.cpp.o.d"
+  "CMakeFiles/dif_prism.dir/architecture.cpp.o"
+  "CMakeFiles/dif_prism.dir/architecture.cpp.o.d"
+  "CMakeFiles/dif_prism.dir/brick.cpp.o"
+  "CMakeFiles/dif_prism.dir/brick.cpp.o.d"
+  "CMakeFiles/dif_prism.dir/bytes.cpp.o"
+  "CMakeFiles/dif_prism.dir/bytes.cpp.o.d"
+  "CMakeFiles/dif_prism.dir/deployer.cpp.o"
+  "CMakeFiles/dif_prism.dir/deployer.cpp.o.d"
+  "CMakeFiles/dif_prism.dir/distribution.cpp.o"
+  "CMakeFiles/dif_prism.dir/distribution.cpp.o.d"
+  "CMakeFiles/dif_prism.dir/event.cpp.o"
+  "CMakeFiles/dif_prism.dir/event.cpp.o.d"
+  "CMakeFiles/dif_prism.dir/monitors.cpp.o"
+  "CMakeFiles/dif_prism.dir/monitors.cpp.o.d"
+  "CMakeFiles/dif_prism.dir/thread_pool_scaffold.cpp.o"
+  "CMakeFiles/dif_prism.dir/thread_pool_scaffold.cpp.o.d"
+  "libdif_prism.a"
+  "libdif_prism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dif_prism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

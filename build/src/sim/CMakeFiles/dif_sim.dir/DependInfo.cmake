@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/fluctuation.cpp" "src/sim/CMakeFiles/dif_sim.dir/fluctuation.cpp.o" "gcc" "src/sim/CMakeFiles/dif_sim.dir/fluctuation.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/dif_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/dif_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/dif_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/dif_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/dif_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dif_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dif_sim.dir/fluctuation.cpp.o"
+  "CMakeFiles/dif_sim.dir/fluctuation.cpp.o.d"
+  "CMakeFiles/dif_sim.dir/network.cpp.o"
+  "CMakeFiles/dif_sim.dir/network.cpp.o.d"
+  "CMakeFiles/dif_sim.dir/simulator.cpp.o"
+  "CMakeFiles/dif_sim.dir/simulator.cpp.o.d"
+  "libdif_sim.a"
+  "libdif_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dif_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

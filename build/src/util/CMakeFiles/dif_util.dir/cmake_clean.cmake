@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dif_util.dir/json.cpp.o"
+  "CMakeFiles/dif_util.dir/json.cpp.o.d"
+  "CMakeFiles/dif_util.dir/logging.cpp.o"
+  "CMakeFiles/dif_util.dir/logging.cpp.o.d"
+  "CMakeFiles/dif_util.dir/rng.cpp.o"
+  "CMakeFiles/dif_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dif_util.dir/statistics.cpp.o"
+  "CMakeFiles/dif_util.dir/statistics.cpp.o.d"
+  "CMakeFiles/dif_util.dir/table.cpp.o"
+  "CMakeFiles/dif_util.dir/table.cpp.o.d"
+  "libdif_util.a"
+  "libdif_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dif_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_admin_deployer.dir/test_admin_deployer.cpp.o"
+  "CMakeFiles/test_admin_deployer.dir/test_admin_deployer.cpp.o.d"
+  "test_admin_deployer"
+  "test_admin_deployer.pdb"
+  "test_admin_deployer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_admin_deployer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decap.dir/test_decap.cpp.o"
+  "CMakeFiles/test_decap.dir/test_decap.cpp.o.d"
+  "test_decap"
+  "test_decap.pdb"
+  "test_decap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deployment_model.dir/test_deployment_model.cpp.o"
+  "CMakeFiles/test_deployment_model.dir/test_deployment_model.cpp.o.d"
+  "test_deployment_model"
+  "test_deployment_model.pdb"
+  "test_deployment_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deployment_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_desi.dir/test_desi.cpp.o"
+  "CMakeFiles/test_desi.dir/test_desi.cpp.o.d"
+  "test_desi"
+  "test_desi.pdb"
+  "test_desi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_desi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fluctuation.dir/test_fluctuation.cpp.o"
+  "CMakeFiles/test_fluctuation.dir/test_fluctuation.cpp.o.d"
+  "test_fluctuation"
+  "test_fluctuation.pdb"
+  "test_fluctuation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fluctuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_objectives.dir/test_objectives.cpp.o"
+  "CMakeFiles/test_objectives.dir/test_objectives.cpp.o.d"
+  "test_objectives"
+  "test_objectives.pdb"
+  "test_objectives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_objectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

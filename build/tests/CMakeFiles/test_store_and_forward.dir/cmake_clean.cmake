@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_store_and_forward.dir/test_store_and_forward.cpp.o"
+  "CMakeFiles/test_store_and_forward.dir/test_store_and_forward.cpp.o.d"
+  "test_store_and_forward"
+  "test_store_and_forward.pdb"
+  "test_store_and_forward[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_store_and_forward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

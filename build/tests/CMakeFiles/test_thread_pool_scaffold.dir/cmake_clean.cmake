@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thread_pool_scaffold.dir/test_thread_pool_scaffold.cpp.o"
+  "CMakeFiles/test_thread_pool_scaffold.dir/test_thread_pool_scaffold.cpp.o.d"
+  "test_thread_pool_scaffold"
+  "test_thread_pool_scaffold.pdb"
+  "test_thread_pool_scaffold[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thread_pool_scaffold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xadl.dir/test_xadl.cpp.o"
+  "CMakeFiles/test_xadl.dir/test_xadl.cpp.o.d"
+  "test_xadl"
+  "test_xadl.pdb"
+  "test_xadl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xadl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difctl.dir/difctl.cpp.o"
+  "CMakeFiles/difctl.dir/difctl.cpp.o.d"
+  "difctl"
+  "difctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

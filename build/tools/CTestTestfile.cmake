@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(difctl_roundtrip "/usr/bin/cmake" "-DDIFCTL=/root/repo/build/tools/difctl" "-DWORKDIR=/root/repo/build/tools" "-P" "/root/repo/tools/difctl_roundtrip.cmake")
+set_tests_properties(difctl_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
