@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 build + full test suite, then a ThreadSanitizer
+# pass over the concurrency-sensitive binaries (portfolio runner, thread
+# pool scaffold).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== tier-1: build + ctest =="
+cmake -B "$ROOT/build" -S "$ROOT"
+cmake --build "$ROOT/build" -j "$JOBS"
+(cd "$ROOT/build" && ctest --output-on-failure -j "$JOBS")
+
+echo "== ThreadSanitizer: portfolio + thread pool =="
+cmake -B "$ROOT/build-tsan" -S "$ROOT" -DDIF_SANITIZE=thread
+cmake --build "$ROOT/build-tsan" -j "$JOBS" \
+  --target test_portfolio test_thread_pool_scaffold
+"$ROOT/build-tsan/tests/test_portfolio"
+"$ROOT/build-tsan/tests/test_thread_pool_scaffold"
+
+echo "CI OK"

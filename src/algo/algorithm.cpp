@@ -28,8 +28,24 @@ void SearchState::consider_value(const model::Deployment& d, double value) {
   }
 }
 
+void SearchState::consider_incremental(
+    double value, const std::function<model::Deployment()>& materialize) {
+  ++evaluations_;
+  if (!has_best_ || objective_.improves(value, best_value_)) {
+    best_ = materialize();
+    best_value_ = value;
+    has_best_ = true;
+  }
+}
+
 bool SearchState::out_of_budget() {
   if (budget_exhausted_) return true;
+  // Cancellation is checked on every call (one relaxed atomic load) so a
+  // portfolio deadline or an external abort stops the run promptly.
+  if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+    budget_exhausted_ = true;
+    return true;
+  }
   if (options_.max_evaluations > 0 &&
       evaluations_ >= options_.max_evaluations) {
     budget_exhausted_ = true;

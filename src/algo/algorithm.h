@@ -9,8 +9,10 @@
 // (Section 3.1). Both kinds implement this interface.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -21,6 +23,36 @@
 #include "model/objective.h"
 
 namespace dif::algo {
+
+/// Cooperative cancellation flag shared between an algorithm run and the
+/// controller that may abort it (the portfolio runner's deadline, an
+/// analyzer shutting down, a test). Thread-safe: any thread may cancel();
+/// every algorithm's inner loop observes it through
+/// SearchState::out_of_budget(), which reports cancellation as budget
+/// exhaustion — the returned AlgoResult is then best-so-far.
+///
+/// Tokens chain: a token constructed with a parent is cancelled when either
+/// it or the parent is — how the portfolio runner composes an external
+/// caller's token with its own deadline token.
+class CancelToken {
+ public:
+  explicit CancelToken(const CancelToken* parent = nullptr) noexcept
+      : parent_(parent) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed) ||
+           (parent_ != nullptr && parent_->cancelled());
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  const CancelToken* parent_;
+};
 
 /// Knobs common to every algorithm run. Algorithm-specific tunables live in
 /// the concrete classes' constructors.
@@ -34,6 +66,9 @@ struct AlgoOptions {
   std::uint64_t max_evaluations = 0;
   /// Wall-clock budget in seconds (0 = unlimited). Checked coarsely.
   double time_budget_seconds = 0.0;
+  /// Cooperative cancellation; may be flipped from another thread. Must
+  /// outlive the run. nullptr = not cancellable.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Outcome of one algorithm run — mirrors DeSi's AlgoResultData entry:
@@ -94,6 +129,13 @@ class SearchState {
   /// Like consider(), but trusts a value the caller computed incrementally
   /// (used by branch-and-bound searches that track term sums).
   void consider_value(const model::Deployment& d, double value);
+
+  /// Counts an evaluation whose value was computed incrementally without a
+  /// materialized deployment; `materialize` is only invoked when `value`
+  /// improves the incumbent (the move-based searches' fast path: probing a
+  /// move costs O(degree), not a deployment copy).
+  void consider_incremental(
+      double value, const std::function<model::Deployment()>& materialize);
 
   /// True when an evaluation or time budget has been hit.
   [[nodiscard]] bool out_of_budget();

@@ -85,8 +85,8 @@ AlgoResult AvalaAlgorithm::run(const model::DeploymentModel& model,
   std::size_t placed_count = 0;
 
   for (const model::HostId host : host_order) {
-    if (placed_count == g_count) break;
-    while (true) {
+    if (placed_count == g_count || search.out_of_budget()) break;
+    while (!search.out_of_budget()) {
       // Affinity of each unplaced group to the groups already on this host.
       double best_rank = 0.0;
       std::int64_t best_group = -1;
@@ -113,7 +113,9 @@ AlgoResult AvalaAlgorithm::run(const model::DeploymentModel& model,
 
   // Fallback pass for anything the greedy sweep could not place (e.g. a
   // location-constrained component whose host ranked late and filled up).
-  for (std::uint32_t g = 0; g < g_count && placed_count < g_count; ++g) {
+  for (std::uint32_t g = 0; g < g_count && placed_count < g_count &&
+                            !search.out_of_budget();
+       ++g) {
     if (placed[g]) continue;
     for (const model::HostId host : host_order) {
       if (state.fits(g, host)) {
@@ -140,8 +142,8 @@ AlgoResult AvalaAlgorithm::run(const model::DeploymentModel& model,
     return search.finish(std::string(name()), "greedy failed; kept initial");
   }
   util::Xoshiro256ss rng(options.seed);
-  if (const auto d =
-          build_random_feasible_retry(model, checker, groups, rng, 32)) {
+  if (const auto d = build_random_feasible_retry(model, checker, groups, rng,
+                                                 32, options.cancel)) {
     search.consider(*d);
     return search.finish(std::string(name()),
                          "greedy failed; random fallback");

@@ -10,6 +10,8 @@ AlgoResult BipBranchAndBound::run(const model::DeploymentModel& model,
                                   const AlgoOptions& options) {
   const model::CommunicationCostObjective comm_cost;
   ExactAlgorithm exact(/*use_pruning=*/true);
+  // Budgets and the cancel token ride along in `options`; the inner exact
+  // search polls them, so a portfolio deadline preempts BIP too.
   AlgoResult result = exact.run(model, comm_cost, checker, options);
   result.algorithm = std::string(name());
   if (result.feasible) {

@@ -109,8 +109,8 @@ AlgoResult DecApAlgorithm::run(const model::DeploymentModel& model,
   if (options.initial && options.initial->complete() &&
       checker.feasible(*options.initial)) {
     current = *options.initial;
-  } else if (const auto d =
-                 build_random_feasible_retry(model, checker, groups, rng, 32)) {
+  } else if (const auto d = build_random_feasible_retry(
+                 model, checker, groups, rng, 32, options.cancel)) {
     current = *d;
   } else {
     return search.finish(std::string(name()), "no feasible start");
@@ -185,6 +185,7 @@ AlgoResult DecApAlgorithm::run(const model::DeploymentModel& model,
         if (state.host_of_group(g) == auctioneer) local_groups.push_back(g);
 
       for (const std::uint32_t g : local_groups) {
+        if (search.out_of_budget()) break;
         if (moves_of_group[g] >= params_.max_moves_per_component) continue;
         ++stats_.auctions;
         conducted = true;

@@ -100,7 +100,9 @@ AlgoResult GeneticAlgorithm::run(const model::DeploymentModel& model,
   for (std::size_t tries = 0;
        population.size() < params_.population && tries < params_.population * 8;
        ++tries) {
-    if (const auto d = build_random_feasible(model, checker, groups, rng)) {
+    if (search.out_of_budget()) break;
+    if (const auto d = build_random_feasible(model, checker, groups, rng,
+                                             options.cancel)) {
       Chromosome genes(g_count);
       for (std::uint32_t g = 0; g < g_count; ++g)
         genes[g] = d->host_of(groups.members[g].front());

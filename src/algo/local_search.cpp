@@ -1,6 +1,7 @@
 #include "algo/local_search.h"
 
 #include "algo/random_feasible.h"
+#include "model/incremental.h"
 
 namespace dif::algo {
 
@@ -15,6 +16,12 @@ bool load_state(PlacementState& state, const ColocationGroups& groups,
     state.place(g, h);
   }
   return true;
+}
+
+/// Moves every member of group `g` to `h` in the incremental evaluator.
+void move_group(model::IncrementalEvaluator& inc, const ColocationGroups& groups,
+                std::uint32_t g, model::HostId h) {
+  for (const model::ComponentId c : groups.members[g]) inc.apply(c, h);
 }
 
 }  // namespace
@@ -35,8 +42,8 @@ AlgoResult HillClimbAlgorithm::run(const model::DeploymentModel& model,
   if (options.initial && options.initial->complete() &&
       checker.feasible(*options.initial)) {
     current = *options.initial;
-  } else if (const auto d =
-                 build_random_feasible_retry(model, checker, groups, rng, 32)) {
+  } else if (const auto d = build_random_feasible_retry(
+                 model, checker, groups, rng, 32, options.cancel)) {
     current = *d;
   } else {
     return search.finish(std::string(name()), "no feasible start");
@@ -46,6 +53,34 @@ AlgoResult HillClimbAlgorithm::run(const model::DeploymentModel& model,
   if (!load_state(state, groups, current))
     return search.finish(std::string(name()), "incomplete start");
   double current_value = search.consider(current);
+
+  // Delta evaluation: probing a move costs O(degree) instead of a full
+  // O(interactions) re-score whenever the objective decomposes pairwise.
+  std::optional<model::IncrementalEvaluator> inc =
+      model::IncrementalEvaluator::try_create(objective, model);
+  if (inc) inc->reset(current);
+
+  // Probes group `g` on host `h` (g currently removed from `state`, still on
+  // its old host in `inc`): returns the candidate objective value.
+  const auto probe = [&](std::uint32_t g, model::HostId from,
+                         model::HostId h) {
+    if (inc) {
+      move_group(*inc, groups, g, h);
+      const double value = inc->value();
+      search.consider_incremental(value, [&] {
+        state.place(g, h);
+        model::Deployment d = state.to_deployment();
+        state.remove(g);
+        return d;
+      });
+      move_group(*inc, groups, g, from);
+      return value;
+    }
+    state.place(g, h);
+    const double value = search.consider(state.to_deployment());
+    state.remove(g);
+    return value;
+  };
 
   const std::size_t k = model.host_count();
   const std::size_t g_count = groups.group_count();
@@ -63,16 +98,16 @@ AlgoResult HillClimbAlgorithm::run(const model::DeploymentModel& model,
       for (std::size_t h = 0; h < k; ++h) {
         const auto host = static_cast<model::HostId>(h);
         if (host == from || !state.fits(g, host)) continue;
-        state.place(g, host);
-        const double value = search.consider(state.to_deployment());
+        const double value = probe(g, from, host);
         if (objective.improves(value, best_value)) {
           best_value = value;
           best_host = host;
         }
-        state.remove(g);
+        if (search.out_of_budget()) break;
       }
       state.place(g, best_host);
       if (best_host != from) {
+        if (inc) move_group(*inc, groups, g, best_host);
         current_value = best_value;
         improved = true;
       }
@@ -92,11 +127,24 @@ AlgoResult HillClimbAlgorithm::run(const model::DeploymentModel& model,
           if (state.fits(a, hb) && state.fits(b, ha)) {
             state.place(a, hb);
             state.place(b, ha);
-            const double value = search.consider(state.to_deployment());
+            double value;
+            if (inc) {
+              move_group(*inc, groups, a, hb);
+              move_group(*inc, groups, b, ha);
+              value = inc->value();
+              search.consider_incremental(
+                  value, [&] { return state.to_deployment(); });
+            } else {
+              value = search.consider(state.to_deployment());
+            }
             if (objective.improves(value, current_value)) {
               current_value = value;
               improved = true;
             } else {
+              if (inc) {
+                move_group(*inc, groups, a, ha);
+                move_group(*inc, groups, b, hb);
+              }
               state.remove(a);
               state.remove(b);
               state.place(a, ha);

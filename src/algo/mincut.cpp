@@ -1,5 +1,6 @@
 #include "algo/mincut.h"
 
+#include <functional>
 #include <limits>
 #include <queue>
 
@@ -19,9 +20,12 @@ class Dinic {
     head_[to] = static_cast<int>(edges_.size()) - 1;
   }
 
-  double max_flow(std::size_t source, std::size_t sink) {
+  /// `should_stop` is polled once per BFS phase — the natural preemption
+  /// point; an interrupted flow still yields a valid (if not minimal) cut.
+  double max_flow(std::size_t source, std::size_t sink,
+                  const std::function<bool()>& should_stop = {}) {
     double flow = 0.0;
-    while (bfs(source, sink)) {
+    while ((!should_stop || !should_stop()) && bfs(source, sink)) {
       it_ = head_;
       while (true) {
         const double pushed =
@@ -142,7 +146,7 @@ AlgoResult MinCutPartitioner::run(const model::DeploymentModel& model,
     if (!on0) dinic.add_edge(c, sink, kInf);
   }
 
-  dinic.max_flow(source, sink);
+  dinic.max_flow(source, sink, [&] { return search.out_of_budget(); });
   const std::vector<bool> with_host0 = dinic.source_side(source);
 
   model::Deployment d(n);

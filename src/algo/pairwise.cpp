@@ -4,67 +4,9 @@ namespace dif::algo {
 
 std::optional<PairwiseObjectiveView> PairwiseObjectiveView::try_create(
     const model::Objective& objective, const model::DeploymentModel& m) {
-  if (dynamic_cast<const model::AvailabilityObjective*>(&objective))
-    return PairwiseObjectiveView(Kind::kAvailability, m, 0.0);
-  if (const auto* latency =
-          dynamic_cast<const model::LatencyObjective*>(&objective))
-    return PairwiseObjectiveView(Kind::kLatency, m,
-                                 latency->disconnected_penalty_ms());
-  if (dynamic_cast<const model::CommunicationCostObjective*>(&objective))
-    return PairwiseObjectiveView(Kind::kCommCost, m, 0.0);
-  return std::nullopt;
-}
-
-PairwiseObjectiveView::PairwiseObjectiveView(Kind kind,
-                                             const model::DeploymentModel& m,
-                                             double penalty_ms)
-    : kind_(kind),
-      direction_(kind == Kind::kAvailability ? model::Direction::kMaximize
-                                             : model::Direction::kMinimize),
-      model_(&m),
-      penalty_ms_(penalty_ms),
-      total_frequency_(m.total_interaction_frequency()) {}
-
-double PairwiseObjectiveView::pair_term(std::size_t index, model::HostId ha,
-                                        model::HostId hb) const {
-  const model::Interaction& ix = model_->interactions()[index];
-  switch (kind_) {
-    case Kind::kAvailability:
-      return ix.frequency * model_->physical_link(ha, hb).reliability;
-    case Kind::kLatency: {
-      if (ha == hb) return 0.0;
-      const model::PhysicalLink& link = model_->physical_link(ha, hb);
-      if (link.bandwidth <= 0.0) return ix.frequency * penalty_ms_;
-      return ix.frequency *
-             (link.delay_ms + 1000.0 * ix.avg_event_size / link.bandwidth);
-    }
-    case Kind::kCommCost:
-      return ha == hb ? 0.0 : ix.frequency * ix.avg_event_size;
-  }
-  return 0.0;
-}
-
-double PairwiseObjectiveView::optimistic_term(std::size_t index) const {
-  switch (kind_) {
-    case Kind::kAvailability:
-      // Best case: the interaction becomes local (reliability 1).
-      return model_->interactions()[index].frequency;
-    case Kind::kLatency:
-    case Kind::kCommCost:
-      return 0.0;
-  }
-  return 0.0;
-}
-
-double PairwiseObjectiveView::finalize(double term_sum) const {
-  switch (kind_) {
-    case Kind::kAvailability:
-      return total_frequency_ > 0.0 ? term_sum / total_frequency_ : 1.0;
-    case Kind::kLatency:
-    case Kind::kCommCost:
-      return term_sum;
-  }
-  return term_sum;
+  auto decomposition = model::PairwiseDecomposition::try_create(objective, m);
+  if (!decomposition) return std::nullopt;
+  return PairwiseObjectiveView(*decomposition, m);
 }
 
 }  // namespace dif::algo

@@ -7,11 +7,16 @@
 // plus an optimistic bound for undecided ones, pruning subtrees that cannot
 // beat the incumbent. Objectives that do not decompose (e.g. an arbitrary
 // user-defined one) simply fall back to leaf-only evaluation.
+//
+// The term structure itself lives in model::PairwiseDecomposition (shared
+// with model::IncrementalEvaluator); this view adds the interaction-index
+// addressing the tree searches use.
 #pragma once
 
 #include <optional>
 
 #include "model/deployment_model.h"
+#include "model/incremental.h"
 #include "model/objective.h"
 
 namespace dif::algo {
@@ -26,33 +31,35 @@ class PairwiseObjectiveView {
       const model::Objective& objective, const model::DeploymentModel& m);
 
   [[nodiscard]] model::Direction direction() const noexcept {
-    return direction_;
+    return decomposition_.direction();
   }
 
   /// Contribution of interaction `index` when its endpoints are deployed on
   /// hosts `ha` and `hb`.
   [[nodiscard]] double pair_term(std::size_t index, model::HostId ha,
-                                 model::HostId hb) const;
+                                 model::HostId hb) const {
+    return decomposition_.pair_term(model_->interactions()[index], ha, hb);
+  }
 
   /// Best achievable contribution of interaction `index` over any host pair
   /// (freq for availability; 0 for latency / communication cost).
-  [[nodiscard]] double optimistic_term(std::size_t index) const;
+  [[nodiscard]] double optimistic_term(std::size_t index) const {
+    return decomposition_.optimistic_term(model_->interactions()[index]);
+  }
 
   /// Converts a completed term sum into the objective's raw value (e.g.
   /// divides by total frequency for availability). Monotone in the sum.
-  [[nodiscard]] double finalize(double term_sum) const;
+  [[nodiscard]] double finalize(double term_sum) const {
+    return decomposition_.finalize(term_sum);
+  }
 
  private:
-  enum class Kind { kAvailability, kLatency, kCommCost };
+  PairwiseObjectiveView(model::PairwiseDecomposition decomposition,
+                        const model::DeploymentModel& m)
+      : decomposition_(decomposition), model_(&m) {}
 
-  PairwiseObjectiveView(Kind kind, const model::DeploymentModel& m,
-                        double penalty_ms);
-
-  Kind kind_;
-  model::Direction direction_;
+  model::PairwiseDecomposition decomposition_;
   const model::DeploymentModel* model_;
-  double penalty_ms_ = 0.0;
-  double total_frequency_ = 0.0;
 };
 
 }  // namespace dif::algo

@@ -140,8 +140,9 @@ model::Deployment PlacementState::to_deployment() const {
 std::optional<model::Deployment> build_random_feasible(
     const model::DeploymentModel& model,
     const model::ConstraintChecker& checker, const ColocationGroups& groups,
-    util::Xoshiro256ss& rng) {
+    util::Xoshiro256ss& rng, const CancelToken* cancel) {
   if (groups.contradictory) return std::nullopt;
+  if (cancel != nullptr && cancel->cancelled()) return std::nullopt;
 
   std::vector<model::HostId> host_order(model.host_count());
   std::iota(host_order.begin(), host_order.end(), 0u);
@@ -200,9 +201,11 @@ std::optional<model::Deployment> build_scattered_feasible(
 std::optional<model::Deployment> build_random_feasible_retry(
     const model::DeploymentModel& model,
     const model::ConstraintChecker& checker, const ColocationGroups& groups,
-    util::Xoshiro256ss& rng, int attempts) {
+    util::Xoshiro256ss& rng, int attempts, const CancelToken* cancel) {
   for (int i = 0; i < attempts; ++i) {
-    if (auto d = build_random_feasible(model, checker, groups, rng)) return d;
+    if (cancel != nullptr && cancel->cancelled()) return std::nullopt;
+    if (auto d = build_random_feasible(model, checker, groups, rng, cancel))
+      return d;
   }
   return std::nullopt;
 }

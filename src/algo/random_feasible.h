@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "algo/algorithm.h"
 #include "model/constraints.h"
 #include "model/deployment.h"
 #include "model/deployment_model.h"
@@ -87,17 +88,20 @@ class PlacementState {
 
 /// One attempt at the paper's Stochastic construction: randomly order hosts
 /// and groups, fill each host in order until nothing more fits, move to the
-/// next host. Returns nullopt when some group could not be placed.
+/// next host. Returns nullopt when some group could not be placed, or when
+/// `cancel` fires mid-construction.
 [[nodiscard]] std::optional<model::Deployment> build_random_feasible(
     const model::DeploymentModel& model,
     const model::ConstraintChecker& checker, const ColocationGroups& groups,
-    util::Xoshiro256ss& rng);
+    util::Xoshiro256ss& rng, const CancelToken* cancel = nullptr);
 
-/// Retries build_random_feasible up to `attempts` times.
+/// Retries build_random_feasible up to `attempts` times (stops early when
+/// `cancel` fires).
 [[nodiscard]] std::optional<model::Deployment> build_random_feasible_retry(
     const model::DeploymentModel& model,
     const model::ConstraintChecker& checker, const ColocationGroups& groups,
-    util::Xoshiro256ss& rng, int attempts);
+    util::Xoshiro256ss& rng, int attempts,
+    const CancelToken* cancel = nullptr);
 
 /// Scattered construction: each group (in random order) goes to a host
 /// chosen uniformly among all hosts it currently fits on. Unlike the

@@ -16,7 +16,8 @@ AlgoResult StochasticAlgorithm::run(const model::DeploymentModel& model,
   std::size_t failed_constructions = 0;
   for (std::size_t i = 0; i < iterations_; ++i) {
     if (search.out_of_budget()) break;
-    if (const auto d = build_random_feasible(model, checker, groups, rng)) {
+    if (const auto d = build_random_feasible(model, checker, groups, rng,
+                                             options.cancel)) {
       search.consider(*d);
     } else {
       ++failed_constructions;

@@ -1,5 +1,6 @@
 #include "analyzer/centralized.h"
 
+#include "algo/portfolio.h"
 #include "util/logging.h"
 
 namespace dif::analyzer {
@@ -32,8 +33,16 @@ Decision CentralizedAnalyzer::analyze(const model::DeploymentModel& m,
   options.initial = current;
   options.seed = seed;
   options.max_evaluations = policy_.max_evaluations;
-  const std::unique_ptr<algo::Algorithm> algorithm =
-      registry_.create(decision.algorithm);
+  std::unique_ptr<algo::Algorithm> algorithm;
+  if (decision.algorithm == "portfolio" && !registry_.contains("portfolio")) {
+    // Not a registry entry (the default registry stays portfolio-free so
+    // invoke_all-style sweeps do not recurse); resolved here instead.
+    algorithm = std::make_unique<algo::PortfolioAlgorithm>(
+        registry_, policy_.portfolio_lineup, policy_.portfolio_threads);
+    options.time_budget_seconds = policy_.portfolio_deadline_seconds;
+  } else {
+    algorithm = registry_.create(decision.algorithm);
+  }
   const algo::AlgoResult result =
       algorithm->run(m, objective, checker, options);
 

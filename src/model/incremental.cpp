@@ -1,0 +1,134 @@
+#include "model/incremental.h"
+
+#include <algorithm>
+
+namespace dif::model {
+
+std::optional<PairwiseDecomposition> PairwiseDecomposition::try_create(
+    const Objective& objective, const DeploymentModel& m) {
+  if (dynamic_cast<const AvailabilityObjective*>(&objective))
+    return PairwiseDecomposition(Kind::kAvailability, m, 0.0, 1.0);
+  if (const auto* latency = dynamic_cast<const LatencyObjective*>(&objective))
+    return PairwiseDecomposition(Kind::kLatency, m,
+                                 latency->disconnected_penalty_ms(),
+                                 latency->reference_scale());
+  if (const auto* comm =
+          dynamic_cast<const CommunicationCostObjective*>(&objective))
+    return PairwiseDecomposition(Kind::kCommCost, m, 0.0,
+                                 comm->reference_scale());
+  return std::nullopt;
+}
+
+PairwiseDecomposition::PairwiseDecomposition(Kind kind,
+                                             const DeploymentModel& m,
+                                             double penalty_ms, double scale)
+    : kind_(kind),
+      direction_(kind == Kind::kAvailability ? Direction::kMaximize
+                                             : Direction::kMinimize),
+      model_(&m),
+      penalty_ms_(penalty_ms),
+      scale_(scale),
+      total_frequency_(m.total_interaction_frequency()) {}
+
+double PairwiseDecomposition::pair_term(const Interaction& ix, HostId ha,
+                                        HostId hb) const {
+  const bool unassigned = ha == kNoHost || hb == kNoHost;
+  switch (kind_) {
+    case Kind::kAvailability:
+      if (unassigned) return 0.0;  // unassigned: unavailable
+      return ix.frequency * model_->physical_link(ha, hb).reliability;
+    case Kind::kLatency: {
+      if (unassigned) return ix.frequency * penalty_ms_;
+      if (ha == hb) return 0.0;
+      const PhysicalLink& link = model_->physical_link(ha, hb);
+      if (link.bandwidth <= 0.0) return ix.frequency * penalty_ms_;
+      return ix.frequency *
+             (link.delay_ms + 1000.0 * ix.avg_event_size / link.bandwidth);
+    }
+    case Kind::kCommCost:
+      return (unassigned || ha != hb) ? ix.frequency * ix.avg_event_size : 0.0;
+  }
+  return 0.0;
+}
+
+double PairwiseDecomposition::optimistic_term(const Interaction& ix) const {
+  switch (kind_) {
+    case Kind::kAvailability:
+      // Best case: the interaction becomes local (reliability 1).
+      return ix.frequency;
+    case Kind::kLatency:
+    case Kind::kCommCost:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double PairwiseDecomposition::finalize(double term_sum) const {
+  switch (kind_) {
+    case Kind::kAvailability:
+      return total_frequency_ > 0.0 ? term_sum / total_frequency_ : 1.0;
+    case Kind::kLatency:
+    case Kind::kCommCost:
+      return term_sum;
+  }
+  return term_sum;
+}
+
+double PairwiseDecomposition::score_of(double raw_value) const {
+  switch (kind_) {
+    case Kind::kAvailability:
+      return std::clamp(raw_value, 0.0, 1.0);
+    case Kind::kLatency:
+    case Kind::kCommCost:
+      return 1.0 / (1.0 + raw_value / scale_);
+  }
+  return raw_value;
+}
+
+std::optional<IncrementalEvaluator> IncrementalEvaluator::try_create(
+    const Objective& objective, const DeploymentModel& m) {
+  auto decomposition = PairwiseDecomposition::try_create(objective, m);
+  if (!decomposition) return std::nullopt;
+  return IncrementalEvaluator(*decomposition, m);
+}
+
+IncrementalEvaluator::IncrementalEvaluator(PairwiseDecomposition decomposition,
+                                           const DeploymentModel& m)
+    : decomposition_(decomposition),
+      model_(&m),
+      interactions_(m.interactions()),
+      adjacency_(m.component_count()),
+      assignment_(m.component_count(), kNoHost),
+      term_(interactions_.size(), 0.0) {
+  for (std::uint32_t index = 0; index < interactions_.size(); ++index) {
+    adjacency_[interactions_[index].a].push_back(index);
+    adjacency_[interactions_[index].b].push_back(index);
+  }
+}
+
+void IncrementalEvaluator::reset(const Deployment& d) {
+  for (ComponentId c = 0; c < assignment_.size(); ++c)
+    assignment_[c] = c < d.size() ? d.host_of(c) : kNoHost;
+  sum_ = 0.0;
+  for (std::size_t index = 0; index < interactions_.size(); ++index) {
+    const Interaction& ix = interactions_[index];
+    term_[index] =
+        decomposition_.pair_term(ix, assignment_[ix.a], assignment_[ix.b]);
+    sum_ += term_[index];
+  }
+}
+
+void IncrementalEvaluator::apply(ComponentId c, HostId h) {
+  if (assignment_.at(c) == h) return;
+  assignment_[c] = h;
+  ++moves_;
+  for (const std::uint32_t index : adjacency_[c]) {
+    const Interaction& ix = interactions_[index];
+    const double updated =
+        decomposition_.pair_term(ix, assignment_[ix.a], assignment_[ix.b]);
+    sum_ += updated - term_[index];
+    term_[index] = updated;
+  }
+}
+
+}  // namespace dif::model

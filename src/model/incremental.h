@@ -1,0 +1,132 @@
+// Incremental (delta) objective evaluation.
+//
+// Availability, latency, and communication cost are sums of independent
+// per-interaction terms that depend only on the hosts carrying the two
+// endpoints. PairwiseDecomposition captures that term structure once per
+// (objective, model) pair; IncrementalEvaluator builds on it to re-score a
+// deployment after a single-component move in O(degree(component)) instead
+// of O(interactions) — the enabling optimization for the move-based searches
+// and the portfolio runner's throughput.
+//
+// Objectives that do not decompose pairwise (SecurityObjective's property
+// lookups, WeightedObjective's score mixing) are rejected by try_create();
+// callers fall back to full Objective::evaluate.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "model/deployment.h"
+#include "model/deployment_model.h"
+#include "model/objective.h"
+
+namespace dif::model {
+
+/// The per-interaction term structure of one decomposable objective.
+/// Cheap to copy; the model must outlive it.
+class PairwiseDecomposition {
+ public:
+  /// Returns a decomposition when `objective` is AvailabilityObjective,
+  /// LatencyObjective, or CommunicationCostObjective; nullopt otherwise.
+  static std::optional<PairwiseDecomposition> try_create(
+      const Objective& objective, const DeploymentModel& m);
+
+  [[nodiscard]] Direction direction() const noexcept { return direction_; }
+
+  /// Contribution of interaction `ix` when its endpoints sit on `ha` and
+  /// `hb`. Either endpoint may be kNoHost (unassigned): availability counts
+  /// the interaction as unavailable, latency charges the disconnection
+  /// penalty, and communication cost treats it as remote.
+  [[nodiscard]] double pair_term(const Interaction& ix, HostId ha,
+                                 HostId hb) const;
+
+  /// Best achievable contribution of interaction `ix` over any host pair
+  /// (freq for availability; 0 for latency / communication cost).
+  [[nodiscard]] double optimistic_term(const Interaction& ix) const;
+
+  /// Converts a completed term sum into the objective's raw value (e.g.
+  /// divides by total frequency for availability). Monotone in the sum.
+  [[nodiscard]] double finalize(double term_sum) const;
+
+  /// The objective's normalized score for a raw value — matches
+  /// Objective::score for the decomposed objective.
+  [[nodiscard]] double score_of(double raw_value) const;
+
+ private:
+  enum class Kind { kAvailability, kLatency, kCommCost };
+
+  PairwiseDecomposition(Kind kind, const DeploymentModel& m,
+                        double penalty_ms, double scale);
+
+  Kind kind_;
+  Direction direction_;
+  const DeploymentModel* model_;
+  double penalty_ms_ = 0.0;
+  double scale_ = 1.0;
+  double total_frequency_ = 0.0;
+};
+
+/// Maintains a deployment assignment plus the objective's term sum, updating
+/// both in O(degree) per single-component move.
+///
+/// Contract: the model's topology and link/interaction parameters must not
+/// change between reset() and the last apply()/value() call (the evaluator
+/// caches the interaction list and per-interaction terms). Not thread-safe;
+/// each search owns its evaluator.
+class IncrementalEvaluator {
+ public:
+  /// Returns an evaluator when the objective decomposes pairwise (see
+  /// PairwiseDecomposition::try_create), nullopt otherwise.
+  static std::optional<IncrementalEvaluator> try_create(
+      const Objective& objective, const DeploymentModel& m);
+
+  /// Loads `d` and recomputes all terms — O(interactions). Must be called
+  /// before the first apply(); may be called again to re-sync.
+  void reset(const Deployment& d);
+
+  /// Moves component `c` to host `h` (or kNoHost to unassign) and updates
+  /// the affected terms — O(degree(c)). A group move is a sequence of
+  /// apply() calls; intra-group terms settle once all members have moved.
+  void apply(ComponentId c, HostId h);
+
+  /// Raw objective value of the current assignment.
+  [[nodiscard]] double value() const { return decomposition_.finalize(sum_); }
+
+  /// Normalized score of the current assignment (== Objective::score).
+  [[nodiscard]] double score() const {
+    return decomposition_.score_of(value());
+  }
+
+  [[nodiscard]] Direction direction() const noexcept {
+    return decomposition_.direction();
+  }
+
+  [[nodiscard]] HostId host_of(ComponentId c) const {
+    return assignment_.at(c);
+  }
+
+  /// Materializes the tracked assignment as a Deployment.
+  [[nodiscard]] Deployment to_deployment() const {
+    return Deployment(assignment_);
+  }
+
+  /// Moves applied since construction (reset() does not count).
+  [[nodiscard]] std::uint64_t moves_applied() const noexcept { return moves_; }
+
+ private:
+  IncrementalEvaluator(PairwiseDecomposition decomposition,
+                       const DeploymentModel& m);
+
+  PairwiseDecomposition decomposition_;
+  const DeploymentModel* model_;
+  std::span<const Interaction> interactions_;
+  /// component -> indices into interactions_ that touch it.
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+  std::vector<HostId> assignment_;
+  std::vector<double> term_;
+  double sum_ = 0.0;
+  std::uint64_t moves_ = 0;
+};
+
+}  // namespace dif::model

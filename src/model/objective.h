@@ -89,6 +89,9 @@ class LatencyObjective final : public Objective {
   [[nodiscard]] double disconnected_penalty_ms() const noexcept {
     return penalty_ms_;
   }
+  /// Normalization scale used by score() — exposed so the incremental
+  /// evaluator can reproduce the score transform from a raw value.
+  [[nodiscard]] double reference_scale() const noexcept { return scale_; }
 
  private:
   double penalty_ms_;
@@ -110,6 +113,7 @@ class CommunicationCostObjective final : public Objective {
                                 const Deployment& d) const override;
   [[nodiscard]] double score(const DeploymentModel& model,
                              const Deployment& d) const override;
+  [[nodiscard]] double reference_scale() const noexcept { return scale_; }
 
  private:
   double scale_;

@@ -1,0 +1,172 @@
+// Property-style equivalence harness for the incremental evaluator: after
+// any sequence of random single-component moves, the delta-maintained value
+// must match a from-scratch Objective::evaluate to within floating-point
+// accumulation noise.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "desi/generator.h"
+#include "model/incremental.h"
+#include "util/rng.h"
+
+namespace dif::model {
+namespace {
+
+/// |a - b| <= tol * max(1, |a|, |b|): relative with an absolute floor.
+void expect_close(double a, double b, const char* what, std::size_t step) {
+  const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  EXPECT_NEAR(a, b, 1e-9 * scale) << what << " at move " << step;
+}
+
+std::unique_ptr<desi::SystemData> make_system(std::uint64_t seed) {
+  return desi::Generator::generate(
+      {.hosts = 8,
+       .components = 24,
+       .interaction_density = 0.3,
+       .location_constraints = 2,
+       .colocation_pairs = 1,
+       .anti_colocation_pairs = 1},
+      seed);
+}
+
+class IncrementalEquivalenceTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// Replays thousands of random single-component moves (including unassigns)
+/// against each decomposable objective and cross-checks every step.
+TEST_P(IncrementalEquivalenceTest, ThousandsOfRandomMovesMatchFullEvaluate) {
+  const auto system = make_system(GetParam());
+  const DeploymentModel& m = system->model();
+  util::Xoshiro256ss rng(GetParam() * 31 + 5);
+
+  const AvailabilityObjective availability;
+  const LatencyObjective latency;
+  const CommunicationCostObjective comm_cost;
+  const Objective* objectives[] = {&availability, &latency, &comm_cost};
+
+  for (const Objective* objective : objectives) {
+    auto inc = IncrementalEvaluator::try_create(*objective, m);
+    ASSERT_TRUE(inc.has_value()) << objective->name();
+
+    Deployment mirror = system->deployment();
+    inc->reset(mirror);
+    expect_close(inc->value(), objective->evaluate(m, mirror),
+                 std::string(objective->name()).c_str(), 0);
+
+    std::uint64_t real_moves = 0;
+    for (std::size_t step = 1; step <= 3000; ++step) {
+      const auto c =
+          static_cast<ComponentId>(rng.index(m.component_count()));
+      // Mostly real moves, occasionally an unassign (kNoHost) to exercise
+      // the partial-deployment terms.
+      const HostId h = rng.chance(0.05)
+                           ? kNoHost
+                           : static_cast<HostId>(rng.index(m.host_count()));
+      if (mirror.host_of(c) != h) ++real_moves;
+      mirror.assign(c, h);
+      inc->apply(c, h);
+      expect_close(inc->value(), objective->evaluate(m, mirror),
+                   std::string(objective->name()).c_str(), step);
+    }
+    EXPECT_EQ(inc->moves_applied(), real_moves) << objective->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalEquivalenceTest,
+                         ::testing::Values(1, 7, 19, 101));
+
+TEST(IncrementalEvaluator, ScoreMatchesObjectiveScore) {
+  const auto system = make_system(3);
+  const DeploymentModel& m = system->model();
+  util::Xoshiro256ss rng(12);
+
+  const AvailabilityObjective availability;
+  const LatencyObjective latency;
+  const CommunicationCostObjective comm_cost;
+  const Objective* objectives[] = {&availability, &latency, &comm_cost};
+  for (const Objective* objective : objectives) {
+    auto inc = IncrementalEvaluator::try_create(*objective, m);
+    ASSERT_TRUE(inc.has_value());
+    Deployment mirror = system->deployment();
+    inc->reset(mirror);
+    for (std::size_t step = 1; step <= 200; ++step) {
+      const auto c =
+          static_cast<ComponentId>(rng.index(m.component_count()));
+      const auto h = static_cast<HostId>(rng.index(m.host_count()));
+      mirror.assign(c, h);
+      inc->apply(c, h);
+      expect_close(inc->score(), objective->score(m, mirror),
+                   std::string(objective->name()).c_str(), step);
+    }
+  }
+}
+
+TEST(IncrementalEvaluator, ResetResynchronizesAfterDrift) {
+  const auto system = make_system(4);
+  const DeploymentModel& m = system->model();
+  const AvailabilityObjective objective;
+  auto inc = IncrementalEvaluator::try_create(objective, m);
+  ASSERT_TRUE(inc.has_value());
+
+  inc->reset(system->deployment());
+  util::Xoshiro256ss rng(9);
+  Deployment mirror = system->deployment();
+  for (std::size_t step = 0; step < 500; ++step) {
+    const auto c = static_cast<ComponentId>(rng.index(m.component_count()));
+    const auto h = static_cast<HostId>(rng.index(m.host_count()));
+    mirror.assign(c, h);
+    inc->apply(c, h);
+  }
+  // A fresh reset must discard all accumulated rounding error exactly.
+  inc->reset(mirror);
+  EXPECT_EQ(inc->value(), objective.evaluate(m, mirror));
+}
+
+TEST(IncrementalEvaluator, ToDeploymentMirrorsAppliedMoves) {
+  const auto system = make_system(5);
+  const DeploymentModel& m = system->model();
+  const CommunicationCostObjective objective;
+  auto inc = IncrementalEvaluator::try_create(objective, m);
+  ASSERT_TRUE(inc.has_value());
+  Deployment mirror = system->deployment();
+  inc->reset(mirror);
+  util::Xoshiro256ss rng(2);
+  for (std::size_t step = 0; step < 100; ++step) {
+    const auto c = static_cast<ComponentId>(rng.index(m.component_count()));
+    const auto h = static_cast<HostId>(rng.index(m.host_count()));
+    mirror.assign(c, h);
+    inc->apply(c, h);
+  }
+  EXPECT_EQ(inc->to_deployment(), mirror);
+}
+
+TEST(IncrementalEvaluator, NoOpMoveLeavesValueBitIdentical) {
+  const auto system = make_system(6);
+  const DeploymentModel& m = system->model();
+  const LatencyObjective objective;
+  auto inc = IncrementalEvaluator::try_create(objective, m);
+  ASSERT_TRUE(inc.has_value());
+  inc->reset(system->deployment());
+  const double before = inc->value();
+  inc->apply(ComponentId{0}, system->deployment().host_of(ComponentId{0}));
+  EXPECT_EQ(inc->value(), before);  // skipped, not recomputed
+}
+
+TEST(IncrementalEvaluator, RejectsNonDecomposableObjectives) {
+  const auto system = make_system(7);
+  const DeploymentModel& m = system->model();
+
+  const SecurityObjective security;
+  EXPECT_FALSE(IncrementalEvaluator::try_create(security, m).has_value());
+
+  std::vector<WeightedObjective::Term> terms;
+  terms.push_back({std::make_shared<AvailabilityObjective>(), 1.0});
+  terms.push_back({std::make_shared<LatencyObjective>(), 1.0});
+  const WeightedObjective weighted(std::move(terms));
+  EXPECT_FALSE(IncrementalEvaluator::try_create(weighted, m).has_value());
+}
+
+}  // namespace
+}  // namespace dif::model

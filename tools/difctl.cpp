@@ -24,12 +24,17 @@
 //   difctl sweep system.json --from host0 --to host1 [--lo 0.1] [--hi 1.0]
 //       Sensitivity analysis: sweep the named link's reliability and show
 //       the objective on the current deployment vs after re-optimizing.
+//
+//   difctl portfolio system.json [--threads N] [--deadline SECONDS]
+//       Race several algorithms in parallel under a common deadline, print
+//       the per-algorithm results, and emit the best deployment on stdout.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "algo/portfolio.h"
 #include "desi/algorithm_container.h"
 #include "desi/generator.h"
 #include "desi/graph_view.h"
@@ -52,7 +57,10 @@ int usage() {
                "  render   <system.json> [--dot]\n"
                "  tables   <system.json>\n"
                "  sweep    <system.json> --from HOST --to HOST [--lo L] "
-               "[--hi H] [--objective NAME] [--steps N]\n");
+               "[--hi H] [--objective NAME] [--steps N]\n"
+               "  portfolio <system.json> [--threads N] [--deadline SEC] "
+               "[--max-evals N] [--algorithms a,b,c] [--objective NAME] "
+               "[--seed S]\n");
   return 2;
 }
 
@@ -209,6 +217,55 @@ int cmd_sweep(const std::string& path, const Flags& flags) {
   return 0;
 }
 
+int cmd_portfolio(const std::string& path, const Flags& flags) {
+  const auto system = desi::XadlLite::from_text(read_file(path));
+  const auto objective =
+      make_objective(flags.get("objective", "availability"));
+  const model::DeploymentModel& m = system->model();
+  const model::ConstraintChecker checker(m, system->constraints());
+
+  algo::PortfolioOptions options;
+  options.threads = flags.get_u64("threads", 0);
+  options.deadline_seconds = std::stod(flags.get("deadline", "0"));
+  options.max_evaluations = flags.get_u64("max-evals", 0);
+  options.seed = flags.get_u64("seed", 1);
+  if (system->deployment().complete()) options.initial = system->deployment();
+
+  std::vector<std::string> lineup;
+  std::stringstream list(flags.get("algorithms", ""));
+  for (std::string name; std::getline(list, name, ',');)
+    if (!name.empty()) lineup.push_back(name);
+  if (lineup.empty()) lineup = algo::default_portfolio_lineup();
+
+  const algo::AlgorithmRegistry registry =
+      algo::AlgorithmRegistry::with_defaults();
+  algo::PortfolioRunner runner(options);
+  runner.add_from_registry(registry, lineup);
+  const algo::PortfolioResult result = runner.run(m, *objective, checker);
+
+  std::fprintf(stderr, "%-12s %12s %12s %10s\n", "algorithm",
+               std::string(objective->name()).c_str(), "evaluations",
+               "time[ms]");
+  for (const algo::AlgoResult& r : result.runs)
+    std::fprintf(stderr, "%-12s %12.4f %12llu %10.1f%s\n",
+                 r.algorithm.c_str(), r.value,
+                 static_cast<unsigned long long>(r.evaluations),
+                 std::chrono::duration<double, std::milli>(r.elapsed).count(),
+                 r.budget_exhausted ? "  (budget hit)" : "");
+  if (result.deadline_hit)
+    std::fprintf(stderr, "deadline hit: stragglers were cancelled\n");
+  if (!result.feasible()) {
+    std::fprintf(stderr, "no feasible deployment found\n");
+    return 1;
+  }
+  std::fprintf(stderr, "winner: %s (%s = %.4f)\n",
+               result.best.algorithm.c_str(),
+               std::string(objective->name()).c_str(), result.best.value);
+  system->set_deployment(result.best.deployment);
+  std::printf("%s\n", desi::XadlLite::to_text(*system).c_str());
+  return 0;
+}
+
 int cmd_tables(const std::string& path) {
   const auto system = desi::XadlLite::from_text(read_file(path));
   std::printf("== hosts ==\n%s\n== components ==\n%s\n== links ==\n%s\n"
@@ -235,6 +292,8 @@ int main(int argc, char** argv) {
     if (command == "render") return cmd_render(path, Flags(argc, argv, 3));
     if (command == "tables") return cmd_tables(path);
     if (command == "sweep") return cmd_sweep(path, Flags(argc, argv, 3));
+    if (command == "portfolio")
+      return cmd_portfolio(path, Flags(argc, argv, 3));
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "difctl: %s\n", e.what());

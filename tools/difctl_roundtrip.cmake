@@ -24,3 +24,10 @@ if(NOT code EQUAL 0)
   message(FATAL_ERROR "improve failed")
 endif()
 run(${DIFCTL} evaluate ${WORKDIR}/improved.json)
+execute_process(COMMAND ${DIFCTL} portfolio ${WORKDIR}/sys.json
+                        --threads 2 --max-evals 20000
+                OUTPUT_FILE ${WORKDIR}/portfolio.json RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "portfolio failed")
+endif()
+run(${DIFCTL} evaluate ${WORKDIR}/portfolio.json)
