@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 build + full test suite, then a ThreadSanitizer
-# pass over the concurrency-sensitive binaries (portfolio runner, thread
-# pool scaffold).
+# CI entry point: tier-1 build + full test suite, lint (when clang-tidy is
+# installed), the full suite again under ASan+UBSan with internal invariant
+# asserts compiled in, a ThreadSanitizer pass over the concurrency-sensitive
+# binaries, and a `difctl generate | difctl check` round trip across seeds.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -12,11 +13,32 @@ cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j "$JOBS"
 (cd "$ROOT/build" && ctest --output-on-failure -j "$JOBS")
 
+echo "== lint: clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake --build "$ROOT/build" --target lint
+else
+  echo "clang-tidy not installed; skipping lint"
+fi
+
+echo "== ASan+UBSan: full test suite =="
+cmake -B "$ROOT/build-asan" -S "$ROOT" \
+  -DDIF_SANITIZE=address,undefined -DDIF_ASSERTS=ON
+cmake --build "$ROOT/build-asan" -j "$JOBS"
+(cd "$ROOT/build-asan" && ctest --output-on-failure -j "$JOBS")
+
 echo "== ThreadSanitizer: portfolio + thread pool =="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" -DDIF_SANITIZE=thread
 cmake --build "$ROOT/build-tsan" -j "$JOBS" \
   --target test_portfolio test_thread_pool_scaffold
 "$ROOT/build-tsan/tests/test_portfolio"
 "$ROOT/build-tsan/tests/test_thread_pool_scaffold"
+
+echo "== static check round trip: generate | check =="
+DIFCTL="$ROOT/build/tools/difctl"
+for seed in 1 2 3 5 8 13; do
+  "$DIFCTL" generate --hosts 6 --components 16 --seed "$seed" \
+    --constraints 4 > "$ROOT/build/ci_gen_$seed.json"
+  "$DIFCTL" check "$ROOT/build/ci_gen_$seed.json" > /dev/null
+done
 
 echo "CI OK"

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <thread>
 
+#include "check/preflight.h"
+
 namespace dif::algo {
 
 void PortfolioRunner::add(std::unique_ptr<Algorithm> algorithm) {
@@ -25,6 +27,11 @@ std::vector<std::string> default_portfolio_lineup() {
 PortfolioResult PortfolioRunner::run(const model::DeploymentModel& model,
                                      const model::Objective& objective,
                                      const model::ConstraintChecker& checker) {
+  // Fail fast on statically-broken models: racing N algorithms against an
+  // unsatisfiable specification wastes the whole deadline to conclude
+  // "no feasible deployment found".
+  check::preflight(model, checker.constraint_set());
+
   const auto start = std::chrono::steady_clock::now();
   PortfolioResult result;
   result.runs.resize(entries_.size());

@@ -1,6 +1,7 @@
 #include "analyzer/centralized.h"
 
 #include "algo/portfolio.h"
+#include "check/preflight.h"
 #include "util/logging.h"
 
 namespace dif::analyzer {
@@ -28,6 +29,27 @@ Decision CentralizedAnalyzer::analyze(const model::DeploymentModel& m,
   Decision decision;
   decision.value_before = objective.evaluate(m, current);
   decision.algorithm = select_algorithm(m, profile);
+
+  // Pre-flight: a statically-broken model (contradictory constraints,
+  // pigeonhole violation, dangling references) cannot be improved by any
+  // algorithm; keep the current deployment and surface the diagnostics
+  // instead of burning the evaluation budget. Unlike the solver entry
+  // points this does not throw — the periodic improvement loop must
+  // survive a transiently-inconsistent model.
+  if (const check::CheckReport report = check::preflight_report(
+          m, checker.constraint_set());
+      !report.ok()) {
+    decision.reason = "pre-flight rejected the model: " +
+                      std::to_string(report.error_count()) + " defect(s)\n" +
+                      report.render_text();
+    util::log_warn("analyzer", decision.reason);
+    RedeploymentRecord record;
+    record.algorithm = decision.algorithm;
+    record.value_before = decision.value_before;
+    record.reason = decision.reason;
+    profile.log_redeployment(std::move(record));
+    return decision;
+  }
 
   algo::AlgoOptions options;
   options.initial = current;

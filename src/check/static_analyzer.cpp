@@ -1,0 +1,535 @@
+#include "check/static_analyzer.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "model/constraints.h"
+#include "model/deployment_model.h"
+
+namespace dif::check {
+
+namespace {
+
+using model::ComponentId;
+using model::ConstraintSet;
+using model::DeploymentModel;
+using model::HostId;
+
+std::string fmt(double value) {
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+std::string comp_subject(const DeploymentModel& m, std::size_t c) {
+  if (c < m.component_count())
+    return "component " + m.component(static_cast<ComponentId>(c)).name;
+  return "component #" + std::to_string(c);
+}
+
+std::string host_subject(const DeploymentModel& m, std::size_t h) {
+  if (h < m.host_count())
+    return "host " + m.host(static_cast<HostId>(h)).name;
+  return "host #" + std::to_string(h);
+}
+
+/// Union-find with path halving over component ids.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+/// Per-component host bitmask rows, like ConstraintChecker's compiled masks
+/// but built rule-level so the analyzer works on models the checker's
+/// constructor would reject (e.g. zero hosts).
+class AllowMasks {
+ public:
+  AllowMasks(const DeploymentModel& m, const ConstraintSet& set)
+      : hosts_(m.host_count()), words_((hosts_ + 63) / 64) {
+    const std::size_t n = m.component_count();
+    rows_.assign(n * words_, 0);
+    for (std::size_t c = 0; c < n; ++c)
+      for (std::size_t h = 0; h < hosts_; ++h)
+        if (set.host_allowed(static_cast<ComponentId>(c),
+                             static_cast<HostId>(h)))
+          rows_[c * words_ + h / 64] |= std::uint64_t{1} << (h % 64);
+  }
+
+  [[nodiscard]] std::size_t words() const noexcept { return words_; }
+
+  [[nodiscard]] std::size_t count(std::size_t c) const {
+    std::size_t total = 0;
+    for (std::size_t w = 0; w < words_; ++w)
+      total += std::popcount(rows_[c * words_ + w]);
+    return total;
+  }
+
+  [[nodiscard]] bool allowed(std::size_t c, std::size_t h) const {
+    return (rows_[c * words_ + h / 64] >> (h % 64)) & 1u;
+  }
+
+  /// AND of the rows of every component in `members`.
+  [[nodiscard]] std::vector<std::uint64_t> intersection(
+      const std::vector<std::size_t>& members) const {
+    std::vector<std::uint64_t> out(words_, ~std::uint64_t{0});
+    for (const std::size_t c : members)
+      for (std::size_t w = 0; w < words_; ++w) out[w] &= rows_[c * words_ + w];
+    // Mask off the bits beyond the host count.
+    if (words_ > 0 && hosts_ % 64 != 0)
+      out[words_ - 1] &= (std::uint64_t{1} << (hosts_ % 64)) - 1;
+    return out;
+  }
+
+ private:
+  std::size_t hosts_;
+  std::size_t words_;
+  std::vector<std::uint64_t> rows_;
+};
+
+bool mask_bit(const std::vector<std::uint64_t>& mask, std::size_t h) {
+  return (mask[h / 64] >> (h % 64)) & 1u;
+}
+
+std::size_t mask_count(const std::vector<std::uint64_t>& mask) {
+  std::size_t total = 0;
+  for (const std::uint64_t w : mask) total += std::popcount(w);
+  return total;
+}
+
+/// Rule context shared by all rule functions.
+struct Ctx {
+  const DeploymentModel& m;
+  const ConstraintSet& set;
+  CheckReport& report;
+  std::size_t n;  // components
+  std::size_t k;  // hosts
+};
+
+void check_dangling(Ctx& ctx) {
+  const auto dangling_comp = [&](std::size_t c, std::string_view where) {
+    if (c < ctx.n) return false;
+    ctx.report.add({Rule::kDanglingReference,
+                    Severity::kError,
+                    {comp_subject(ctx.m, c)},
+                    std::string(where) + " references component id " +
+                        std::to_string(c) + " but the model has " +
+                        std::to_string(ctx.n) + " components",
+                    "remove the constraint or add the missing component"});
+    return true;
+  };
+  const auto dangling_host = [&](std::size_t h, std::string_view where) {
+    if (h < ctx.k) return false;
+    ctx.report.add({Rule::kDanglingReference,
+                    Severity::kError,
+                    {host_subject(ctx.m, h)},
+                    std::string(where) + " references host id " +
+                        std::to_string(h) + " but the model has " +
+                        std::to_string(ctx.k) + " hosts",
+                    "remove the constraint or add the missing host"});
+    return true;
+  };
+  for (const auto& [c, hosts] : ctx.set.allow_lists()) {
+    dangling_comp(c, "location allow-list");
+    for (const HostId h : hosts) dangling_host(h, "location allow-list");
+  }
+  for (const auto& [c, h] : ctx.set.forbidden_hosts()) {
+    dangling_comp(c, "location forbid rule");
+    dangling_host(h, "location forbid rule");
+  }
+  for (const auto& [a, b] : ctx.set.colocation_pairs()) {
+    dangling_comp(a, "collocation constraint");
+    dangling_comp(b, "collocation constraint");
+  }
+  for (const auto& [a, b] : ctx.set.anti_colocation_pairs()) {
+    dangling_comp(a, "separation constraint");
+    dangling_comp(b, "separation constraint");
+  }
+}
+
+void check_param_ranges(Ctx& ctx) {
+  const auto bad_nonneg = [](double v) { return !(v >= 0.0) || std::isinf(v); };
+  const auto bad_unit = [](double v) { return !(v >= 0.0 && v <= 1.0); };
+  const auto report = [&](std::string subject, std::string message,
+                          std::string hint) {
+    ctx.report.add({Rule::kParamRange,
+                    Severity::kError,
+                    {std::move(subject)},
+                    std::move(message),
+                    std::move(hint)});
+  };
+
+  for (std::size_t h = 0; h < ctx.k; ++h) {
+    const model::Host& host = ctx.m.host(static_cast<HostId>(h));
+    if (bad_nonneg(host.memory_capacity))
+      report(host_subject(ctx.m, h),
+             "memory capacity " + fmt(host.memory_capacity) +
+                 " is not a finite non-negative number",
+             "set a non-negative memory capacity in KB");
+    if (bad_nonneg(host.cpu_capacity))
+      report(host_subject(ctx.m, h),
+             "CPU capacity " + fmt(host.cpu_capacity) +
+                 " is not a finite non-negative number",
+             "set a non-negative CPU capacity (0 = not modelled)");
+  }
+  for (std::size_t c = 0; c < ctx.n; ++c) {
+    const model::SoftwareComponent& comp =
+        ctx.m.component(static_cast<ComponentId>(c));
+    if (bad_nonneg(comp.memory_size))
+      report(comp_subject(ctx.m, c),
+             "memory size " + fmt(comp.memory_size) +
+                 " is not a finite non-negative number",
+             "set a non-negative memory size in KB");
+    if (bad_nonneg(comp.cpu_load))
+      report(comp_subject(ctx.m, c),
+             "CPU load " + fmt(comp.cpu_load) +
+                 " is not a finite non-negative number",
+             "set a non-negative CPU load");
+  }
+  for (std::size_t a = 0; a < ctx.k; ++a) {
+    for (std::size_t b = a + 1; b < ctx.k; ++b) {
+      const model::PhysicalLink& link = ctx.m.physical_link(
+          static_cast<HostId>(a), static_cast<HostId>(b));
+      if (link.bandwidth <= 0.0 && link.reliability <= 0.0 &&
+          !std::isnan(link.reliability) && !std::isnan(link.bandwidth))
+        continue;  // absent link
+      const std::string subject = "link " +
+                                  ctx.m.host(static_cast<HostId>(a)).name +
+                                  "--" +
+                                  ctx.m.host(static_cast<HostId>(b)).name;
+      if (bad_unit(link.reliability))
+        report(subject,
+               "reliability " + fmt(link.reliability) + " is outside [0, 1]",
+               "clamp the reliability into [0, 1]");
+      if (bad_nonneg(link.bandwidth))
+        report(subject,
+               "bandwidth " + fmt(link.bandwidth) +
+                   " is not a finite non-negative number",
+               "set a non-negative bandwidth in KB/s");
+      if (bad_nonneg(link.delay_ms))
+        report(subject,
+               "delay " + fmt(link.delay_ms) +
+                   " is not a finite non-negative number",
+               "set a non-negative delay in ms");
+    }
+  }
+  // Iterate the raw logical links, not interactions(): the interaction
+  // cache filters on frequency > 0, which would hide negative/NaN entries.
+  for (std::size_t a = 0; a < ctx.n; ++a) {
+    for (std::size_t b = a + 1; b < ctx.n; ++b) {
+      const model::LogicalLink& link = ctx.m.logical_link(
+          static_cast<ComponentId>(a), static_cast<ComponentId>(b));
+      if (link.frequency == 0.0 && link.avg_event_size == 0.0)
+        continue;  // absent interaction
+      const std::string subject =
+          "interaction " + ctx.m.component(static_cast<ComponentId>(a)).name +
+          "--" + ctx.m.component(static_cast<ComponentId>(b)).name;
+      if (bad_nonneg(link.frequency))
+        report(subject, "frequency " + fmt(link.frequency) + " is invalid",
+               "set a non-negative interaction frequency");
+      if (bad_nonneg(link.avg_event_size))
+        report(subject,
+               "event size " + fmt(link.avg_event_size) + " is invalid",
+               "set a non-negative average event size in KB");
+    }
+  }
+}
+
+void check_location(Ctx& ctx, const AllowMasks& masks) {
+  if (ctx.k == 0) {
+    if (ctx.n > 0)
+      ctx.report.add({Rule::kLocationUnsat,
+                      Severity::kError,
+                      {"model"},
+                      "the model has components but no hosts",
+                      "add at least one host"});
+    return;
+  }
+  for (std::size_t c = 0; c < ctx.n; ++c) {
+    if (masks.count(c) > 0) continue;
+    ctx.report.add(
+        {Rule::kLocationUnsat,
+         Severity::kError,
+         {comp_subject(ctx.m, c)},
+         "the allow-list minus the forbidden hosts leaves no legal host",
+         "widen the allow-list or drop a forbid rule"});
+  }
+}
+
+void check_colocation(Ctx& ctx, UnionFind& groups) {
+  for (const auto& [a, b] : ctx.set.anti_colocation_pairs()) {
+    if (a >= ctx.n || b >= ctx.n) continue;  // dangling rule reports these
+    if (groups.find(a) != groups.find(b)) continue;
+    ctx.report.add({Rule::kColocationConflict,
+                    Severity::kError,
+                    {comp_subject(ctx.m, a), comp_subject(ctx.m, b)},
+                    "the must-collocate closure forces them onto one host "
+                    "but a separation constraint forbids sharing one",
+                    "break the collocation chain or drop the separation"});
+  }
+}
+
+/// Collects the union-find classes (only valid component ids).
+std::vector<std::vector<std::size_t>> collect_groups(std::size_t n,
+                                                     UnionFind& groups) {
+  std::vector<std::vector<std::size_t>> members(n);
+  for (std::size_t c = 0; c < n; ++c) members[groups.find(c)].push_back(c);
+  std::vector<std::vector<std::size_t>> out;
+  for (auto& g : members)
+    if (!g.empty()) out.push_back(std::move(g));
+  return out;
+}
+
+std::string group_subjects(const Ctx& ctx,
+                           const std::vector<std::size_t>& group) {
+  std::string out = "group {";
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ctx.m.component(static_cast<ComponentId>(group[i])).name;
+  }
+  return out + "}";
+}
+
+void check_groups(Ctx& ctx, const AllowMasks& masks,
+                  const std::vector<std::vector<std::size_t>>& groups,
+                  bool location_satisfiability, bool capacity_bounds) {
+  if (ctx.k == 0) return;
+  // Global pigeonhole first: total footprint vs total capacity.
+  if (capacity_bounds && ctx.n > 0) {
+    double total_mem = 0.0, total_cap = 0.0;
+    for (std::size_t c = 0; c < ctx.n; ++c)
+      total_mem += ctx.m.component(static_cast<ComponentId>(c)).memory_size;
+    for (std::size_t h = 0; h < ctx.k; ++h)
+      total_cap += ctx.m.host(static_cast<HostId>(h)).memory_capacity;
+    if (total_mem > total_cap)
+      ctx.report.add({Rule::kCapacityPigeonhole,
+                      Severity::kError,
+                      {"model"},
+                      "total component memory " + fmt(total_mem) +
+                          " KB exceeds total host memory " + fmt(total_cap) +
+                          " KB",
+                      "grow the hosts or shrink the components"});
+  }
+
+  for (const auto& group : groups) {
+    // Skip groups with an individually-unsatisfiable member: location-unsat
+    // already reported the root cause.
+    bool member_unsat = false;
+    for (const std::size_t c : group) member_unsat |= masks.count(c) == 0;
+    if (member_unsat) continue;
+
+    const std::vector<std::uint64_t> common = masks.intersection(group);
+    const std::size_t legal_hosts = mask_count(common);
+    if (legal_hosts == 0) {
+      if (location_satisfiability && group.size() > 1)
+        ctx.report.add({Rule::kGroupLocationUnsat,
+                        Severity::kError,
+                        {group_subjects(ctx, group)},
+                        "the collocated components' allow-lists have an "
+                        "empty intersection: no common legal host",
+                        "align the group's location constraints"});
+      continue;
+    }
+    if (!capacity_bounds) continue;
+
+    double group_mem = 0.0, group_cpu = 0.0;
+    for (const std::size_t c : group) {
+      group_mem += ctx.m.component(static_cast<ComponentId>(c)).memory_size;
+      group_cpu += ctx.m.component(static_cast<ComponentId>(c)).cpu_load;
+    }
+    double best_mem = 0.0, best_cpu = 0.0;
+    bool all_model_cpu = true;
+    for (std::size_t h = 0; h < ctx.k; ++h) {
+      if (!mask_bit(common, h)) continue;
+      const model::Host& host = ctx.m.host(static_cast<HostId>(h));
+      best_mem = std::max(best_mem, host.memory_capacity);
+      best_cpu = std::max(best_cpu, host.cpu_capacity);
+      all_model_cpu &= host.cpu_capacity > 0.0;
+    }
+    const std::string subject = group.size() == 1
+                                    ? comp_subject(ctx.m, group[0])
+                                    : group_subjects(ctx, group);
+    if (group_mem > best_mem)
+      ctx.report.add(
+          {Rule::kCapacityPigeonhole,
+           Severity::kError,
+           {subject},
+           (group.size() == 1 ? "memory footprint "
+                              : "combined memory footprint ") +
+               fmt(group_mem) + " KB exceeds the best legal host's " +
+               fmt(best_mem) + " KB",
+           "grow a legal host, shrink the components, or relax the "
+           "constraints"});
+    if (all_model_cpu && group_cpu > best_cpu)
+      ctx.report.add(
+          {Rule::kCapacityPigeonhole,
+           Severity::kError,
+           {subject},
+           (group.size() == 1 ? "CPU load " : "combined CPU load ") +
+               fmt(group_cpu) + " exceeds the best legal host's capacity " +
+               fmt(best_cpu),
+           "grow a legal host's CPU capacity or relax the constraints"});
+  }
+}
+
+/// Connected components of the physical network (links with bandwidth > 0).
+std::vector<std::size_t> network_components(const DeploymentModel& m) {
+  const std::size_t k = m.host_count();
+  std::vector<std::size_t> label(k, k);  // k == unvisited
+  std::size_t next = 0;
+  std::vector<std::size_t> stack;
+  for (std::size_t root = 0; root < k; ++root) {
+    if (label[root] != k) continue;
+    label[root] = next;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const std::size_t h = stack.back();
+      stack.pop_back();
+      for (std::size_t other = 0; other < k; ++other) {
+        if (label[other] != k) continue;
+        if (m.connected(static_cast<HostId>(h), static_cast<HostId>(other))) {
+          label[other] = next;
+          stack.push_back(other);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+void check_network(Ctx& ctx, const AllowMasks& masks) {
+  if (ctx.k == 0) return;
+  const std::vector<std::size_t> label = network_components(ctx.m);
+  std::size_t partitions = 0;
+  for (const std::size_t l : label) partitions = std::max(partitions, l + 1);
+
+  for (const model::Interaction& ix : ctx.m.interactions()) {
+    if (ix.a >= ctx.n || ix.b >= ctx.n) continue;
+    // Direct separation constraint between the endpoints?
+    bool separated = false;
+    for (const auto& [a, b] : ctx.set.anti_colocation_pairs())
+      separated |= (a == std::min(ix.a, ix.b) && b == std::max(ix.a, ix.b));
+
+    bool reachable = false;
+    for (std::size_t part = 0; part < partitions && !reachable; ++part) {
+      std::size_t a_here = 0, b_here = 0, a_host = 0, b_host = 0;
+      for (std::size_t h = 0; h < ctx.k; ++h) {
+        if (label[h] != part) continue;
+        if (masks.allowed(ix.a, h)) {
+          ++a_here;
+          a_host = h;
+        }
+        if (masks.allowed(ix.b, h)) {
+          ++b_here;
+          b_host = h;
+        }
+      }
+      if (a_here == 0 || b_here == 0) continue;
+      // With a separation constraint the endpoints need two distinct hosts
+      // in the same partition; without one, collocation always works.
+      if (!separated || a_here > 1 || b_here > 1 || a_host != b_host)
+        reachable = true;
+    }
+    if (reachable) continue;
+    ctx.report.add(
+        {Rule::kNetworkPartition,
+         Severity::kError,
+         {comp_subject(ctx.m, ix.a), comp_subject(ctx.m, ix.b)},
+         "no allowed host pair for this interaction lies in one connected "
+         "network partition: the interaction can never be carried",
+         "add a physical link between the partitions or relax the "
+         "location/separation constraints"});
+  }
+}
+
+void check_lints(Ctx& ctx) {
+  if (ctx.k > 1) {
+    for (std::size_t h = 0; h < ctx.k; ++h) {
+      bool linked = false;
+      for (std::size_t other = 0; other < ctx.k && !linked; ++other)
+        linked = other != h && ctx.m.connected(static_cast<HostId>(h),
+                                               static_cast<HostId>(other));
+      if (!linked)
+        ctx.report.add({Rule::kIsolatedHost,
+                        Severity::kWarning,
+                        {host_subject(ctx.m, h)},
+                        "no physical link connects this host to the rest of "
+                        "the network",
+                        "add a physical link or drop the host"});
+    }
+  }
+  if (ctx.n > 0 && ctx.k > 0) {
+    double min_mem = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < ctx.n; ++c)
+      min_mem = std::min(
+          min_mem, ctx.m.component(static_cast<ComponentId>(c)).memory_size);
+    for (std::size_t h = 0; h < ctx.k; ++h) {
+      const model::Host& host = ctx.m.host(static_cast<HostId>(h));
+      if (min_mem > host.memory_capacity)
+        ctx.report.add({Rule::kUselessHost,
+                        Severity::kWarning,
+                        {host_subject(ctx.m, h)},
+                        "memory capacity " + fmt(host.memory_capacity) +
+                            " KB is below every component's footprint "
+                            "(smallest: " +
+                            fmt(min_mem) + " KB)",
+                        "grow the host or drop it from the model"});
+    }
+  }
+}
+
+}  // namespace
+
+CheckReport StaticAnalyzer::analyze(const DeploymentModel& model,
+                                    const ConstraintSet& set) const {
+  CheckReport report;
+  Ctx ctx{model, set, report, model.component_count(), model.host_count()};
+
+  if (options_.dangling_references) check_dangling(ctx);
+  if (options_.parameter_ranges) check_param_ranges(ctx);
+
+  const AllowMasks masks(model, set);
+  if (options_.location_satisfiability) check_location(ctx, masks);
+
+  UnionFind groups(ctx.n);
+  for (const auto& [a, b] : set.colocation_pairs())
+    if (a < ctx.n && b < ctx.n) groups.unite(a, b);
+  if (options_.colocation_consistency) check_colocation(ctx, groups);
+
+  if ((options_.location_satisfiability || options_.capacity_bounds) &&
+      ctx.k > 0) {
+    const auto classes = collect_groups(ctx.n, groups);
+    check_groups(ctx, masks, classes, options_.location_satisfiability,
+                 options_.capacity_bounds);
+  }
+
+  if (options_.network_reachability) check_network(ctx, masks);
+  if (options_.lints) check_lints(ctx);
+  return report;
+}
+
+CheckReport run_checks(const DeploymentModel& model, const ConstraintSet& set,
+                       const CheckOptions& options) {
+  return StaticAnalyzer(options).analyze(model, set);
+}
+
+}  // namespace dif::check

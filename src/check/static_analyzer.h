@@ -1,0 +1,71 @@
+// Rule-based static analyzer over DeploymentModel + ConstraintSet.
+//
+// Dearle et al.'s constraint-based deployment framework (arXiv:1006.4733)
+// validates a deployment specification *before* handing it to a solver; this
+// analyzer is that correctness layer for the paper's Model and User Input
+// components. Every rule proves its defect from the specification alone —
+// without running any algorithm — so a broken model is reported as a set of
+// actionable diagnostics instead of surfacing as "no feasible deployment
+// found" deep inside a search:
+//
+//   dangling-reference    constraints naming entities the model lacks
+//   param-range           parameters outside their domain (incl. NaN)
+//   location-unsat        allow-list minus forbidden hosts is empty
+//   colocation-conflict   must-collocate closure hits a separation pair
+//   group-location-unsat  a collocation group has no common legal host
+//   capacity-pigeonhole   group footprint exceeds every legal host
+//   network-partition     an interaction no host pair can ever carry
+//   isolated-host (lint)  host with no physical link
+//   useless-host (lint)   host too small for every component
+//
+// Complexity: O(n·k) per location rule plus O(k^2) for the host-graph BFS —
+// negligible next to any solver run, so the preflight hook (preflight.h)
+// runs it on every algorithm entry.
+#pragma once
+
+#include "check/diagnostic.h"
+
+namespace dif::model {
+class ConstraintSet;
+class DeploymentModel;
+}  // namespace dif::model
+
+namespace dif::check {
+
+/// Per-rule toggles. Everything on by default; preflight_options() (see
+/// preflight.h) disables the rules that are legitimate transient states at
+/// run time (network partitions) and the advisory lints.
+struct CheckOptions {
+  bool dangling_references = true;
+  bool parameter_ranges = true;
+  bool location_satisfiability = true;
+  bool colocation_consistency = true;
+  bool capacity_bounds = true;
+  bool network_reachability = true;
+  /// Warning-severity advisory rules (isolated-host, useless-host).
+  bool lints = true;
+};
+
+class StaticAnalyzer {
+ public:
+  explicit StaticAnalyzer(CheckOptions options = {}) : options_(options) {}
+
+  /// Runs every enabled rule; never throws on model defects (that is the
+  /// point), only on allocation failure.
+  [[nodiscard]] CheckReport analyze(const model::DeploymentModel& model,
+                                    const model::ConstraintSet& set) const;
+
+  [[nodiscard]] const CheckOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  CheckOptions options_;
+};
+
+/// Convenience: StaticAnalyzer(options).analyze(model, set).
+[[nodiscard]] CheckReport run_checks(const model::DeploymentModel& model,
+                                     const model::ConstraintSet& set,
+                                     const CheckOptions& options = {});
+
+}  // namespace dif::check

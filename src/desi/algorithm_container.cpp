@@ -1,5 +1,7 @@
 #include "desi/algorithm_container.h"
 
+#include "check/preflight.h"
+
 namespace dif::desi {
 
 AlgorithmContainer::AlgorithmContainer(SystemData& system,
@@ -15,6 +17,9 @@ AlgorithmContainer::AlgorithmContainer(SystemData& system,
 const ResultEntry& AlgorithmContainer::invoke(const std::string& algorithm,
                                               const model::Objective& objective,
                                               algo::AlgoOptions options) {
+  // Pre-flight: reject statically-broken models with diagnostics instead of
+  // letting the algorithm search and report a bare "infeasible".
+  check::preflight(system_.model(), system_.constraints());
   const model::ConstraintChecker checker(system_.model(),
                                          system_.constraints());
   if (!options.initial && system_.deployment().complete())

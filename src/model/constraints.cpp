@@ -113,6 +113,33 @@ bool ConstraintChecker::placement_ok(const Deployment& d, ComponentId c,
     if (other == c) continue;
     if (d.is_assigned(other) && d.host_of(other) == h) return false;
   }
+  if (options_.check_bandwidth) {
+    // Traffic the placement adds per remote host, then per affected link:
+    // already-routed traffic (excluding c's own interactions — c is the
+    // one being (re)placed) plus the new demand must fit the bandwidth.
+    const std::span<const Interaction> interactions = model_.interactions();
+    std::vector<double> added(model_.host_count(), 0.0);
+    for (const Interaction& ix : interactions) {
+      if (ix.a != c && ix.b != c) continue;
+      const ComponentId other = (ix.a == c) ? ix.b : ix.a;
+      if (!d.is_assigned(other)) continue;
+      const HostId oh = d.host_of(other);
+      if (oh != h && oh < added.size())
+        added[oh] += ix.frequency * ix.avg_event_size;
+    }
+    for (HostId oh = 0; oh < added.size(); ++oh) {
+      if (added[oh] <= 0.0) continue;
+      double load = added[oh];
+      for (const Interaction& ix : interactions) {
+        if (ix.a == c || ix.b == c) continue;
+        if (!d.is_assigned(ix.a) || !d.is_assigned(ix.b)) continue;
+        const HostId ha = d.host_of(ix.a), hb = d.host_of(ix.b);
+        if ((ha == h && hb == oh) || (ha == oh && hb == h))
+          load += ix.frequency * ix.avg_event_size;
+      }
+      if (load > model_.physical_link(h, oh).bandwidth) return false;
+    }
+  }
   return true;
 }
 

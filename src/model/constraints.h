@@ -101,7 +101,9 @@ struct CheckerOptions {
   bool check_memory = true;
   bool check_cpu = true;
   /// Off by default: the paper's Section 5 scenario constrains memory and
-  /// location/collocation; bandwidth checking is an extension point.
+  /// location/collocation only. When enabled, summed logical-link demand
+  /// (frequency * event size) per physical link is checked against the
+  /// link's bandwidth, both in full checks and in placement_ok.
   bool check_bandwidth = false;
 };
 
@@ -129,7 +131,8 @@ class ConstraintChecker {
 
   /// Incremental check used by constructive algorithms: may `c` be placed on
   /// `h` given the (possibly partial) deployment `d`? Checks location,
-  /// memory/CPU headroom, and collocation against already-placed components.
+  /// memory/CPU headroom, collocation against already-placed components,
+  /// and (with check_bandwidth) link headroom for c's placed interactions.
   [[nodiscard]] bool placement_ok(const Deployment& d, ComponentId c,
                                   HostId h) const;
 

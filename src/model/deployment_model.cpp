@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/assert.h"
+
 namespace dif::model {
 
 namespace {
@@ -36,6 +38,8 @@ void grow_square(std::vector<T>& matrix, std::size_t old_dim,
     for (std::size_t j = 0; j < old_dim; ++j)
       grown[i * new_dim + j] = std::move(matrix[i * old_dim + j]);
   matrix = std::move(grown);
+  DIF_ASSERT(matrix.size() == new_dim * new_dim,
+             "link matrix must stay sized to the entity count");
 }
 
 }  // namespace
@@ -101,14 +105,21 @@ std::size_t DeploymentModel::phys_index(HostId a, HostId b) const {
   check_host(a);
   check_host(b);
   const auto [lo, hi] = std::minmax(a, b);
-  return static_cast<std::size_t>(lo) * hosts_.size() + hi;
+  const std::size_t index = static_cast<std::size_t>(lo) * hosts_.size() + hi;
+  DIF_ASSERT(index < physical_.size(),
+             "canonical host pair must index into the physical matrix");
+  return index;
 }
 
 std::size_t DeploymentModel::logi_index(ComponentId a, ComponentId b) const {
   check_component(a);
   check_component(b);
   const auto [lo, hi] = std::minmax(a, b);
-  return static_cast<std::size_t>(lo) * components_.size() + hi;
+  const std::size_t index =
+      static_cast<std::size_t>(lo) * components_.size() + hi;
+  DIF_ASSERT(index < logical_.size(),
+             "canonical component pair must index into the logical matrix");
+  return index;
 }
 
 void DeploymentModel::set_physical_link(HostId a, HostId b,
@@ -203,6 +214,9 @@ std::span<const Interaction> DeploymentModel::interactions() const {
     }
     interactions_dirty_ = false;
   }
+  DIF_ASSERT(interactions_cache_.size() <=
+                 components_.size() * (components_.size() + 1) / 2,
+             "interaction cache cannot exceed the component pair count");
   return interactions_cache_;
 }
 

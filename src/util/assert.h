@@ -1,0 +1,39 @@
+// DIF_ASSERT — internal invariant checks on hot mutation paths.
+//
+// Distinct from user-input validation: out-of-range *parameters* are
+// reported as diagnostics (DeploymentModel::validate, check/), because tests
+// and tools legitimately build broken models on purpose. DIF_ASSERT guards
+// *internal* invariants that no input should ever be able to violate
+// (canonical pair ordering, matrix sizing, index bounds); a failure is a
+// bug in the framework itself, so it aborts with a source location.
+//
+// Compiled out unless DIF_ENABLE_ASSERTS is defined (CMake: -DDIF_ASSERTS=ON;
+// the sanitizer CI builds turn it on). The condition must be side-effect
+// free.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dif::util {
+
+[[noreturn]] inline void assert_fail(const char* condition, const char* file,
+                                     int line, const char* message) {
+  std::fprintf(stderr, "DIF_ASSERT failed: %s\n  at %s:%d\n  %s\n", condition,
+               file, line, message);
+  std::abort();
+}
+
+}  // namespace dif::util
+
+#ifdef DIF_ENABLE_ASSERTS
+#define DIF_ASSERT(condition, message)                                   \
+  do {                                                                   \
+    if (!(condition))                                                    \
+      ::dif::util::assert_fail(#condition, __FILE__, __LINE__, message); \
+  } while (false)
+#else
+#define DIF_ASSERT(condition, message) \
+  do {                                 \
+  } while (false)
+#endif

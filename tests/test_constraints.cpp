@@ -184,6 +184,55 @@ TEST(ConstraintChecker, BandwidthConstraintOptIn) {
   EXPECT_TRUE(strict.feasible(Deployment(std::vector<HostId>{0, 0})));
 }
 
+TEST(ConstraintChecker, PlacementOkChecksBandwidthHeadroom) {
+  DeploymentModel m = make_model(3, 3);
+  for (HostId a = 0; a < 3; ++a)
+    for (HostId b = a + 1; b < 3; ++b)
+      m.set_physical_link(a, b, {.reliability = 1.0, .bandwidth = 10.0});
+  // c0--c1 consumes 6 KB/s, c2--c0 another 6 KB/s: each fits alone, but
+  // both over the same h0--h1 link (12 KB/s) would exceed 10 KB/s.
+  m.set_logical_link(0, 1, {.frequency = 3.0, .avg_event_size = 2.0});
+  m.set_logical_link(0, 2, {.frequency = 3.0, .avg_event_size = 2.0});
+  ConstraintSet cs;
+  ConstraintChecker::Options options;
+  options.check_bandwidth = true;
+  ConstraintChecker checker(m, cs, options);
+
+  Deployment d(3);
+  d.assign(1, 1);
+  d.assign(2, 1);
+  // c0 on h1 is local to both partners: no traffic, fine.
+  EXPECT_TRUE(checker.placement_ok(d, 0, 1));
+  // c0 on h0 aggregates both interactions onto h0--h1: 12 > 10.
+  EXPECT_FALSE(checker.placement_ok(d, 0, 0));
+
+  // Split the partners: 6 KB/s per link fits on each.
+  d.unassign(2);
+  d.assign(2, 2);
+  EXPECT_TRUE(checker.placement_ok(d, 0, 0));
+}
+
+TEST(ConstraintChecker, PlacementOkBandwidthCountsExistingTraffic) {
+  DeploymentModel m = make_model(2, 3);
+  m.set_physical_link(0, 1, {.reliability = 1.0, .bandwidth = 10.0});
+  m.set_logical_link(0, 1, {.frequency = 4.0, .avg_event_size = 2.0});  // 8
+  m.set_logical_link(1, 2, {.frequency = 2.0, .avg_event_size = 2.0});  // 4
+  ConstraintSet cs;
+  ConstraintChecker::Options options;
+  options.check_bandwidth = true;
+  ConstraintChecker checker(m, cs, options);
+
+  Deployment d(3);
+  d.assign(0, 0);
+  d.assign(1, 1);  // existing c0--c1 cross traffic: 8 KB/s of 10
+  // c2 on h0 adds the 4 KB/s c1--c2 flow to the already-loaded link.
+  EXPECT_FALSE(checker.placement_ok(d, 2, 0));
+  // Local to its partner, c2 adds nothing.
+  EXPECT_TRUE(checker.placement_ok(d, 2, 1));
+  // Without the opt-in the same placement is accepted.
+  EXPECT_TRUE(ConstraintChecker(m, cs).placement_ok(d, 2, 0));
+}
+
 TEST(ConstraintChecker, PlacementOkChecksIncrementalState) {
   DeploymentModel m = make_model(2, 3, 25.0, 10.0);
   ConstraintSet cs;

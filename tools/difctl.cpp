@@ -28,13 +28,23 @@
 //   difctl portfolio system.json [--threads N] [--deadline SECONDS]
 //       Race several algorithms in parallel under a common deadline, print
 //       the per-algorithm results, and emit the best deployment on stdout.
+//
+//   difctl check system.json [--json] [--strict]
+//       Static deployment-model analysis: prove specification defects
+//       (dangling references, unsatisfiable constraints, capacity
+//       pigeonholes, network partitions, parameter-range lints) without
+//       running any algorithm. Exit 0 when clean, 1 when defects were
+//       found (--strict also fails on warnings), 2 on usage errors.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <set>
 #include <sstream>
 
 #include "algo/portfolio.h"
+#include "check/static_analyzer.h"
 #include "desi/algorithm_container.h"
 #include "desi/generator.h"
 #include "desi/graph_view.h"
@@ -60,7 +70,8 @@ int usage() {
                "[--hi H] [--objective NAME] [--steps N]\n"
                "  portfolio <system.json> [--threads N] [--deadline SEC] "
                "[--max-evals N] [--algorithms a,b,c] [--objective NAME] "
-               "[--seed S]\n");
+               "[--seed S]\n"
+               "  check    <system.json> [--json] [--strict]\n");
   return 2;
 }
 
@@ -80,7 +91,11 @@ class Flags {
       if (std::strncmp(argv[i], "--", 2) == 0) values_[argv[i] + 2] = argv[i + 1];
     }
     for (int i = first; i < argc; ++i)
-      if (std::strcmp(argv[i], "--dot") == 0) dot_ = true;
+      if (std::strncmp(argv[i], "--", 2) == 0) present_.insert(argv[i] + 2);
+  }
+  /// True when `--name` appears anywhere (for value-less boolean flags).
+  [[nodiscard]] bool has(const std::string& name) const {
+    return present_.count(name) > 0;
   }
   [[nodiscard]] std::string get(const std::string& name,
                                 const std::string& dflt) const {
@@ -92,11 +107,11 @@ class Flags {
     const auto it = values_.find(name);
     return it == values_.end() ? dflt : std::stoull(it->second);
   }
-  [[nodiscard]] bool dot() const noexcept { return dot_; }
+  [[nodiscard]] bool dot() const { return has("dot"); }
 
  private:
   std::map<std::string, std::string> values_;
-  bool dot_ = false;
+  std::set<std::string> present_;
 };
 
 std::unique_ptr<model::Objective> make_objective(const std::string& name) {
@@ -266,6 +281,20 @@ int cmd_portfolio(const std::string& path, const Flags& flags) {
   return 0;
 }
 
+int cmd_check(const std::string& path, const Flags& flags) {
+  const auto system = desi::XadlLite::from_text(read_file(path));
+  const check::CheckReport report =
+      check::run_checks(system->model(), system->constraints());
+  if (flags.has("json")) {
+    std::printf("%s\n", report.to_json().dump(2).c_str());
+  } else {
+    std::printf("%s", report.render_text().c_str());
+  }
+  const bool fail = report.error_count() > 0 ||
+                    (flags.has("strict") && report.warning_count() > 0);
+  return fail ? 1 : 0;
+}
+
 int cmd_tables(const std::string& path) {
   const auto system = desi::XadlLite::from_text(read_file(path));
   std::printf("== hosts ==\n%s\n== components ==\n%s\n== links ==\n%s\n"
@@ -294,6 +323,7 @@ int main(int argc, char** argv) {
     if (command == "sweep") return cmd_sweep(path, Flags(argc, argv, 3));
     if (command == "portfolio")
       return cmd_portfolio(path, Flags(argc, argv, 3));
+    if (command == "check") return cmd_check(path, Flags(argc, argv, 3));
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "difctl: %s\n", e.what());
