@@ -41,4 +41,42 @@ for seed in 1 2 3 5 8 13; do
   "$DIFCTL" check "$ROOT/build/ci_gen_$seed.json" > /dev/null
 done
 
+echo "== metrics smoke: simulate + schema/invariant check =="
+if command -v python3 >/dev/null 2>&1; then
+  "$DIFCTL" generate --hosts 6 --components 18 --seed 7 \
+    > "$ROOT/build/ci_sim_system.json"
+  "$DIFCTL" simulate "$ROOT/build/ci_sim_system.json" \
+    --duration-ms 60000 --interval-ms 3000 --seed 7 \
+    --metrics-json "$ROOT/build/ci_sim_metrics.json" \
+    --trace-json "$ROOT/build/ci_sim_trace.json" > /dev/null
+  python3 - "$ROOT/build/ci_sim_metrics.json" "$ROOT/build/ci_sim_trace.json" <<'EOF'
+import json, sys
+metrics = json.load(open(sys.argv[1]))
+trace = json.load(open(sys.argv[2]))
+assert metrics["schema"] == "dif-metrics-v1", metrics.get("schema")
+assert trace["schema"] == "dif-trace-v1", trace.get("schema")
+for key in ("counters", "gauges", "histograms"):
+    assert key in metrics, f"metrics missing {key!r}"
+c = metrics["counters"]
+assert c.get("net.sent", 0) > 0, "no traffic recorded"
+assert c.get("net.delivered", 0) + c.get("net.dropped", 0) + \
+    c.get("net.unroutable", 0) <= c["net.sent"], "conservation violated"
+spans = [e for e in trace["events"] if e["name"] == "deploy.redeploy"]
+assert spans, "no deploy.redeploy spans in trace"
+for s in spans:
+    for field in ("epoch", "moves_requested"):
+        assert field in s["fields"], f"span missing {field!r}"
+closed = [s for s in spans if "success" in s["fields"]]
+assert closed, "no completed deploy.redeploy span"
+for s in closed:
+    assert "migrations" in s["fields"], "closed span missing migrations"
+ticks = [e for e in trace["events"] if e["name"] == "loop.tick"]
+assert len(ticks) == c.get("loop.ticks"), "tick spans != tick counter"
+print(f"metrics smoke OK: {len(c)} counters, {len(spans)} redeploy "
+      f"spans, {len(ticks)} ticks")
+EOF
+else
+  echo "python3 not installed; skipping metrics smoke"
+fi
+
 echo "CI OK"

@@ -154,6 +154,32 @@ PortfolioResult PortfolioRunner::run(const model::DeploymentModel& model,
   }
   result.elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
       std::chrono::steady_clock::now() - start);
+
+  // Observability, recorded post-join on the calling thread only.
+  const obs::Instruments& obs = options_.instruments;
+  if (obs.metrics) {
+    obs.metrics->counter("portfolio.races").add(1);
+    if (result.deadline_hit)
+      obs.metrics->counter("portfolio.deadline_hits").add(1);
+    if (result.winner_index < result.runs.size())
+      obs.metrics->gauge("portfolio.best_value").set(result.best.value);
+  }
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    const AlgoResult& r = result.runs[i];
+    const double run_ms =
+        std::chrono::duration<double, std::milli>(r.elapsed).count();
+    if (obs.metrics) obs.metrics->histogram("portfolio.run_ms").observe(run_ms);
+    if (obs.trace) {
+      obs.trace->add_span(
+          options_.trace_t_ms, run_ms, "portfolio.run",
+          {{"algorithm", r.algorithm},
+           {"feasible", r.feasible},
+           // Infeasible runs may carry NaN; keep the JSON trace valid.
+           {"value", r.feasible ? r.value : 0.0},
+           {"evaluations", static_cast<std::int64_t>(r.evaluations)},
+           {"winner", i == result.winner_index}});
+    }
+  }
   return result;
 }
 

@@ -22,6 +22,7 @@
 
 #include "algo/algorithm.h"
 #include "algo/registry.h"
+#include "obs/instruments.h"
 
 namespace dif::algo {
 
@@ -39,6 +40,13 @@ struct PortfolioOptions {
   std::optional<model::Deployment> initial;
   /// External cancellation; chained into the runner's internal token.
   const CancelToken* cancel = nullptr;
+  /// Observability sinks. Recorded after the worker pool joins (never from
+  /// worker threads): one "portfolio.run" span per entry with its runtime
+  /// and result quality, plus "portfolio.*" metrics.
+  obs::Instruments instruments;
+  /// Timestamp (caller's clock, e.g. sim-time ms) the race's trace spans
+  /// are anchored at; the portfolio itself only knows wall-clock durations.
+  double trace_t_ms = 0.0;
 };
 
 struct PortfolioResult {

@@ -1,5 +1,7 @@
 #include "analyzer/centralized.h"
 
+#include <chrono>
+
 #include "algo/portfolio.h"
 #include "check/preflight.h"
 #include "util/logging.h"
@@ -29,6 +31,7 @@ Decision CentralizedAnalyzer::analyze(const model::DeploymentModel& m,
   Decision decision;
   decision.value_before = objective.evaluate(m, current);
   decision.algorithm = select_algorithm(m, profile);
+  if (obs_.metrics) obs_.metrics->counter("analyzer.analyses").add(1);
 
   // Pre-flight: a statically-broken model (contradictory constraints,
   // pigeonhole violation, dangling references) cannot be improved by any
@@ -43,6 +46,8 @@ Decision CentralizedAnalyzer::analyze(const model::DeploymentModel& m,
                       std::to_string(report.error_count()) + " defect(s)\n" +
                       report.render_text();
     util::log_warn("analyzer", decision.reason);
+    if (obs_.metrics)
+      obs_.metrics->counter("analyzer.preflight_rejects").add(1);
     RedeploymentRecord record;
     record.algorithm = decision.algorithm;
     record.value_before = decision.value_before;
@@ -65,14 +70,22 @@ Decision CentralizedAnalyzer::analyze(const model::DeploymentModel& m,
   } else {
     algorithm = registry_.create(decision.algorithm);
   }
+  const auto algo_start = std::chrono::steady_clock::now();
   const algo::AlgoResult result =
       algorithm->run(m, objective, checker, options);
+  if (obs_.metrics) {
+    const std::chrono::duration<double, std::milli> algo_elapsed =
+        std::chrono::steady_clock::now() - algo_start;
+    obs_.metrics->histogram("analyzer.algo_wall_ms")
+        .observe(algo_elapsed.count());
+  }
 
   RedeploymentRecord record;
   record.algorithm = decision.algorithm;
   record.value_before = decision.value_before;
 
   if (!result.feasible) {
+    if (obs_.metrics) obs_.metrics->counter("analyzer.infeasible").add(1);
     decision.reason = "algorithm found no feasible deployment";
     record.reason = decision.reason;
     profile.log_redeployment(std::move(record));
@@ -90,6 +103,8 @@ Decision CentralizedAnalyzer::analyze(const model::DeploymentModel& m,
                           ? result.value - decision.value_before
                           : decision.value_before - result.value;
   if (gain < policy_.min_improvement || decision.migrations == 0) {
+    if (obs_.metrics)
+      obs_.metrics->counter("analyzer.below_threshold").add(1);
     decision.reason = "improvement below threshold";
     record.reason = decision.reason;
     profile.log_redeployment(std::move(record));
@@ -106,6 +121,8 @@ Decision CentralizedAnalyzer::analyze(const model::DeploymentModel& m,
     const double latency_after = latency.evaluate(m, result.deployment);
     if (latency_after > latency_before * policy_.latency_tolerance &&
         latency_after - latency_before > 1.0) {
+      if (obs_.metrics)
+        obs_.metrics->counter("analyzer.latency_vetoes").add(1);
       decision.reason = "vetoed: latency regression (" +
                         std::to_string(latency_before) + " -> " +
                         std::to_string(latency_after) + " ms/s)";
@@ -117,6 +134,8 @@ Decision CentralizedAnalyzer::analyze(const model::DeploymentModel& m,
   }
 
   decision.action = Decision::Action::kRedeploy;
+  if (obs_.metrics)
+    obs_.metrics->counter("analyzer.redeploy_decisions").add(1);
   decision.reason = "improvement " + std::to_string(gain) + " via " +
                     decision.algorithm;
   record.applied = true;

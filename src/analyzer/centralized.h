@@ -23,6 +23,7 @@
 #include "analyzer/execution_profile.h"
 #include "model/constraints.h"
 #include "model/objective.h"
+#include "obs/instruments.h"
 
 namespace dif::analyzer {
 
@@ -98,9 +99,18 @@ class CentralizedAnalyzer {
     policy_.stable_algorithm = std::move(name);
   }
 
+  /// Counts analyses and their verdicts under "analyzer.*"; algorithm
+  /// wall-clock runtime feeds the "analyzer.algo_wall_ms" histogram (the
+  /// analyzer itself has no simulated clock — sim-time tick spans are the
+  /// ImprovementLoop's job).
+  void set_instruments(obs::Instruments instruments) noexcept {
+    obs_ = instruments;
+  }
+
  private:
   const algo::AlgorithmRegistry& registry_;
   Policy policy_;
+  obs::Instruments obs_;
 };
 
 }  // namespace dif::analyzer

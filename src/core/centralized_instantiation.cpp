@@ -137,6 +137,16 @@ void CentralizedInstantiation::start() {
   }
 }
 
+void CentralizedInstantiation::set_instruments(obs::Instruments instruments) {
+  network_->set_instruments(instruments);
+  for (const auto& freq : freq_monitors_)
+    if (freq) freq->set_instruments(instruments);
+  for (const auto& rel : rel_monitors_) rel->set_instruments(instruments);
+  for (prism::AdminComponent* admin : admins_)
+    admin->set_instruments(instruments);
+  if (deployer_) deployer_->set_instruments(instruments);
+}
+
 prism::AdminComponent& CentralizedInstantiation::admin(model::HostId host) {
   return *admins_.at(host);
 }

@@ -69,6 +69,12 @@ class CentralizedInstantiation {
   /// Starts workloads, monitors, and admin reporting.
   void start();
 
+  /// Fans the observability handle out to every layer already built:
+  /// network, frequency/reliability monitors, admins, and the deployer.
+  /// Call before start() to capture the run from t=0; the ImprovementLoop
+  /// carries its own handle (see ImprovementLoop::set_instruments).
+  void set_instruments(obs::Instruments instruments);
+
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
   [[nodiscard]] sim::SimNetwork& network() noexcept { return *network_; }
   [[nodiscard]] desi::SystemData& system() noexcept { return system_; }

@@ -49,7 +49,12 @@ analyzer::Decision ImprovementLoop::tick() {
   }
 
   analyzer::Decision decision;
-  if (instantiation_.deployer().redeployment_in_flight()) {
+  bool effected = false;
+  // Guard on *our own* outstanding redeployment only. The deployer may be
+  // busy for other reasons (an externally-effected redeployment); analysis
+  // then proceeds and the effector's rejection is recorded explicitly
+  // below, instead of being misfiled as an applied redeployment.
+  if (effect_outstanding_) {
     decision.reason = "redeployment in flight; skipping analysis";
     decision.value_before = value;
   } else {
@@ -60,8 +65,10 @@ analyzer::Decision ImprovementLoop::tick() {
                                  config_.seed + tick_count_);
     if (config_.enable_escalation) escalation_.observe(decision);
     if (decision.action == analyzer::Decision::Action::kRedeploy) {
+      effect_outstanding_ = true;
       const bool accepted = instantiation_.adapter().effect(
           decision.target, [this](bool success, std::size_t migrations) {
+            effect_outstanding_ = false;
             if (success) {
               ++applied_;
               pending_realization_ = true;
@@ -69,12 +76,22 @@ analyzer::Decision ImprovementLoop::tick() {
             util::log_info("loop", "redeployment finished, success=",
                            success, " migrations=", migrations);
           });
-      if (!accepted) decision.reason += " (effector busy)";
+      if (accepted) {
+        effected = true;
+      } else {
+        effect_outstanding_ = false;
+        ++rejected_;
+        decision.reason += " (effector rejected: redeployment in flight)";
+        if (obs_.metrics)
+          obs_.metrics->counter("loop.effector_rejected").add(1);
+      }
     }
   }
 
   if (config_.adaptive_interval) {
-    if (decision.action == analyzer::Decision::Action::kRedeploy) {
+    // Only an *effected* redeployment resets the cadence: a rejected one
+    // changed nothing, so re-examining sooner would just re-reject.
+    if (effected) {
       current_interval_ms_ = config_.interval_ms;
     } else {
       current_interval_ms_ = std::min(
@@ -83,8 +100,29 @@ analyzer::Decision ImprovementLoop::tick() {
     }
   }
 
+  if (obs_.metrics) {
+    obs_.metrics->counter("loop.ticks").add(1);
+    obs_.metrics->gauge("loop.objective").set(value);
+    obs_.metrics->gauge("loop.interval_ms").set(current_interval_ms_);
+    if (effected)
+      obs_.metrics->counter("loop.redeployments_effected").add(1);
+  }
+  if (obs_.trace) {
+    const char* action = "keep";
+    if (decision.action == analyzer::Decision::Action::kRedeploy)
+      action = effected ? "redeploy" : "redeploy_rejected";
+    else if (decision.reason.rfind("redeployment in flight", 0) == 0)
+      action = "skip_in_flight";
+    obs_.trace->add_span(
+        now, 0.0, "loop.tick",
+        {{"objective", value},
+         {"action", std::string(action)},
+         {"algorithm", decision.algorithm},
+         {"migrations", static_cast<std::int64_t>(decision.migrations)}});
+  }
+
   history_.push_back({now, value, decision.action, decision.algorithm,
-                      decision.reason, decision.migrations});
+                      decision.reason, decision.migrations, effected});
   return decision;
 }
 

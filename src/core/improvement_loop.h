@@ -8,6 +8,7 @@
 #include "analyzer/centralized.h"
 #include "analyzer/escalation.h"
 #include "core/centralized_instantiation.h"
+#include "obs/instruments.h"
 
 namespace dif::core {
 
@@ -42,6 +43,9 @@ class ImprovementLoop {
     std::string algorithm;
     std::string reason;
     std::size_t migrations = 0;
+    /// True when a kRedeploy decision was actually handed to the effector;
+    /// false records a rejection (the effector was already busy).
+    bool effected = false;
   };
 
   /// All references must outlive the loop.
@@ -64,6 +68,16 @@ class ImprovementLoop {
   [[nodiscard]] std::size_t redeployments_applied() const noexcept {
     return applied_;
   }
+  /// kRedeploy decisions the effector refused (a redeployment someone else
+  /// started was still in flight).
+  [[nodiscard]] std::size_t effector_rejections() const noexcept {
+    return rejected_;
+  }
+
+  void set_instruments(obs::Instruments instruments) noexcept {
+    obs_ = instruments;
+    analyzer_.set_instruments(instruments);
+  }
   [[nodiscard]] const analyzer::EscalationPolicy& escalation() const noexcept {
     return escalation_;
   }
@@ -85,9 +99,17 @@ class ImprovementLoop {
   std::vector<TickRecord> history_;
   bool running_ = false;
   std::size_t applied_ = 0;
+  std::size_t rejected_ = 0;
   std::uint64_t tick_count_ = 0;
   double current_interval_ms_ = 0.0;
   bool pending_realization_ = false;
+  /// True between this loop's accepted effect() call and its completion.
+  /// The tick guard keys on this — the loop's *own* outstanding
+  /// redeployment — not on the deployer's global busy state, so that a
+  /// redeployment started by someone else surfaces as an explicit effector
+  /// rejection instead of silently suppressing analysis.
+  bool effect_outstanding_ = false;
+  obs::Instruments obs_;
 };
 
 }  // namespace dif::core

@@ -1,0 +1,24 @@
+// The instrumentation handle threaded through the adaptation loop.
+//
+// A cheap value type bundling the two observability sinks; every layer
+// (SimNetwork, monitors, Admin/Deployer, ImprovementLoop, PortfolioRunner)
+// accepts one via set_instruments()/options and treats null members as
+// "observability off" — the default, so uninstrumented runs pay only a
+// pointer test per hook.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dif::obs {
+
+struct Instruments {
+  Registry* metrics = nullptr;
+  TraceLog* trace = nullptr;
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return metrics != nullptr || trace != nullptr;
+  }
+};
+
+}  // namespace dif::obs

@@ -1,0 +1,125 @@
+// Runtime metrics: counters, gauges, histograms behind a central Registry.
+//
+// The paper's management loop (Monitor -> Model -> Analyzer -> Effector) ran
+// on physical devices with no record of its own behaviour; `src/obs` is the
+// framework's flight recorder. Every layer of the adaptation loop registers
+// named metrics here, and the Registry serializes them as one JSON document
+// (util/json) so experiment runs and BENCH_*.json files share a single
+// source of truth.
+//
+// Design constraints:
+//   * deterministic — iteration and serialization order is the metric name
+//     (std::map), so two identical seeded runs emit byte-identical JSON;
+//   * allocation-stable — counter(), gauge(), and histogram() return
+//     references that stay valid for the Registry's lifetime (node-based
+//     map), so hot paths can cache them;
+//   * single-threaded by design — everything above the simulator runs on
+//     the sim thread. The one multi-threaded producer (PortfolioRunner)
+//     records results after its worker pool joins.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace dif::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  void add(double v) noexcept { value_ += v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram with count/sum/min/max. Buckets are cumulative
+/// upper bounds ("le" semantics); samples above the last bound land in the
+/// implicit +inf overflow bucket.
+class Histogram {
+ public:
+  /// Default bounds suit millisecond-scale latencies (sub-ms to minutes).
+  [[nodiscard]] static std::vector<double> default_bounds();
+
+  explicit Histogram(std::vector<double> bounds = default_bounds());
+
+  void observe(double sample) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1,
+  /// the final entry being the +inf overflow bucket.
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts()
+      const noexcept {
+    return buckets_;
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Central metric namespace. Names are hierarchical by convention
+/// ("net.sent", "deploy.timeouts", "loop.ticks").
+class Registry {
+ public:
+  /// Returns the named metric, creating it on first use. References remain
+  /// valid for the Registry's lifetime.
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     std::vector<double> bounds = {});
+
+  /// Read-side lookups for tests and report generators (null when absent).
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(
+      const std::string& name) const;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// One deterministic document:
+  ///   {"schema": "dif-metrics-v1",
+  ///    "counters": {name: value, ...},
+  ///    "gauges": {name: value, ...},
+  ///    "histograms": {name: {"count","sum","min","max","mean",
+  ///                          "buckets": [{"le", "count"}, ...]}, ...}}
+  /// The final bucket of each histogram has "le": null (+inf overflow).
+  [[nodiscard]] util::json::Value to_json() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace dif::obs

@@ -1,0 +1,91 @@
+// Adaptation tracing: a structured log of timestamped spans and events
+// keyed to the simulation clock.
+//
+// Where the metrics Registry answers "how much / how often", the TraceLog
+// answers "why": every redeployment epoch, analyzer tick, and portfolio race
+// leaves a span carrying the inputs of the decision (objective value,
+// algorithm chosen, epoch, migration count) and its outcome (applied,
+// rejected, timed out) so a run can be replayed from its trace alone.
+//
+// Callers supply timestamps explicitly — instrumented code already holds a
+// clock (the simulator, a scaffold, or a wall-clock delta) and the log must
+// not guess which one applies. Spans record their start time at begin and
+// their duration at end; instant events have zero duration. The log is
+// bounded: past `capacity` entries, new records are counted as dropped
+// rather than grown without limit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/json.h"
+
+namespace dif::obs {
+
+/// Typed span/event field value.
+using FieldValue = std::variant<bool, std::int64_t, double, std::string>;
+using Fields = std::vector<std::pair<std::string, FieldValue>>;
+
+struct TraceEvent {
+  double t_ms = 0.0;    // start time on the caller's clock
+  double dur_ms = 0.0;  // 0 for instant events and still-open spans
+  bool span = false;
+  std::string name;
+  Fields fields;
+
+  /// Field lookup for assertions/report code; null when absent.
+  [[nodiscard]] const FieldValue* field(const std::string& key) const;
+};
+
+class TraceLog {
+ public:
+  using SpanId = std::size_t;
+  static constexpr SpanId kInvalidSpan = static_cast<SpanId>(-1);
+
+  explicit TraceLog(std::size_t capacity = 1 << 20) : capacity_(capacity) {}
+
+  /// Records an instant event.
+  void add_event(double t_ms, std::string name, Fields fields = {});
+
+  /// Opens a span; close it with end_span. Returns kInvalidSpan when the
+  /// log is full (all further operations on it are no-ops).
+  [[nodiscard]] SpanId begin_span(double t_ms, std::string name,
+                                  Fields fields = {});
+  /// Attaches one more field to an open (or closed) span.
+  void span_field(SpanId id, std::string key, FieldValue value);
+  /// Closes the span, recording `t_ms - start` as its duration.
+  void end_span(SpanId id, double t_ms);
+
+  /// Records an already-measured span in one call (used by post-hoc
+  /// recorders such as the portfolio runner).
+  void add_span(double t_ms, double dur_ms, std::string name,
+                Fields fields = {});
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Every event with name == `name`, in record order.
+  [[nodiscard]] std::vector<const TraceEvent*> find(
+      const std::string& name) const;
+
+  /// One deterministic document:
+  ///   {"schema": "dif-trace-v1", "dropped": N,
+  ///    "events": [{"t_ms","dur_ms","span","name","fields":{...}}, ...]}
+  [[nodiscard]] util::json::Value to_json() const;
+
+ private:
+  [[nodiscard]] bool full() const noexcept {
+    return events_.size() >= capacity_;
+  }
+
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dif::obs

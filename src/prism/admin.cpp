@@ -113,13 +113,21 @@ void AdminComponent::collect_and_report() {
          freq_monitor_->collect())
       latest.emplace("freq:" + pf.from + "->" + pf.to, pf);
     for (auto& [key, filter] : filters_) {
-      if (key.rfind("freq:", 0) == 0 && !latest.count(key)) filter.add(0.0);
+      if (key.rfind("freq:", 0) == 0 && !latest.count(key)) {
+        filter.add(0.0);
+        if (obs_.metrics)
+          obs_.metrics->counter("monitor.filter.samples").add(1);
+      }
     }
     ByteWriter body;
     std::uint32_t count = 0;
     for (const auto& [key, pf] : latest) {
       const std::optional<double> stable =
           filter_for(key).add(pf.frequency);
+      if (obs_.metrics) {
+        obs_.metrics->counter("monitor.filter.samples").add(1);
+        if (stable) obs_.metrics->counter("monitor.filter.stable").add(1);
+      }
       if (!stable) continue;
       body.str(pf.from);
       body.str(pf.to);
@@ -142,6 +150,10 @@ void AdminComponent::collect_and_report() {
          reliability_monitor_->collect()) {
       const std::optional<double> stable =
           filter_for("rel:" + std::to_string(pr.peer)).add(pr.reliability);
+      if (obs_.metrics) {
+        obs_.metrics->counter("monitor.filter.samples").add(1);
+        if (stable) obs_.metrics->counter("monitor.filter.stable").add(1);
+      }
       if (!stable) continue;
       body.u32(pr.peer);
       body.f64(*stable);
@@ -154,6 +166,7 @@ void AdminComponent::collect_and_report() {
     report.set("rels", full.take());
   }
 
+  if (obs_.metrics) obs_.metrics->counter("admin.reports").add(1);
   send_to_deployer(std::move(report));
 }
 
@@ -185,6 +198,9 @@ void AdminComponent::handle_new_config(const Event& event) {
   }
   const std::vector<std::uint8_t>* config = event.get_bytes("config");
   if (!config) return;
+  // The deployer stamps each round's epoch on __new_config; it rides every
+  // downstream protocol event so acknowledgements identify their round.
+  const std::optional<double> epoch = event.get_double("epoch");
   ByteReader r(*config);
   const std::uint32_t count = r.u32();
   for (std::uint32_t i = 0; i < count; ++i) {
@@ -207,6 +223,7 @@ void AdminComponent::handle_new_config(const Event& event) {
     request.set_to(admin_name(*current));
     request.set("component", component);
     request.set("requester", static_cast<double>(host_));
+    if (epoch) request.set("epoch", *epoch);
     send(std::move(request));
   }
 }
@@ -229,6 +246,8 @@ void AdminComponent::handle_request_component(const Event& event) {
   transfer.set("type", detached->type_name());
   transfer.set("memory_kb", detached->memory_kb());
   transfer.set("origin", static_cast<double>(host_));
+  if (const std::optional<double> epoch = event.get_double("epoch"))
+    transfer.set("epoch", *epoch);
   transfer.set("state", state.take());
   // Point our own routing at the new host before the transfer leaves, so
   // events arriving meanwhile chase the component instead of piling up.
@@ -275,6 +294,7 @@ void AdminComponent::handle_component_transfer(const Event& event) {
   const std::vector<std::uint8_t>* state = event.get_bytes("state");
   if (!component || !type) return;
   const bool provisional = event.get_bool("restored").value_or(false);
+  const std::optional<double> epoch = event.get_double("epoch");
   const auto ack_origin = [&] {
     if (provisional) return;  // self-restore: nobody to ack
     if (const std::optional<double> origin = event.get_double("origin")) {
@@ -289,7 +309,7 @@ void AdminComponent::handle_component_transfer(const Event& event) {
     // the sender stops retrying, and drop the duplicate. A genuine arrival
     // also upgrades a provisional copy to authoritative.
     if (!provisional && restored_.erase(*component) > 0)
-      announce_ownership(*component, /*restored=*/false);
+      announce_ownership(*component, /*restored=*/false, epoch);
     ack_origin();
     return;
   }
@@ -320,10 +340,11 @@ void AdminComponent::handle_component_transfer(const Event& event) {
                                params_.transfer_retry_interval_ms);
   } else {
     restored_.erase(*component);
-    announce_ownership(*component, /*restored=*/false);
+    announce_ownership(*component, /*restored=*/false, epoch);
     Event ack("__migration_ack");
     ack.set("component", *component);
     ack.set("host", static_cast<double>(host_));
+    if (epoch) ack.set("epoch", *epoch);
     send_to_deployer(std::move(ack));
   }
 
@@ -331,11 +352,13 @@ void AdminComponent::handle_component_transfer(const Event& event) {
 }
 
 void AdminComponent::announce_ownership(const std::string& component,
-                                        bool restored) {
+                                        bool restored,
+                                        std::optional<double> epoch) {
   Event update("__location_update");
   update.set("component", component);
   update.set("host", static_cast<double>(host_));
   update.set("restored", restored);
+  if (epoch) update.set("epoch", *epoch);
   send(std::move(update));  // broadcast to peers (deployer rebroadcasts)
 }
 

@@ -25,9 +25,11 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 
+#include "obs/instruments.h"
 #include "prism/architecture.h"
 #include "prism/distribution.h"
 #include "prism/monitors.h"
@@ -86,6 +88,10 @@ class AdminComponent : public Component {
   void start_reporting();
   void stop_reporting() noexcept { reporting_ = false; }
 
+  void set_instruments(obs::Instruments instruments) noexcept {
+    obs_ = instruments;
+  }
+
   void handle(const Event& event) override;
   void on_attached() override;
 
@@ -116,6 +122,8 @@ class AdminComponent : public Component {
                  NetworkReliabilityMonitor* reliability_monitor,
                  Params params);
 
+  obs::Instruments obs_;
+
  private:
   void collect_and_report();
   void handle_new_config(const Event& event);
@@ -134,7 +142,11 @@ class AdminComponent : public Component {
   bool reporting_ = false;
 
   void schedule_transfer_retry(const std::string& component);
-  void announce_ownership(const std::string& component, bool restored);
+  /// Broadcasts a __location_update claim. When the claim concludes a
+  /// migration of a known redeployment round, `epoch` stamps the update so
+  /// the deployer can count it as that round's acknowledgement.
+  void announce_ownership(const std::string& component, bool restored,
+                          std::optional<double> epoch = std::nullopt);
   void schedule_restored_reclaims(const std::string& component,
                                   double delay_ms);
 

@@ -36,15 +36,41 @@ void DeployerComponent::handle(const Event& event) {
       rebroadcast.set("host", *host);
       rebroadcast.set("restored",
                       event.get_bool("restored").value_or(false));
+      if (const std::optional<double> epoch = event.get_double("epoch"))
+        rebroadcast.set("epoch", *epoch);
       send(std::move(rebroadcast));
       // A location update doubles as an ack: the component demonstrably
-      // arrived somewhere, even if the explicit __migration_ack was lost.
-      if (pending_.erase(*component) && pending_.empty() && completion_)
-        finish(true);
+      // arrived somewhere, even if the explicit __migration_ack was lost —
+      // but only when it concludes a migration of the *current* round
+      // (matching epoch, not a provisional restore). A late update from an
+      // abandoned round must not satisfy the new round's bookkeeping.
+      const bool restored = event.get_bool("restored").value_or(false);
+      if (!restored && ack_epoch_matches(event)) {
+        if (pending_.erase(*component) && pending_.empty() && completion_)
+          finish(true);
+      }
     }
     return;
   }
   AdminComponent::handle(event);
+}
+
+bool DeployerComponent::ack_epoch_matches(const Event& event) {
+  const std::optional<double> epoch = event.get_double("epoch");
+  if (epoch && static_cast<std::uint64_t>(*epoch) == epoch_) return true;
+  if (!pending_.empty()) {
+    const std::string* component = event.get_string("component");
+    if (component && pending_.count(*component)) {
+      ++stale_acks_ignored_;
+      if (obs_.metrics)
+        obs_.metrics->counter("deploy.stale_acks_ignored").add(1);
+      util::log_debug("prism.deployer", "ignoring stale ack for '",
+                      *component, "' (epoch ",
+                      epoch ? static_cast<std::uint64_t>(*epoch) : 0,
+                      " != ", epoch_, ")");
+    }
+  }
+  return false;
 }
 
 void DeployerComponent::handle_monitor_report(const Event& event) {
@@ -97,6 +123,9 @@ bool DeployerComponent::effect_deployment(const TargetDeployment& target,
   completion_ = std::move(done);
   migrations_requested_ = 0;
   ++epoch_;
+  renotify_rounds_ = 0;
+  redeploy_start_ms_ = architecture()->scaffold().now_ms();
+  if (obs_.metrics) obs_.metrics->counter("deploy.redeployments").add(1);
 
   // Serialize desired configuration + current locations once.
   std::uint32_t moves = 0;
@@ -112,6 +141,12 @@ bool DeployerComponent::effect_deployment(const TargetDeployment& target,
     }
   }
   migrations_requested_ = moves;
+  if (obs_.trace) {
+    redeploy_span_ = obs_.trace->begin_span(
+        redeploy_start_ms_, "deploy.redeploy",
+        {{"epoch", static_cast<std::int64_t>(epoch_)},
+         {"moves_requested", static_cast<std::int64_t>(moves)}});
+  }
 
   if (pending_.empty()) {
     finish(true);
@@ -129,6 +164,7 @@ bool DeployerComponent::effect_deployment(const TargetDeployment& target,
         if (epoch == epoch_ && !pending_.empty()) {
           util::log_warn("prism.deployer", "redeployment timed out with ",
                          pending_.size(), " components unacked");
+          if (obs_.metrics) obs_.metrics->counter("deploy.timeouts").add(1);
           pending_.clear();
           finish(false);
         }
@@ -172,6 +208,7 @@ void DeployerComponent::broadcast_new_config() {
     new_config.set_to(admin_name(admin_host));
     new_config.set("config", config_blob);
     new_config.set("locations", locations_blob);
+    new_config.set("epoch", static_cast<double>(epoch_));
     // The master host's own admin is a separate component welded to the
     // same connector, so local and remote admins are addressed uniformly.
     send(std::move(new_config));
@@ -182,6 +219,9 @@ void DeployerComponent::schedule_renotify(std::uint64_t epoch) {
   architecture()->scaffold().schedule(
       deployer_params_.renotify_interval_ms, [this, epoch] {
         if (epoch != epoch_ || pending_.empty()) return;
+        ++renotify_rounds_;
+        if (obs_.metrics)
+          obs_.metrics->counter("deploy.renotify_rounds").add(1);
         broadcast_new_config();
         schedule_renotify(epoch);
       });
@@ -191,6 +231,10 @@ void DeployerComponent::handle_migration_ack(const Event& event) {
   const std::string* component = event.get_string("component");
   const std::optional<double> host = event.get_double("host");
   if (!component || !host) return;
+  // An ack from an earlier epoch is a late arrival from an abandoned round:
+  // its component may not even be part of the current target, and counting
+  // it would mark the current round's migration done before it happened.
+  if (!ack_epoch_matches(event)) return;
   connector().set_location(*component, static_cast<model::HostId>(*host));
   pending_.erase(*component);
   if (pending_.empty() && completion_) finish(true);
@@ -198,6 +242,27 @@ void DeployerComponent::handle_migration_ack(const Event& event) {
 
 void DeployerComponent::finish(bool success) {
   if (success) ++completed_;
+  const double now = architecture() ? architecture()->scaffold().now_ms()
+                                    : redeploy_start_ms_;
+  if (obs_.metrics) {
+    if (success) {
+      obs_.metrics->counter("deploy.redeployments_succeeded").add(1);
+      obs_.metrics->counter("deploy.migrations").add(migrations_requested_);
+    } else {
+      obs_.metrics->counter("deploy.redeployments_failed").add(1);
+    }
+    obs_.metrics->histogram("deploy.redeploy_ms")
+        .observe(now - redeploy_start_ms_);
+  }
+  if (obs_.trace && redeploy_span_ != obs::TraceLog::kInvalidSpan) {
+    obs_.trace->span_field(redeploy_span_, "success", success);
+    obs_.trace->span_field(redeploy_span_, "migrations",
+                           static_cast<std::int64_t>(migrations_requested_));
+    obs_.trace->span_field(redeploy_span_, "renotify_rounds",
+                           static_cast<std::int64_t>(renotify_rounds_));
+    obs_.trace->end_span(redeploy_span_, now);
+    redeploy_span_ = obs::TraceLog::kInvalidSpan;
+  }
   if (completion_) {
     CompletionHandler done = std::move(completion_);
     completion_ = nullptr;

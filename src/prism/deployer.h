@@ -16,6 +16,7 @@
 #include <functional>
 #include <set>
 
+#include "obs/instruments.h"
 #include "prism/admin.h"
 
 namespace dif::prism {
@@ -92,6 +93,13 @@ class DeployerComponent final : public AdminComponent {
   [[nodiscard]] std::uint64_t redeployments_completed() const noexcept {
     return completed_;
   }
+  /// Acks/location updates carrying a wrong (or no) epoch while a
+  /// redeployment was in flight. Nonzero means a stale message from an
+  /// earlier round arrived late and was correctly not counted.
+  [[nodiscard]] std::uint64_t stale_acks_ignored() const noexcept {
+    return stale_acks_ignored_;
+  }
+  [[nodiscard]] std::uint64_t current_epoch() const noexcept { return epoch_; }
 
   void handle(const Event& event) override;
 
@@ -101,6 +109,10 @@ class DeployerComponent final : public AdminComponent {
   void broadcast_new_config();
   void schedule_renotify(std::uint64_t epoch);
   void finish(bool success);
+  /// Does `event` acknowledge a migration of the *current* epoch? Events
+  /// without an epoch stamp, or stamped with a different epoch, are stale
+  /// leftovers of an earlier round and must not be counted.
+  [[nodiscard]] bool ack_epoch_matches(const Event& event);
 
   ReportHandler report_handler_;
   DeployerParams deployer_params_;
@@ -108,8 +120,12 @@ class DeployerComponent final : public AdminComponent {
   TargetDeployment current_target_;
   CompletionHandler completion_;
   std::size_t migrations_requested_ = 0;
-  std::uint64_t epoch_ = 0;  // distinguishes timeout checks across rounds
+  std::uint64_t epoch_ = 0;  // stamps every protocol event of a round
   std::uint64_t completed_ = 0;
+  std::uint64_t stale_acks_ignored_ = 0;
+  std::uint64_t renotify_rounds_ = 0;
+  double redeploy_start_ms_ = 0.0;
+  obs::TraceLog::SpanId redeploy_span_ = obs::TraceLog::kInvalidSpan;
 };
 
 }  // namespace dif::prism

@@ -18,8 +18,11 @@ bool StabilityFilter::stable() const {
   return window_.full() && window_.spread() < epsilon_;
 }
 
-EvtFrequencyMonitor::EvtFrequencyMonitor(const IScaffold& scaffold)
-    : scaffold_(scaffold), window_start_ms_(scaffold.now_ms()) {}
+EvtFrequencyMonitor::EvtFrequencyMonitor(const IScaffold& scaffold,
+                                         std::size_t retain_windows)
+    : scaffold_(scaffold),
+      retain_windows_(retain_windows),
+      window_start_ms_(scaffold.now_ms()) {}
 
 void EvtFrequencyMonitor::on_event_sent(const Brick& brick,
                                         const Event& event) {
@@ -62,6 +65,32 @@ EvtFrequencyMonitor::collect() {
                                        static_cast<double>(counter.count)
                                  : 0.0});
   }
+  // Pairs from recent windows with no events this window: report an
+  // explicit zero so the model sees the interaction decaying to nothing
+  // instead of freezing at its last nonzero frequency. Retired after
+  // retain_windows_ consecutive quiet windows.
+  std::size_t zero_pairs = 0;
+  for (auto it = quiet_windows_.begin(); it != quiet_windows_.end();) {
+    if (counts_.count(it->first) != 0) {
+      it->second = 0;
+      ++it;
+      continue;
+    }
+    if (++it->second > retain_windows_) {
+      it = quiet_windows_.erase(it);
+      continue;
+    }
+    out.push_back({it->first.first, it->first.second, 0.0, 0.0});
+    ++zero_pairs;
+    ++it;
+  }
+  for (const auto& [pair, counter] : counts_) quiet_windows_[pair] = 0;
+  if (obs_.metrics) {
+    obs_.metrics->counter("monitor.freq.collections").add(1);
+    obs_.metrics->counter("monitor.freq.zero_pairs").add(zero_pairs);
+    obs_.metrics->gauge("monitor.freq.pairs").set(
+        static_cast<double>(out.size()));
+  }
   counts_.clear();
   window_start_ms_ = now;
   return out;
@@ -95,6 +124,7 @@ void NetworkReliabilityMonitor::ping_round() {
     for (std::uint32_t i = 0; i < params_.pings_per_round; ++i) {
       connector_.send_ping(peer, next_ping_id_++);
       ++sent_received_[peer].first;
+      if (obs_.metrics) obs_.metrics->counter("monitor.rel.pings").add(1);
     }
   }
 }
@@ -111,6 +141,11 @@ NetworkReliabilityMonitor::collect() {
     out.push_back({peer, std::sqrt(round_trip), sent});
     sent = 0;
     received = 0;
+  }
+  if (obs_.metrics) {
+    obs_.metrics->counter("monitor.rel.collections").add(1);
+    obs_.metrics->gauge("monitor.rel.peers").set(
+        static_cast<double>(out.size()));
   }
   return out;
 }

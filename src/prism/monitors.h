@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "model/ids.h"
+#include "obs/instruments.h"
 #include "prism/brick.h"
 #include "prism/distribution.h"
 #include "sim/simulator.h"
@@ -49,10 +50,19 @@ class StabilityFilter {
 /// not counted.
 class EvtFrequencyMonitor final : public IMonitor {
  public:
-  explicit EvtFrequencyMonitor(const IScaffold& scaffold);
+  /// A pair that stops interacting keeps appearing in collect() output with
+  /// an explicit zero frequency for `retain_windows` further collections, so
+  /// downstream consumers (stability filters, the model) observe the decay
+  /// instead of the pair silently vanishing from reports.
+  explicit EvtFrequencyMonitor(const IScaffold& scaffold,
+                               std::size_t retain_windows = 8);
 
   void on_event_sent(const Brick& brick, const Event& event) override;
   void on_event_received(const Brick& brick, const Event& event) override;
+
+  void set_instruments(obs::Instruments instruments) noexcept {
+    obs_ = instruments;
+  }
 
   /// One measured interaction: events/second from `from` to `to` over the
   /// last collection window.
@@ -64,6 +74,8 @@ class EvtFrequencyMonitor final : public IMonitor {
   };
 
   /// Returns frequencies since the previous collect() and resets counters.
+  /// Pairs active in recent windows but silent in this one are reported
+  /// with frequency 0 (see constructor).
   [[nodiscard]] std::vector<PairFrequency> collect();
 
   [[nodiscard]] std::uint64_t events_observed() const noexcept {
@@ -77,9 +89,14 @@ class EvtFrequencyMonitor final : public IMonitor {
   };
 
   const IScaffold& scaffold_;
+  std::size_t retain_windows_;
   double window_start_ms_;
   std::map<std::pair<std::string, std::string>, Counter> counts_;
+  /// Consecutive zero-event collections per known pair; pruned past
+  /// retain_windows_.
+  std::map<std::pair<std::string, std::string>, std::size_t> quiet_windows_;
   std::uint64_t observed_ = 0;
+  obs::Instruments obs_;
 };
 
 /// Measures link reliability to each peer with the paper's "common pinging
@@ -103,6 +120,10 @@ class NetworkReliabilityMonitor {
   void start();
   void stop() noexcept { running_ = false; }
 
+  void set_instruments(obs::Instruments instruments) noexcept {
+    obs_ = instruments;
+  }
+
   struct PeerReliability {
     model::HostId peer;
     double reliability;
@@ -124,6 +145,7 @@ class NetworkReliabilityMonitor {
   std::uint64_t next_ping_id_ = 1;
   std::map<model::HostId, std::pair<std::uint64_t, std::uint64_t>>
       sent_received_;
+  obs::Instruments obs_;
 };
 
 }  // namespace dif::prism

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace dif::sim {
 
@@ -90,6 +91,10 @@ void SimNetwork::set_receiver(model::HostId host, Receiver receiver) {
 bool SimNetwork::send(NetMessage msg) {
   ++stats_.sent;
   stats_.kb_sent += msg.size_kb;
+  if (obs_.metrics) {
+    obs_.metrics->counter("net.sent").add(1);
+    obs_.metrics->gauge("net.kb_sent").add(msg.size_kb);
+  }
 
   const auto deliver = [this](NetMessage m, double delay_ms) {
     sim_.schedule_after(delay_ms, [this, m = std::move(m)]() {
@@ -97,10 +102,15 @@ bool SimNetwork::send(NetMessage msg) {
       // nothing.
       if (!host_up_[m.to]) {
         ++stats_.dropped;
+        if (obs_.metrics) obs_.metrics->counter("net.dropped").add(1);
         return;
       }
       ++stats_.delivered;
       stats_.kb_delivered += m.size_kb;
+      if (obs_.metrics) {
+        obs_.metrics->counter("net.delivered").add(1);
+        obs_.metrics->gauge("net.kb_delivered").add(m.size_kb);
+      }
       if (receivers_[m.to]) receivers_[m.to](m);
     });
   };
@@ -109,6 +119,7 @@ bool SimNetwork::send(NetMessage msg) {
     throw std::out_of_range("SimNetwork: bad host id");
   if (!host_up_[msg.from] || !host_up_[msg.to]) {
     ++stats_.unroutable;
+    if (obs_.metrics) obs_.metrics->counter("net.unroutable").add(1);
     return false;
   }
   if (msg.from == msg.to) {
@@ -120,10 +131,12 @@ bool SimNetwork::send(NetMessage msg) {
   const LinkState& link = links_[li];
   if (link.severed || link.bandwidth <= 0.0) {
     ++stats_.unroutable;
+    if (obs_.metrics) obs_.metrics->counter("net.unroutable").add(1);
     return false;
   }
   if (!rng_.chance(link.reliability)) {
     ++stats_.dropped;
+    if (obs_.metrics) obs_.metrics->counter("net.dropped").add(1);
     // The sender does not learn about the loss (fire-and-forget events);
     // reliability protocols are layered above when needed.
     return true;
@@ -135,7 +148,16 @@ bool SimNetwork::send(NetMessage msg) {
   const double transfer_ms =
       1000.0 * std::max(msg.size_kb, 0.0) / link.bandwidth;
   link_free_[li] = start + transfer_ms;
-  const double total_delay = (start - sim_.now()) + transfer_ms + link.delay_ms;
+  const double queue_ms = start - sim_.now();
+  if (obs_.metrics) {
+    obs_.metrics->histogram("net.queue_ms").observe(queue_ms);
+    const auto [lo, hi] = std::minmax(msg.from, msg.to);
+    obs_.metrics
+        ->histogram("net.link." + std::to_string(lo) + "-" +
+                    std::to_string(hi) + ".queue_ms")
+        .observe(queue_ms);
+  }
+  const double total_delay = queue_ms + transfer_ms + link.delay_ms;
   deliver(std::move(msg), total_delay);
   return true;
 }

@@ -15,6 +15,7 @@
 
 #include "model/deployment_model.h"
 #include "model/ids.h"
+#include "obs/instruments.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 
@@ -100,6 +101,14 @@ class SimNetwork {
   [[nodiscard]] const MessageStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = MessageStats{}; }
 
+  /// Attaches observability sinks. Counters mirror MessageStats under
+  /// "net.*"; each link additionally feeds a queueing-delay histogram
+  /// ("net.link.<lo>-<hi>.queue_ms": time a message waited for the link's
+  /// serialized transfer slot, excluding propagation delay).
+  void set_instruments(obs::Instruments instruments) noexcept {
+    obs_ = instruments;
+  }
+
   [[nodiscard]] Simulator& simulator() noexcept { return sim_; }
 
  private:
@@ -113,6 +122,7 @@ class SimNetwork {
   std::vector<Receiver> receivers_;
   util::Xoshiro256ss rng_;
   MessageStats stats_;
+  obs::Instruments obs_;
 };
 
 }  // namespace dif::sim

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/instruments.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "prism/architecture.h"
 
 namespace dif::prism {
@@ -37,7 +40,9 @@ struct Testbed {
   DeployerComponent* deployer = nullptr;
 
   explicit Testbed(std::size_t k, double reliability = 1.0,
-                   bool star = false, AdminComponent::Params admin_params = {})
+                   bool star = false, AdminComponent::Params admin_params = {},
+                   double redeploy_timeout_ms = 20'000.0,
+                   double renotify_interval_ms = 4'000.0)
       : net(sim, k, 1) {
     factory.register_type("counter", [](std::string name) {
       return std::make_unique<Counter>(std::move(name));
@@ -81,7 +86,8 @@ struct Testbed {
     }
     DeployerComponent::DeployerParams params;
     params.admin_hosts = all_hosts;
-    params.redeploy_timeout_ms = 20'000.0;
+    params.redeploy_timeout_ms = redeploy_timeout_ms;
+    params.renotify_interval_ms = renotify_interval_ms;
     auto dep = std::make_unique<DeployerComponent>(
         0, *connectors[0], factory, nullptr, nullptr, admin_params, params);
     deployer = &static_cast<DeployerComponent&>(
@@ -346,6 +352,161 @@ TEST(Migration, DuplicateFromLostAcksIsResolvedByReclaimProtocol) {
   auto* survivor = dynamic_cast<Counter*>(bed.archs[1]->find_component("dup"));
   ASSERT_NE(survivor, nullptr);
   EXPECT_EQ(survivor->count, 42u);
+}
+
+}  // namespace
+}  // namespace dif::prism
+
+// ---- fault-path + epoch-bookkeeping scenarios --------------------------
+
+namespace dif::prism {
+namespace {
+
+TEST(Migration, TimeoutWithPartitionedAdminRecordsFailureSpan) {
+  // Host 1's admin is unreachable for the whole round: the deployer must
+  // time out, report failure, and leave a trace span that says so.
+  AdminComponent::Params admin_params;
+  admin_params.transfer_retry_interval_ms = 1e9;
+  Testbed bed(2, 1.0, false, admin_params,
+              /*redeploy_timeout_ms=*/5'000.0);
+  obs::Registry metrics;
+  obs::TraceLog trace;
+  bed.deployer->set_instruments({&metrics, &trace});
+  bed.place_counter(0, "worker");
+  bed.net.sever(0, 1);
+
+  bool completed = false;
+  bool success = true;
+  bed.deployer->effect_deployment({{"worker", 1}},
+                                  [&](bool ok, std::size_t) {
+                                    completed = true;
+                                    success = ok;
+                                  });
+  bed.sim.run_until(30'000.0);
+  EXPECT_TRUE(completed);
+  EXPECT_FALSE(success);
+  ASSERT_NE(metrics.find_counter("deploy.timeouts"), nullptr);
+  EXPECT_EQ(metrics.find_counter("deploy.timeouts")->value(), 1u);
+  ASSERT_NE(metrics.find_counter("deploy.redeployments_failed"), nullptr);
+  EXPECT_EQ(metrics.find_counter("deploy.redeployments_failed")->value(), 1u);
+  EXPECT_EQ(metrics.find_counter("deploy.redeployments_succeeded"), nullptr);
+
+  const auto spans = trace.find("deploy.redeploy");
+  ASSERT_EQ(spans.size(), 1u);
+  const obs::FieldValue* span_success = spans[0]->field("success");
+  ASSERT_NE(span_success, nullptr);
+  EXPECT_FALSE(std::get<bool>(*span_success));
+  const obs::FieldValue* epoch = spans[0]->field("epoch");
+  ASSERT_NE(epoch, nullptr);
+  EXPECT_EQ(std::get<std::int64_t>(*epoch), 1);
+  // The span's duration is the timeout the deployer sat through.
+  EXPECT_DOUBLE_EQ(spans[0]->dur_ms, 5'000.0);
+}
+
+TEST(Migration, RenotifyResumesAfterPartitionHeals) {
+  // The initial __new_config dies on a severed link; once the link heals,
+  // the renotify rebroadcasts must carry the round to completion well
+  // before the (generous) timeout.
+  Testbed bed(2, 1.0, false, {}, /*redeploy_timeout_ms=*/60'000.0,
+              /*renotify_interval_ms=*/1'000.0);
+  obs::Registry metrics;
+  bed.deployer->set_instruments({&metrics, nullptr});
+  bed.place_counter(0, "worker");
+  bed.net.sever(0, 1);
+
+  bool done = false;
+  ASSERT_TRUE(bed.deployer->effect_deployment(
+      {{"worker", 1}}, [&](bool ok, std::size_t) { done = ok; }));
+  bed.sim.run_until(4'000.0);
+  EXPECT_FALSE(done);
+  EXPECT_TRUE(bed.deployer->redeployment_in_flight());
+
+  bed.net.restore(0, 1);
+  bed.sim.run_until(30'000.0);
+  EXPECT_TRUE(done);
+  EXPECT_NE(bed.archs[1]->find_component("worker"), nullptr);
+  ASSERT_NE(metrics.find_counter("deploy.renotify_rounds"), nullptr);
+  EXPECT_GE(metrics.find_counter("deploy.renotify_rounds")->value(), 3u);
+  ASSERT_NE(metrics.find_counter("deploy.redeployments_succeeded"), nullptr);
+  EXPECT_EQ(metrics.find_counter("deploy.redeployments_succeeded")->value(),
+            1u);
+}
+
+TEST(Migration, StaleEpochAckIsIgnored) {
+  // A late __migration_ack from an abandoned epoch must not complete the
+  // current round's bookkeeping; a matching-epoch ack must.
+  Testbed bed(2);
+  obs::Registry metrics;
+  bed.deployer->set_instruments({&metrics, nullptr});
+  bed.place_counter(0, "worker");
+  bed.net.sever(0, 1);  // keep the round pending while we inject acks
+
+  bool done = false;
+  ASSERT_TRUE(bed.deployer->effect_deployment(
+      {{"worker", 1}}, [&](bool ok, std::size_t) { done = ok; }));
+  ASSERT_TRUE(bed.deployer->redeployment_in_flight());
+  EXPECT_EQ(bed.deployer->current_epoch(), 1u);
+
+  // Ack stamped with a previous epoch: ignored, counted.
+  Event stale("__migration_ack");
+  stale.set("component", std::string("worker"));
+  stale.set("host", 1.0);
+  stale.set("epoch", 0.0);
+  bed.deployer->handle(stale);
+  EXPECT_TRUE(bed.deployer->redeployment_in_flight());
+  EXPECT_FALSE(done);
+  EXPECT_EQ(bed.deployer->stale_acks_ignored(), 1u);
+
+  // Ack with no epoch at all (pre-protocol peer / replayed message):
+  // equally stale.
+  Event unstamped("__migration_ack");
+  unstamped.set("component", std::string("worker"));
+  unstamped.set("host", 1.0);
+  bed.deployer->handle(unstamped);
+  EXPECT_TRUE(bed.deployer->redeployment_in_flight());
+  EXPECT_EQ(bed.deployer->stale_acks_ignored(), 2u);
+  ASSERT_NE(metrics.find_counter("deploy.stale_acks_ignored"), nullptr);
+  EXPECT_EQ(metrics.find_counter("deploy.stale_acks_ignored")->value(), 2u);
+
+  // The current epoch's ack completes the round.
+  Event fresh("__migration_ack");
+  fresh.set("component", std::string("worker"));
+  fresh.set("host", 1.0);
+  fresh.set("epoch", 1.0);
+  bed.deployer->handle(fresh);
+  EXPECT_FALSE(bed.deployer->redeployment_in_flight());
+  EXPECT_TRUE(done);
+  EXPECT_EQ(bed.deployer->stale_acks_ignored(), 2u);
+}
+
+TEST(Migration, StaleLocationUpdateDoesNotAck) {
+  // __location_update doubles as an implicit ack — but only for the
+  // current epoch. A replay from an earlier round must be ignored.
+  Testbed bed(2);
+  bed.place_counter(0, "worker");
+  bed.net.sever(0, 1);
+  bool done = false;
+  ASSERT_TRUE(bed.deployer->effect_deployment(
+      {{"worker", 1}}, [&](bool ok, std::size_t) { done = ok; }));
+
+  Event replay("__location_update");
+  replay.set("component", std::string("worker"));
+  replay.set("host", 1.0);
+  replay.set("restored", false);
+  replay.set("epoch", 0.0);
+  bed.deployer->handle(replay);
+  EXPECT_TRUE(bed.deployer->redeployment_in_flight());
+  EXPECT_FALSE(done);
+  EXPECT_EQ(bed.deployer->stale_acks_ignored(), 1u);
+
+  Event current("__location_update");
+  current.set("component", std::string("worker"));
+  current.set("host", 1.0);
+  current.set("restored", false);
+  current.set("epoch", 1.0);
+  bed.deployer->handle(current);
+  EXPECT_FALSE(bed.deployer->redeployment_in_flight());
+  EXPECT_TRUE(done);
 }
 
 }  // namespace

@@ -76,7 +76,72 @@ TEST(EvtFrequencyMonitor, MeasuresPairFrequencies) {
   EXPECT_EQ(pairs[0].to, "b");
   EXPECT_NEAR(pairs[0].frequency, 10.0, 0.5);  // 20 events / 2 s
   EXPECT_GT(pairs[0].avg_event_size_kb, 1.9);
-  // collect() resets: immediately collecting again finds nothing.
+  // collect() resets the counters, but a recently-active pair keeps being
+  // reported — with an explicit zero — so consumers observe the interaction
+  // stopping rather than the pair silently vanishing.
+  const auto quiet = monitor->collect();
+  ASSERT_EQ(quiet.size(), 1u);
+  EXPECT_EQ(quiet[0].from, "a");
+  EXPECT_EQ(quiet[0].to, "b");
+  EXPECT_DOUBLE_EQ(quiet[0].frequency, 0.0);
+}
+
+TEST(EvtFrequencyMonitor, SilentPairReportsZeroThenRetires) {
+  sim::Simulator sim;
+  SimScaffold scaffold(sim);
+  Architecture arch("a", scaffold, 0);
+  auto& a = arch.add_component(std::make_unique<Probe>("a"));
+  auto& b = arch.add_component(std::make_unique<Probe>("b"));
+  auto& bus = arch.add_connector(std::make_unique<Connector>("bus"));
+  arch.weld(a, bus);
+  arch.weld(b, bus);
+  auto monitor = std::make_shared<EvtFrequencyMonitor>(scaffold,
+                                                       /*retain_windows=*/2);
+  a.add_monitor(monitor);
+  b.add_monitor(monitor);
+
+  sim.schedule_at(100.0, [&a] { a.send(Event("app.msg")); });
+  sim.run_until(1000.0);
+  ASSERT_EQ(monitor->collect().size(), 1u);  // active window
+
+  // Two quiet windows report the pair at zero, then it is retired.
+  for (int window = 0; window < 2; ++window) {
+    const auto pairs = monitor->collect();
+    ASSERT_EQ(pairs.size(), 1u) << "window " << window;
+    EXPECT_DOUBLE_EQ(pairs[0].frequency, 0.0);
+    EXPECT_DOUBLE_EQ(pairs[0].avg_event_size_kb, 0.0);
+  }
+  EXPECT_TRUE(monitor->collect().empty());
+}
+
+TEST(EvtFrequencyMonitor, ReactivatedPairResetsRetirementClock) {
+  sim::Simulator sim;
+  SimScaffold scaffold(sim);
+  Architecture arch("a", scaffold, 0);
+  auto& a = arch.add_component(std::make_unique<Probe>("a"));
+  auto& b = arch.add_component(std::make_unique<Probe>("b"));
+  auto& bus = arch.add_connector(std::make_unique<Connector>("bus"));
+  arch.weld(a, bus);
+  arch.weld(b, bus);
+  auto monitor = std::make_shared<EvtFrequencyMonitor>(scaffold,
+                                                       /*retain_windows=*/2);
+  a.add_monitor(monitor);
+  b.add_monitor(monitor);
+
+  sim.schedule_at(100.0, [&a] { a.send(Event("app.msg")); });
+  sim.run_until(1000.0);
+  ASSERT_EQ(monitor->collect().size(), 1u);
+  ASSERT_EQ(monitor->collect().size(), 1u);  // quiet window 1 of 2
+
+  // Activity within the retention horizon restarts the clock: the pair is
+  // live again and afterwards survives two further quiet windows.
+  sim.schedule_at(1500.0, [&a] { a.send(Event("app.msg")); });
+  sim.run_until(2000.0);
+  auto pairs = monitor->collect();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_GT(pairs[0].frequency, 0.0);
+  EXPECT_EQ(monitor->collect().size(), 1u);
+  EXPECT_EQ(monitor->collect().size(), 1u);
   EXPECT_TRUE(monitor->collect().empty());
 }
 

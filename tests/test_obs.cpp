@@ -1,0 +1,262 @@
+// Tests for the observability layer (obs/metrics.h, obs/trace.h) and its
+// integration with the running framework: every applied redeployment must
+// leave a trace span carrying its epoch, migration count, and duration, and
+// the network counters must satisfy the conservation invariant
+// delivered + dropped + unroutable <= sent.
+#include <gtest/gtest.h>
+
+#include "core/improvement_loop.h"
+#include "desi/generator.h"
+#include "obs/instruments.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/json.h"
+
+namespace dif::obs {
+namespace {
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  Registry registry;
+  Counter& c = registry.counter("net.sent");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name, same object: hot paths may cache the reference.
+  EXPECT_EQ(&registry.counter("net.sent"), &c);
+
+  Gauge& g = registry.gauge("loop.objective");
+  g.set(0.5);
+  g.add(0.25);
+  EXPECT_DOUBLE_EQ(g.value(), 0.75);
+
+  EXPECT_EQ(registry.find_counter("net.sent"), &c);
+  EXPECT_EQ(registry.find_counter("absent"), nullptr);
+  EXPECT_EQ(registry.find_gauge("loop.objective"), &g);
+  EXPECT_EQ(registry.find_gauge("absent"), nullptr);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(Metrics, HistogramBucketsAndOverflow) {
+  Registry registry;
+  Histogram& h = registry.histogram("lat", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(100.0);  // beyond the last bound: +inf overflow bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 105.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_NEAR(h.mean(), 105.5 / 3.0, 1e-12);
+  ASSERT_EQ(h.bucket_counts().size(), 3u);  // 2 bounds + overflow
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+}
+
+TEST(Metrics, JsonDocumentShape) {
+  Registry registry;
+  registry.counter("a.count").add(3);
+  registry.gauge("b.level").set(1.5);
+  registry.histogram("c.ms", {10.0}).observe(4.0);
+
+  const util::json::Value doc = registry.to_json();
+  EXPECT_EQ(doc.at("schema").as_string(), "dif-metrics-v1");
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("a.count").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("b.level").as_number(), 1.5);
+  const util::json::Value& hist = doc.at("histograms").at("c.ms");
+  EXPECT_DOUBLE_EQ(hist.at("count").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.at("sum").as_number(), 4.0);
+  const auto& buckets = hist.at("buckets").as_array();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets[0].at("le").as_number(), 10.0);
+  EXPECT_DOUBLE_EQ(buckets[0].at("count").as_number(), 1.0);
+  EXPECT_TRUE(buckets[1].at("le").is_null());  // +inf overflow
+
+  // The document round-trips through the writer/parser.
+  EXPECT_EQ(util::json::parse(doc.dump()), doc);
+}
+
+TEST(Trace, SpansRecordDurationAndLateFields) {
+  TraceLog log;
+  const TraceLog::SpanId span =
+      log.begin_span(10.0, "deploy.redeploy",
+                     {{"epoch", static_cast<std::int64_t>(1)}});
+  ASSERT_NE(span, TraceLog::kInvalidSpan);
+  log.span_field(span, "success", true);
+  log.end_span(span, 25.0);
+  log.add_event(30.0, "note", {{"text", std::string("hi")}});
+
+  ASSERT_EQ(log.events().size(), 2u);
+  const TraceEvent& e = log.events()[0];
+  EXPECT_TRUE(e.span);
+  EXPECT_DOUBLE_EQ(e.t_ms, 10.0);
+  EXPECT_DOUBLE_EQ(e.dur_ms, 15.0);
+  ASSERT_NE(e.field("epoch"), nullptr);
+  EXPECT_EQ(std::get<std::int64_t>(*e.field("epoch")), 1);
+  ASSERT_NE(e.field("success"), nullptr);
+  EXPECT_TRUE(std::get<bool>(*e.field("success")));
+  EXPECT_EQ(e.field("absent"), nullptr);
+  EXPECT_FALSE(log.events()[1].span);
+
+  ASSERT_EQ(log.find("deploy.redeploy").size(), 1u);
+  EXPECT_TRUE(log.find("nothing").empty());
+
+  const util::json::Value doc = log.to_json();
+  EXPECT_EQ(doc.at("schema").as_string(), "dif-trace-v1");
+  EXPECT_DOUBLE_EQ(doc.at("dropped").as_number(), 0.0);
+  const auto& events = doc.at("events").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("name").as_string(), "deploy.redeploy");
+  EXPECT_TRUE(events[0].at("fields").at("success").as_bool());
+  EXPECT_EQ(util::json::parse(doc.dump()), doc);
+}
+
+TEST(Trace, BoundedCapacityCountsDrops) {
+  TraceLog log(2);
+  log.add_event(1.0, "a");
+  log.add_event(2.0, "b");
+  log.add_event(3.0, "c");  // over capacity: dropped, not grown
+  EXPECT_EQ(log.begin_span(4.0, "d"), TraceLog::kInvalidSpan);
+  EXPECT_EQ(log.events().size(), 2u);
+  EXPECT_EQ(log.dropped(), 2u);
+  EXPECT_DOUBLE_EQ(log.to_json().at("dropped").as_number(), 2.0);
+}
+
+}  // namespace
+}  // namespace dif::obs
+
+// ---- the instrumented framework end-to-end -----------------------------
+
+namespace dif::core {
+namespace {
+
+std::unique_ptr<desi::SystemData> crisis_like_system(std::uint64_t seed) {
+  return desi::Generator::generate(
+      {.hosts = 4,
+       .components = 10,
+       .reliability = {0.5, 0.95},
+       .bandwidth = {200.0, 800.0},
+       .frequency = {1.0, 4.0},
+       .event_size = {0.1, 0.5},
+       .link_density = 1.0,
+       .interaction_density = 0.3},
+      seed);
+}
+
+TEST(Observability, EveryAppliedRedeploymentLeavesASpan) {
+  auto system = crisis_like_system(5);
+  const model::AvailabilityObjective availability;
+  FrameworkConfig config;
+  config.admin.report_interval_ms = 500.0;
+  config.admin.stability_epsilon = 2.0;
+  config.admin.stability_window = 2;
+  CentralizedInstantiation inst(*system, config);
+
+  obs::Registry metrics;
+  obs::TraceLog trace;
+  inst.set_instruments({&metrics, &trace});
+  inst.start();
+
+  ImprovementLoop::Config loop_config;
+  loop_config.interval_ms = 5'000.0;
+  loop_config.policy.min_improvement = 0.005;
+  loop_config.policy.enable_latency_guard = false;
+  ImprovementLoop loop(inst, availability, loop_config);
+  loop.set_instruments({&metrics, &trace});
+  loop.start();
+  inst.simulator().run_until(120'000.0);
+
+  ASSERT_GE(loop.redeployments_applied(), 1u);
+
+  // Acceptance: every applied redeployment appears as a trace span with
+  // its epoch, migration count, and duration.
+  const auto spans = trace.find("deploy.redeploy");
+  ASSERT_GE(spans.size(), loop.redeployments_applied());
+  std::int64_t last_epoch = 0;
+  for (const obs::TraceEvent* span : spans) {
+    EXPECT_TRUE(span->span);
+    const obs::FieldValue* epoch = span->field("epoch");
+    ASSERT_NE(epoch, nullptr);
+    EXPECT_GT(std::get<std::int64_t>(*epoch), last_epoch);  // monotone
+    last_epoch = std::get<std::int64_t>(*epoch);
+    ASSERT_NE(span->field("moves_requested"), nullptr);
+    EXPECT_GE(span->dur_ms, 0.0);
+    if (span->field("success") != nullptr) {  // span was closed
+      ASSERT_NE(span->field("migrations"), nullptr);
+      if (std::get<bool>(*span->field("success"))) {
+        EXPECT_GT(std::get<std::int64_t>(*span->field("migrations")), 0);
+      }
+    }
+  }
+
+  // Network conservation: everything sent is delivered, dropped, or
+  // unroutable (in-flight remainder makes the inequality strict).
+  const auto counter = [&](const char* name) -> std::uint64_t {
+    const obs::Counter* c = metrics.find_counter(name);
+    return c ? c->value() : 0;
+  };
+  EXPECT_GT(counter("net.sent"), 0u);
+  EXPECT_LE(counter("net.delivered") + counter("net.dropped") +
+                counter("net.unroutable"),
+            counter("net.sent"));
+  // The registry counts match the layers' own bookkeeping.
+  EXPECT_EQ(counter("net.sent"), inst.network().stats().sent);
+  EXPECT_EQ(counter("loop.ticks"), loop.history().size());
+  EXPECT_EQ(counter("deploy.redeployments"), spans.size());
+  EXPECT_GT(counter("monitor.freq.collections"), 0u);
+  EXPECT_GT(counter("admin.reports"), 0u);
+  EXPECT_GT(counter("analyzer.analyses"), 0u);
+
+  // Every tick left a loop.tick span with its action.
+  const auto ticks = trace.find("loop.tick");
+  ASSERT_EQ(ticks.size(), loop.history().size());
+  for (const obs::TraceEvent* tick : ticks)
+    ASSERT_NE(tick->field("action"), nullptr);
+}
+
+TEST(Observability, ExternalRedeploymentSurfacesAsEffectorRejection) {
+  // A redeployment started behind the loop's back (operator intervention)
+  // must not be silently absorbed: the loop's own kRedeploy decision is
+  // recorded as an explicit effector rejection.
+  auto system = crisis_like_system(6);
+  const model::AvailabilityObjective availability;
+  FrameworkConfig config;
+  CentralizedInstantiation inst(*system, config);
+  inst.start();
+  inst.simulator().run_until(1'000.0);
+
+  // Externally move everything to host 0; completion is asynchronous, so
+  // the deployer stays busy while the loop ticks.
+  model::Deployment target(system->model().component_count());
+  for (std::size_t c = 0; c < target.size(); ++c)
+    target.assign(static_cast<model::ComponentId>(c), 0);
+  ASSERT_TRUE(inst.adapter().effect(target, [](bool, std::size_t) {}));
+  ASSERT_TRUE(inst.deployer().redeployment_in_flight());
+
+  ImprovementLoop::Config loop_config;
+  loop_config.policy.min_improvement = -1.0;  // any feasible change passes
+  loop_config.policy.enable_latency_guard = false;
+  ImprovementLoop loop(inst, availability, loop_config);
+  obs::Registry metrics;
+  obs::TraceLog trace;
+  loop.set_instruments({&metrics, &trace});
+
+  const analyzer::Decision decision = loop.tick();
+  ASSERT_EQ(decision.action, analyzer::Decision::Action::kRedeploy);
+  EXPECT_NE(decision.reason.find("effector rejected"), std::string::npos);
+  EXPECT_EQ(loop.effector_rejections(), 1u);
+  EXPECT_EQ(loop.redeployments_applied(), 0u);
+  ASSERT_FALSE(loop.history().empty());
+  EXPECT_FALSE(loop.history().back().effected);
+
+  ASSERT_NE(metrics.find_counter("loop.effector_rejected"), nullptr);
+  EXPECT_EQ(metrics.find_counter("loop.effector_rejected")->value(), 1u);
+  const auto ticks = trace.find("loop.tick");
+  ASSERT_EQ(ticks.size(), 1u);
+  const obs::FieldValue* action = ticks[0]->field("action");
+  ASSERT_NE(action, nullptr);
+  EXPECT_EQ(std::get<std::string>(*action), "redeploy_rejected");
+}
+
+}  // namespace
+}  // namespace dif::core

@@ -35,6 +35,16 @@
 //       pigeonholes, network partitions, parameter-range lints) without
 //       running any algorithm. Exit 0 when clean, 1 when defects were
 //       found (--strict also fails on warnings), 2 on usage errors.
+//
+//   difctl simulate system.json [--duration-ms D] [--interval-ms I]
+//                   [--objective NAME] [--seed S] [--adaptive]
+//                   [--metrics-json PATH] [--trace-json PATH]
+//       Run the full framework (monitors, admins, deployer, improvement
+//       loop) on the simulator for D simulated milliseconds. A run summary
+//       goes to stderr and the final system description to stdout.
+//       --metrics-json / --trace-json dump the run's metric registry
+//       ("dif-metrics-v1") and adaptation trace ("dif-trace-v1"); both
+//       flags are also accepted by `portfolio`.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -45,12 +55,14 @@
 
 #include "algo/portfolio.h"
 #include "check/static_analyzer.h"
+#include "core/improvement_loop.h"
 #include "desi/algorithm_container.h"
 #include "desi/generator.h"
 #include "desi/graph_view.h"
 #include "desi/table_view.h"
 #include "desi/sensitivity.h"
 #include "desi/xadl.h"
+#include "obs/instruments.h"
 
 namespace {
 
@@ -70,8 +82,11 @@ int usage() {
                "[--hi H] [--objective NAME] [--steps N]\n"
                "  portfolio <system.json> [--threads N] [--deadline SEC] "
                "[--max-evals N] [--algorithms a,b,c] [--objective NAME] "
-               "[--seed S]\n"
-               "  check    <system.json> [--json] [--strict]\n");
+               "[--seed S] [--metrics-json PATH] [--trace-json PATH]\n"
+               "  check    <system.json> [--json] [--strict]\n"
+               "  simulate <system.json> [--duration-ms D] [--interval-ms I] "
+               "[--objective NAME] [--seed S] [--adaptive] "
+               "[--metrics-json PATH] [--trace-json PATH]\n");
   return 2;
 }
 
@@ -83,15 +98,25 @@ std::string read_file(const std::string& path) {
   return buffer.str();
 }
 
-/// Very small flag parser: --name value pairs after the positional args.
+void write_json_file(const std::string& path, const util::json::Value& doc) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << doc.dump(2) << '\n';
+}
+
+/// Very small flag parser: --name [value] after the positional args. A
+/// flag followed by another --flag (or nothing) is a value-less boolean,
+/// so booleans and valued flags can be freely interleaved.
 class Flags {
  public:
   Flags(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
-      if (std::strncmp(argv[i], "--", 2) == 0) values_[argv[i] + 2] = argv[i + 1];
+    for (int i = first; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--", 2) != 0) continue;
+      const std::string name = argv[i] + 2;
+      present_.insert(name);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+        values_[name] = argv[++i];
     }
-    for (int i = first; i < argc; ++i)
-      if (std::strncmp(argv[i], "--", 2) == 0) present_.insert(argv[i] + 2);
   }
   /// True when `--name` appears anywhere (for value-less boolean flags).
   [[nodiscard]] bool has(const std::string& name) const {
@@ -246,6 +271,13 @@ int cmd_portfolio(const std::string& path, const Flags& flags) {
   options.seed = flags.get_u64("seed", 1);
   if (system->deployment().complete()) options.initial = system->deployment();
 
+  obs::Registry metrics;
+  obs::TraceLog trace;
+  const std::string metrics_path = flags.get("metrics-json", "");
+  const std::string trace_path = flags.get("trace-json", "");
+  if (!metrics_path.empty()) options.instruments.metrics = &metrics;
+  if (!trace_path.empty()) options.instruments.trace = &trace;
+
   std::vector<std::string> lineup;
   std::stringstream list(flags.get("algorithms", ""));
   for (std::string name; std::getline(list, name, ',');)
@@ -269,6 +301,8 @@ int cmd_portfolio(const std::string& path, const Flags& flags) {
                  r.budget_exhausted ? "  (budget hit)" : "");
   if (result.deadline_hit)
     std::fprintf(stderr, "deadline hit: stragglers were cancelled\n");
+  if (!metrics_path.empty()) write_json_file(metrics_path, metrics.to_json());
+  if (!trace_path.empty()) write_json_file(trace_path, trace.to_json());
   if (!result.feasible()) {
     std::fprintf(stderr, "no feasible deployment found\n");
     return 1;
@@ -277,6 +311,70 @@ int cmd_portfolio(const std::string& path, const Flags& flags) {
                result.best.algorithm.c_str(),
                std::string(objective->name()).c_str(), result.best.value);
   system->set_deployment(result.best.deployment);
+  std::printf("%s\n", desi::XadlLite::to_text(*system).c_str());
+  return 0;
+}
+
+int cmd_simulate(const std::string& path, const Flags& flags) {
+  const auto system = desi::XadlLite::from_text(read_file(path));
+  const auto objective =
+      make_objective(flags.get("objective", "availability"));
+  const double duration_ms =
+      std::stod(flags.get("duration-ms", "120000"));
+
+  core::FrameworkConfig config;
+  config.seed = flags.get_u64("seed", 1);
+  core::CentralizedInstantiation inst(*system, config);
+
+  obs::Registry metrics;
+  obs::TraceLog trace;
+  const std::string metrics_path = flags.get("metrics-json", "");
+  const std::string trace_path = flags.get("trace-json", "");
+  obs::Instruments instruments;
+  if (!metrics_path.empty()) instruments.metrics = &metrics;
+  if (!trace_path.empty()) instruments.trace = &trace;
+  if (instruments) inst.set_instruments(instruments);
+
+  core::ImprovementLoop::Config loop_config;
+  loop_config.interval_ms = std::stod(flags.get("interval-ms", "5000"));
+  loop_config.adaptive_interval = flags.has("adaptive");
+  loop_config.seed = config.seed;
+  core::ImprovementLoop loop(inst, *objective, loop_config);
+  loop.set_instruments(instruments);
+
+  const double value_before =
+      objective->evaluate(system->model(), system->deployment());
+  inst.start();
+  loop.start();
+  inst.simulator().run_until(duration_ms);
+  loop.stop();
+
+  if (!metrics_path.empty()) write_json_file(metrics_path, metrics.to_json());
+  if (!trace_path.empty()) write_json_file(trace_path, trace.to_json());
+
+  const double value_after =
+      objective->evaluate(system->model(), system->deployment());
+  const sim::MessageStats& net = inst.network().stats();
+  std::fprintf(stderr,
+               "simulated %.0f ms: %zu ticks, %zu redeployments applied, "
+               "%zu effector rejections, %llu deployer completions, "
+               "%llu stale acks ignored\n",
+               duration_ms, loop.history().size(),
+               loop.redeployments_applied(), loop.effector_rejections(),
+               static_cast<unsigned long long>(
+                   inst.deployer().redeployments_completed()),
+               static_cast<unsigned long long>(
+                   inst.deployer().stale_acks_ignored()));
+  std::fprintf(stderr,
+               "network: %llu sent, %llu delivered, %llu dropped, "
+               "%llu unroutable\n",
+               static_cast<unsigned long long>(net.sent),
+               static_cast<unsigned long long>(net.delivered),
+               static_cast<unsigned long long>(net.dropped),
+               static_cast<unsigned long long>(net.unroutable));
+  std::fprintf(stderr, "%s: %.4f -> %.4f\n",
+               std::string(objective->name()).c_str(), value_before,
+               value_after);
   std::printf("%s\n", desi::XadlLite::to_text(*system).c_str());
   return 0;
 }
@@ -324,6 +422,8 @@ int main(int argc, char** argv) {
     if (command == "portfolio")
       return cmd_portfolio(path, Flags(argc, argv, 3));
     if (command == "check") return cmd_check(path, Flags(argc, argv, 3));
+    if (command == "simulate")
+      return cmd_simulate(path, Flags(argc, argv, 3));
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "difctl: %s\n", e.what());
