@@ -1,0 +1,68 @@
+// EC — Campaign engine throughput: cost of seeded fault-injection sweeps
+// across scenario presets (chaos layer, ISSUE 4 tentpole).
+//
+// Each row drives a full campaign — generated system, centralized AND
+// decentralized improvement loops, compiled fault schedule, invariant
+// checks — over a fixed seed block, and reports the injected-fault mix,
+// the invariant verdict, the availability movement, and the wall-clock
+// cost per simulated run. Expected shape: zero violations everywhere,
+// and "quiet" (no faults) as the wall-clock floor the fault-bearing
+// scenarios are compared against.
+#include "bench_common.h"
+
+#include <chrono>
+#include <cstdint>
+
+#include "chaos/campaign.h"
+#include "chaos/scenario.h"
+
+namespace dif::bench {
+namespace {
+
+void run() {
+  header("EC", "fault-injection campaign cost per scenario",
+         "the dependability invariants (conservation, epoch monotonicity, "
+         "census, availability, preflight) hold under every fault scenario, "
+         "at a bounded wall-clock cost per seeded run");
+
+  util::Table table({"scenario", "runs", "violations", "faults", "net sent",
+                     "avail delta", "wall/run"});
+
+  for (const std::string& name : chaos::scenario_names()) {
+    chaos::CampaignConfig config;
+    config.scenario = chaos::scenario_by_name(name);
+    config.seeds = {0, 1, 2, 3, 4, 5, 6, 7};
+
+    chaos::CampaignRunner runner(config);
+    const auto started = std::chrono::steady_clock::now();
+    const chaos::CampaignReport report = runner.run();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+
+    std::uint64_t faults = 0;
+    std::uint64_t sent = 0;
+    double avail_delta = 0.0;
+    for (const chaos::RunReport& r : report.runs) {
+      for (const auto& [kind, count] : r.faults) faults += count;
+      sent += r.net_sent;
+      avail_delta += r.final_availability - r.initial_availability;
+    }
+    avail_delta /= static_cast<double>(report.runs.size());
+
+    table.add_row({name, std::to_string(report.runs.size()),
+                   std::to_string(report.total_violations()),
+                   std::to_string(faults), std::to_string(sent),
+                   util::fmt(avail_delta, 4),
+                   util::fmt(wall_ms / static_cast<double>(report.runs.size()),
+                             1) +
+                       " ms"});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace
+}  // namespace dif::bench
+
+int main() { dif::bench::run(); }

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Docs link checker: fail on dead relative links in the repo's *.md files.
+
+Scans every tracked-looking Markdown file (skipping build trees and VCS
+metadata), extracts inline links and images, and verifies that each
+relative target exists on disk. External links (http/https/mailto) and
+pure in-page anchors are skipped; a `path#fragment` target is checked for
+the path only. Exit 0 when all links resolve, 1 otherwise.
+"""
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "node_modules"}
+SKIP_PREFIXES = ("build",)
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith(SKIP_PREFIXES)
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check(root):
+    bad = []
+    checked = 0
+    for path in sorted(markdown_files(root)):
+        text = open(path, encoding="utf-8").read()
+        # Fenced code blocks routinely contain example-output brackets
+        # that would misparse as links.
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            checked += 1
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(resolved):
+                bad.append((os.path.relpath(path, root), match.group(1)))
+    for path, target in bad:
+        print(f"dead link: {path}: ({target})", file=sys.stderr)
+    print(f"docs links: {checked} relative links checked, {len(bad)} dead")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(check(sys.argv[1] if len(sys.argv) > 1 else os.getcwd()))

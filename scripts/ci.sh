@@ -79,4 +79,45 @@ else
   echo "python3 not installed; skipping metrics smoke"
 fi
 
+echo "== campaign smoke: seeded fault injection, determinism + schema =="
+"$DIFCTL" campaign --seeds 0..7 --scenario mixed \
+  --json "$ROOT/build/ci_campaign_a.json" > /dev/null
+"$DIFCTL" campaign --seeds 0..7 --scenario mixed \
+  --json "$ROOT/build/ci_campaign_b.json" > /dev/null
+cmp "$ROOT/build/ci_campaign_a.json" "$ROOT/build/ci_campaign_b.json" \
+  || { echo "campaign report not deterministic"; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$ROOT/build/ci_campaign_a.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["schema"] == "dif-campaign-v1", report.get("schema")
+assert report["ok"] is True, "campaign reported not-ok"
+assert report["total_violations"] == 0, report["total_violations"]
+assert report["total_runs"] == len(report["runs"]) == 16, report["total_runs"]
+assert report["modes"] == ["centralized", "decentralized"]
+for run in report["runs"]:
+    assert run["violations"] == [], run["violations"]
+    assert run["mode"] in ("centralized", "decentralized")
+    net = run["net"]
+    assert net["delivered"] + net["dropped"] + net["unroutable"] \
+        <= net["sent"], "conservation violated"
+    assert sum(l["dropped"] for l in net["dropped_links"]) == net["dropped"]
+    assert run["availability"]["final"] > 0.0
+    adapt = run["adaptation"]
+    expect = {"redeployments", "final_epoch", "stale_acks"} \
+        if run["mode"] == "centralized" else {"migrations"}
+    assert set(adapt) == expect, adapt
+print(f"campaign smoke OK: {report['total_runs']} runs, 0 violations")
+EOF
+else
+  echo "python3 not installed; skipping campaign schema check"
+fi
+
+echo "== docs: relative-link check =="
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$ROOT/scripts/check_docs.py" "$ROOT"
+else
+  echo "python3 not installed; skipping docs link check"
+fi
+
 echo "CI OK"

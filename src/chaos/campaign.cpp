@@ -1,0 +1,336 @@
+#include "chaos/campaign.h"
+
+#include <functional>
+#include <utility>
+
+#include "check/preflight.h"
+#include "core/decentralized_instantiation.h"
+#include "core/improvement_loop.h"
+#include "model/objective.h"
+
+namespace dif::chaos {
+
+namespace {
+
+void check_conservation(const sim::SimNetwork& net, RunReport& report) {
+  const sim::MessageStats& stats = net.stats();
+  const std::uint64_t accounted =
+      stats.delivered + stats.dropped + stats.unroutable;
+  if (accounted > stats.sent)
+    report.violations.push_back(
+        {"conservation", "delivered+dropped+unroutable (" +
+                             std::to_string(accounted) + ") exceeds sent (" +
+                             std::to_string(stats.sent) + ")"});
+  std::uint64_t per_link = 0;
+  for (const sim::LinkDrops& link : net.dropped_links())
+    per_link += link.dropped;
+  if (per_link > stats.dropped)
+    report.violations.push_back(
+        {"conservation", "per-link drop shares (" + std::to_string(per_link) +
+                             ") exceed total dropped (" +
+                             std::to_string(stats.dropped) + ")"});
+}
+
+void check_census(core::CentralizedInstantiation& inst,
+                  const model::DeploymentModel& m, RunReport& report) {
+  std::map<std::string, std::vector<std::size_t>> counts;
+  for (std::size_t h = 0; h < m.host_count(); ++h)
+    for (const std::string& name :
+         inst.architecture(static_cast<model::HostId>(h)).component_names()) {
+      if (name.rfind("__", 0) == 0) continue;
+      counts[name].push_back(h);
+    }
+  for (std::size_t c = 0; c < m.component_count(); ++c) {
+    const std::string& name =
+        m.component(static_cast<model::ComponentId>(c)).name;
+    const auto it = counts.find(name);
+    const std::size_t n = it == counts.end() ? 0 : it->second.size();
+    if (n != 1) {
+      std::string hosts;
+      if (it != counts.end())
+        for (const std::size_t h : it->second)
+          hosts += (hosts.empty() ? " on hosts " : ",") + std::to_string(h);
+      report.violations.push_back(
+          {"census", "component '" + name + "' hosted " + std::to_string(n) +
+                         " times (expected 1)" + hosts});
+    }
+    if (it != counts.end()) counts.erase(it);
+  }
+  for (const auto& [name, hosts] : counts)
+    report.violations.push_back(
+        {"census", "unknown component '" + name + "' hosted " +
+                       std::to_string(hosts.size()) + " times"});
+}
+
+void check_availability(const desi::SystemData& pristine,
+                        const model::Deployment& final_deployment,
+                        double tolerance, RunReport& report) {
+  const model::AvailabilityObjective availability;
+  report.initial_availability =
+      availability.evaluate(pristine.model(), pristine.deployment());
+  if (!final_deployment.complete()) return;  // census already flags the loss
+  report.final_availability =
+      availability.evaluate(pristine.model(), final_deployment);
+  if (report.final_availability < report.initial_availability - tolerance)
+    report.violations.push_back(
+        {"availability",
+         "converged availability " +
+             std::to_string(report.final_availability) + " below initial " +
+             std::to_string(report.initial_availability) + " (tolerance " +
+             std::to_string(tolerance) + ")"});
+}
+
+void check_preflight(const desi::SystemData& system, RunReport& report) {
+  const check::CheckReport result =
+      check::preflight_report(system.model(), system.constraints());
+  if (result.error_count() > 0)
+    report.violations.push_back(
+        {"preflight", std::to_string(result.error_count()) +
+                          " static-checker errors on the final model"});
+}
+
+void collect_net(const sim::SimNetwork& net, RunReport& report) {
+  const sim::MessageStats& stats = net.stats();
+  report.net_sent = stats.sent;
+  report.net_delivered = stats.delivered;
+  report.net_dropped = stats.dropped;
+  report.net_unroutable = stats.unroutable;
+  report.dropped_links = net.dropped_links();
+}
+
+}  // namespace
+
+RunReport CampaignRunner::run_centralized(std::uint64_t seed) {
+  RunReport report;
+  report.seed = seed;
+  report.mode = "centralized";
+  report.scenario = config_.scenario.name;
+
+  const auto system = desi::Generator::generate(config_.generator, seed);
+  // Untouched twin of the generated system: the availability invariant is
+  // judged against ground-truth link parameters, not the monitor-mutated
+  // runtime model.
+  const auto pristine = desi::Generator::generate(config_.generator, seed);
+
+  core::FrameworkConfig fc;
+  fc.master_host = 0;
+  fc.seed = seed;
+  core::CentralizedInstantiation inst(*system, fc);
+  inst.set_instruments(obs_);
+
+  const model::AvailabilityObjective objective;
+  core::ImprovementLoop::Config lc;
+  lc.interval_ms = config_.improve_interval_ms;
+  lc.seed = seed;
+  // A fault-window redeployment can time out half-applied and leave the
+  // system in a state hill-climbing cannot escape; the escalation ladder
+  // climbs to stronger algorithms after repeated improvement-free ticks,
+  // which is what recovers the availability invariant post-heal.
+  lc.enable_escalation = true;
+  core::ImprovementLoop loop(inst, objective, lc);
+  loop.set_instruments(obs_);
+
+  const FaultSchedule schedule = FaultSchedule::compile(
+      config_.scenario, system->model(), fc.master_host, seed);
+  report.actions_scheduled = schedule.actions().size();
+  FaultInjector injector(inst, obs_);
+  injector.arm(schedule);
+
+  // Epoch-monotonicity probe: sample the deployer's epoch on a fixed
+  // cadence so a crash/restart that rewound the counter is caught even if
+  // the final value looks plausible.
+  std::vector<std::uint64_t> epoch_samples;
+  std::function<void()> probe = [&] {
+    epoch_samples.push_back(inst.deployer().current_epoch());
+    if (inst.simulator().now() < config_.scenario.duration_ms)
+      inst.simulator().schedule_after(config_.epoch_probe_ms, probe);
+  };
+  inst.simulator().schedule_at(0.0, probe);
+
+  loop.start();
+  inst.start();
+  inst.simulator().run_until(config_.scenario.duration_ms);
+  loop.stop();
+  inst.simulator().run_until(config_.scenario.duration_ms +
+                             config_.settle_ms);
+
+  report.faults = injector.injected();
+  report.redeployments = loop.redeployments_applied();
+  report.final_epoch = inst.deployer().current_epoch();
+  report.stale_acks = inst.deployer().stale_acks_ignored();
+  collect_net(inst.network(), report);
+
+  for (std::size_t i = 1; i < epoch_samples.size(); ++i)
+    if (epoch_samples[i] < epoch_samples[i - 1]) {
+      report.violations.push_back(
+          {"epoch", "epoch regressed from " +
+                        std::to_string(epoch_samples[i - 1]) + " to " +
+                        std::to_string(epoch_samples[i])});
+      break;
+    }
+  if (report.final_epoch < inst.deployer().redeployments_completed())
+    report.violations.push_back(
+        {"epoch",
+         "final epoch " + std::to_string(report.final_epoch) +
+             " below completed rounds " +
+             std::to_string(inst.deployer().redeployments_completed())});
+
+  check_conservation(inst.network(), report);
+  check_census(inst, system->model(), report);
+  check_availability(*pristine, inst.runtime_deployment(),
+                     config_.availability_tolerance, report);
+  check_preflight(*system, report);
+  return report;
+}
+
+RunReport CampaignRunner::run_decentralized(std::uint64_t seed) {
+  RunReport report;
+  report.seed = seed;
+  report.mode = "decentralized";
+  report.scenario = config_.scenario.name;
+
+  const auto system = desi::Generator::generate(config_.generator, seed);
+  const auto pristine = desi::Generator::generate(config_.generator, seed);
+
+  core::DecentralizedInstantiation::Config dc;
+  dc.base.seed = seed;
+  dc.base.reliability.interval_ms = 500.0;
+  core::DecentralizedInstantiation fleet(*system, dc);
+  fleet.substrate().set_instruments(obs_);
+
+  const FaultSchedule schedule = FaultSchedule::compile(
+      config_.scenario, system->model(),
+      fleet.substrate().config().master_host, seed);
+  report.actions_scheduled = schedule.actions().size();
+  FaultInjector injector(fleet.substrate(), obs_);
+  injector.arm(schedule);
+
+  fleet.start();
+  fleet.simulator().run_until(5'000.0);  // warm up the monitors
+  std::uint64_t round = 0;
+  while (fleet.simulator().now() < config_.scenario.duration_ms) {
+    fleet.refresh_local_models();
+    fleet.gossip_sync();
+    fleet.simulator().run_until(fleet.simulator().now() + 2'000.0);
+    fleet.auction_sweep(seed * 1'000 + ++round);
+    fleet.simulator().run_until(fleet.simulator().now() + 8'000.0);
+  }
+  fleet.simulator().run_until(config_.scenario.duration_ms +
+                              config_.settle_ms);
+
+  report.faults = injector.injected();
+  report.migrations = fleet.stats().migrations;
+  collect_net(fleet.substrate().network(), report);
+
+  check_conservation(fleet.substrate().network(), report);
+  check_census(fleet.substrate(), system->model(), report);
+  check_availability(*pristine, fleet.runtime_deployment(),
+                     config_.availability_tolerance, report);
+  check_preflight(*system, report);
+  return report;
+}
+
+CampaignReport CampaignRunner::run() {
+  CampaignReport report;
+  report.config = config_;
+  for (const std::uint64_t seed : config_.seeds) {
+    if (config_.centralized) report.runs.push_back(run_centralized(seed));
+    if (config_.decentralized) report.runs.push_back(run_decentralized(seed));
+  }
+  return report;
+}
+
+std::size_t CampaignReport::total_violations() const {
+  std::size_t n = 0;
+  for (const RunReport& run : runs) n += run.violations.size();
+  return n;
+}
+
+util::json::Value RunReport::to_json() const {
+  using util::json::Array;
+  using util::json::Object;
+  Object doc;
+  doc["seed"] = seed;
+  doc["mode"] = mode;
+  doc["scenario"] = scenario;
+  doc["actions_scheduled"] = actions_scheduled;
+
+  Object fault_counts;
+  for (const auto& [kind, n] : faults) fault_counts[kind] = n;
+  doc["faults"] = std::move(fault_counts);
+
+  Object net;
+  net["sent"] = net_sent;
+  net["delivered"] = net_delivered;
+  net["dropped"] = net_dropped;
+  net["unroutable"] = net_unroutable;
+  Array lossy;
+  for (const sim::LinkDrops& link : dropped_links) {
+    Object entry;
+    entry["a"] = static_cast<std::uint64_t>(link.a);
+    entry["b"] = static_cast<std::uint64_t>(link.b);
+    entry["dropped"] = link.dropped;
+    lossy.push_back(std::move(entry));
+  }
+  net["dropped_links"] = std::move(lossy);
+  doc["net"] = std::move(net);
+
+  Object avail;
+  avail["initial"] = initial_availability;
+  avail["final"] = final_availability;
+  doc["availability"] = std::move(avail);
+
+  Object adaptation;
+  if (mode == "centralized") {
+    adaptation["redeployments"] = redeployments;
+    adaptation["final_epoch"] = final_epoch;
+    adaptation["stale_acks"] = stale_acks;
+  } else {
+    adaptation["migrations"] = migrations;
+  }
+  doc["adaptation"] = std::move(adaptation);
+
+  Array violation_list;
+  for (const InvariantViolation& v : violations) {
+    Object entry;
+    entry["invariant"] = v.invariant;
+    entry["detail"] = v.detail;
+    violation_list.push_back(std::move(entry));
+  }
+  doc["violations"] = std::move(violation_list);
+  return util::json::Value(std::move(doc));
+}
+
+util::json::Value CampaignReport::to_json() const {
+  using util::json::Array;
+  using util::json::Object;
+  Object doc;
+  doc["schema"] = "dif-campaign-v1";
+  doc["scenario"] = config.scenario.name;
+
+  Array seed_list;
+  for (const std::uint64_t seed : config.seeds) seed_list.push_back(seed);
+  doc["seeds"] = std::move(seed_list);
+
+  Array modes;
+  if (config.centralized) modes.push_back("centralized");
+  if (config.decentralized) modes.push_back("decentralized");
+  doc["modes"] = std::move(modes);
+
+  Object generator;
+  generator["hosts"] = static_cast<std::uint64_t>(config.generator.hosts);
+  generator["components"] =
+      static_cast<std::uint64_t>(config.generator.components);
+  doc["generator"] = std::move(generator);
+
+  Array run_list;
+  for (const RunReport& run : runs) run_list.push_back(run.to_json());
+  doc["runs"] = std::move(run_list);
+
+  doc["total_runs"] = static_cast<std::uint64_t>(runs.size());
+  doc["total_violations"] = static_cast<std::uint64_t>(total_violations());
+  doc["ok"] = ok();
+  return util::json::Value(std::move(doc));
+}
+
+}  // namespace dif::chaos

@@ -1,0 +1,141 @@
+// The fault-injection campaign engine (the "chaos" layer's public face).
+//
+// A campaign runs the full improvement stack — generated system, Prism-MW
+// instantiation, monitors, analyzer/auction, effectors — under a compiled
+// FaultSchedule, once per (seed, mode) pair, and checks dependability
+// invariants after every run:
+//
+//   conservation   delivered + dropped + unroutable never exceeds sent, and
+//                  per-link drop shares never exceed the global drop count
+//   epoch          the deployer's redeployment epoch is monotonic for the
+//                  whole run (sampled periodically), including across master
+//                  crashes, and at least one epoch exists per completed round
+//   census         after the convergence window every application component
+//                  is hosted exactly once — nothing lost by a crash, nothing
+//                  duplicated by a recovered transfer
+//   availability   the converged deployment, scored on a pristine copy of
+//                  the generated model, is no worse than the initial
+//                  deployment (within CampaignConfig::availability_tolerance)
+//   preflight      the run-time-mutated model still passes the static
+//                  checker's pre-flight rule set
+//
+// Everything is deterministic in the seed: generation, fault times and
+// targets, protocol interleavings, and therefore the whole report —
+// identical seeds yield byte-identical JSON (schema "dif-campaign-v1").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_schedule.h"
+#include "chaos/scenario.h"
+#include "desi/generator.h"
+#include "obs/instruments.h"
+#include "util/json.h"
+
+namespace dif::chaos {
+
+struct CampaignConfig {
+  ScenarioSpec scenario;
+  /// One run per seed (per enabled mode).
+  std::vector<std::uint64_t> seeds = {0, 1, 2, 3};
+  /// Which framework instantiations to drive.
+  bool centralized = true;
+  bool decentralized = true;
+  /// The system under test, regenerated per seed.
+  desi::GeneratorSpec generator;
+  /// Improvement-loop cadence (centralized mode).
+  double improve_interval_ms = 5'000.0;
+  /// Extra post-scenario time for in-flight transfers to finish before the
+  /// census / availability invariants are judged.
+  double settle_ms = 20'000.0;
+  /// Slack allowed on the availability invariant: transient faults steer
+  /// the adaptation through states optimized against *observed* (degraded)
+  /// reliabilities, and hill-climbing back after the heal may stop within
+  /// the analyzer's min_improvement of the initial score.
+  double availability_tolerance = 0.0;
+  /// Epoch-monotonicity sampling period.
+  double epoch_probe_ms = 5'000.0;
+
+  CampaignConfig() {
+    generator.hosts = 5;
+    generator.components = 14;
+    generator.reliability = {0.60, 0.99};
+    generator.bandwidth = {50.0, 400.0};
+    generator.link_density = 0.5;
+    generator.interaction_density = 0.25;
+  }
+};
+
+struct InvariantViolation {
+  std::string invariant;  // "conservation", "epoch", "census", ...
+  std::string detail;
+};
+
+/// Everything observed in one (seed, mode) run. All fields are pure
+/// functions of the seed — no wall-clock values.
+struct RunReport {
+  std::uint64_t seed = 0;
+  std::string mode;      // "centralized" | "decentralized"
+  std::string scenario;
+  std::size_t actions_scheduled = 0;
+  std::map<std::string, std::uint64_t> faults;  // injected, per kind
+
+  std::uint64_t net_sent = 0;
+  std::uint64_t net_delivered = 0;
+  std::uint64_t net_dropped = 0;
+  std::uint64_t net_unroutable = 0;
+  std::vector<sim::LinkDrops> dropped_links;
+
+  double initial_availability = 0.0;
+  double final_availability = 0.0;
+
+  /// Centralized: analyzer redeployments applied / deployer rounds
+  /// completed / final epoch / stale acks. Decentralized: auction
+  /// migrations under "migrations", the rest stay zero.
+  std::uint64_t redeployments = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t final_epoch = 0;
+  std::uint64_t stale_acks = 0;
+
+  std::vector<InvariantViolation> violations;
+
+  [[nodiscard]] util::json::Value to_json() const;
+};
+
+struct CampaignReport {
+  CampaignConfig config;
+  std::vector<RunReport> runs;
+
+  [[nodiscard]] std::size_t total_violations() const;
+  [[nodiscard]] bool ok() const { return total_violations() == 0; }
+
+  /// {"schema": "dif-campaign-v1", ...} — deterministic for a given
+  /// (config, seeds): std::map-backed objects serialize in key order and
+  /// no field derives from wall clock.
+  [[nodiscard]] util::json::Value to_json() const;
+};
+
+class CampaignRunner {
+ public:
+  /// `instruments` members may be null; when set, fault counters/spans and
+  /// the full per-run network/admin instrumentation accumulate there
+  /// across all runs.
+  explicit CampaignRunner(CampaignConfig config,
+                          obs::Instruments instruments = {})
+      : config_(std::move(config)), obs_(instruments) {}
+
+  /// Runs every (seed, enabled mode) combination and returns the report.
+  [[nodiscard]] CampaignReport run();
+
+ private:
+  [[nodiscard]] RunReport run_centralized(std::uint64_t seed);
+  [[nodiscard]] RunReport run_decentralized(std::uint64_t seed);
+
+  CampaignConfig config_;
+  obs::Instruments obs_;
+};
+
+}  // namespace dif::chaos

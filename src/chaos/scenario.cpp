@@ -1,0 +1,48 @@
+#include "chaos/scenario.h"
+
+#include <stdexcept>
+
+namespace dif::chaos {
+
+ScenarioSpec scenario_by_name(const std::string& name) {
+  ScenarioSpec spec;
+  spec.name = name;
+  if (name == "mixed") return spec;
+
+  // Single-family presets zero every other family and compensate with
+  // more instances of their own.
+  spec.partitions = 0;
+  spec.loss_bursts = 0;
+  spec.degradations = 0;
+  spec.crashes = 0;
+  spec.noise_bursts = 0;
+  if (name == "quiet") return spec;
+  if (name == "partitions") {
+    spec.partitions = 4;
+    return spec;
+  }
+  if (name == "loss") {
+    spec.loss_bursts = 4;
+    return spec;
+  }
+  if (name == "degrade") {
+    spec.degradations = 4;
+    return spec;
+  }
+  if (name == "crashes") {
+    spec.crashes = 2;
+    return spec;
+  }
+  if (name == "noise") {
+    spec.noise_bursts = 3;
+    return spec;
+  }
+  throw std::invalid_argument("chaos: unknown scenario '" + name + "'");
+}
+
+std::vector<std::string> scenario_names() {
+  return {"mixed", "partitions", "loss", "degrade", "crashes", "noise",
+          "quiet"};
+}
+
+}  // namespace dif::chaos

@@ -1,0 +1,69 @@
+// Scenario specifications for the fault-injection campaign engine.
+//
+// A ScenarioSpec is the *shape* of a perturbation campaign — how many of
+// each fault family to inject, into which time window, and how hard. The
+// spec deliberately contains no concrete hosts, links, or times: those are
+// drawn deterministically from a seed when FaultSchedule::compile turns a
+// spec into a timed action list, so one spec replayed over N seeds yields N
+// distinct but exactly reproducible runs (the campaign methodology of the
+// Rainbow / DecAp self-adaptation evaluations: systematic perturbation, not
+// hand-picked outages).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dif::chaos {
+
+struct ScenarioSpec {
+  std::string name = "mixed";
+
+  /// Total simulated run length; the improvement loop keeps ticking for the
+  /// whole stretch.
+  double duration_ms = 120'000.0;
+
+  /// Faults strike inside [fault_from_ms, fault_until_ms] and every one of
+  /// them heals by fault_until_ms, so the remainder of the run is a
+  /// guaranteed convergence window (the campaign's availability invariant
+  /// is judged after it).
+  double fault_from_ms = 5'000.0;
+  double fault_until_ms = 70'000.0;
+
+  /// How many faults of each family to inject.
+  std::size_t partitions = 2;     // hard link severs
+  std::size_t loss_bursts = 2;    // reliability collapses on a link
+  std::size_t degradations = 2;   // bandwidth/latency squeeze on a link
+  std::size_t crashes = 1;        // host crash + restart (state loss)
+  std::size_t noise_bursts = 1;   // rapid reliability oscillation
+
+  /// Individual fault durations are drawn uniformly from this range
+  /// (clamped so healing never slips past fault_until_ms).
+  double min_fault_ms = 4'000.0;
+  double max_fault_ms = 15'000.0;
+
+  /// Reliability a link collapses to during a loss burst.
+  double burst_reliability = 0.15;
+  /// Bandwidth multiplier / delay multiplier during a degradation.
+  double degrade_bandwidth_factor = 0.25;
+  double degrade_delay_factor = 4.0;
+  /// Monitor-noise injection: the link's reliability flips between
+  /// base*(1-amplitude) and base*(1+amplitude) every period — fluctuation
+  /// faster than any real drift, which the admins' stability filters
+  /// (paper §3.1) are supposed to swallow without triggering adaptation.
+  double noise_amplitude = 0.3;
+  double noise_period_ms = 400.0;
+
+  /// Whether the master host (deployer) may be crash targeted. Off by
+  /// default: the centralized instantiation's master is the paper's
+  /// always-reachable Headquarters.
+  bool crash_master = false;
+};
+
+/// Built-in presets: "mixed" (the default above), one single-family
+/// scenario per fault kind ("partitions", "loss", "degrade", "crashes",
+/// "noise"), and "quiet" (no faults — the control run).
+[[nodiscard]] ScenarioSpec scenario_by_name(const std::string& name);
+[[nodiscard]] std::vector<std::string> scenario_names();
+
+}  // namespace dif::chaos

@@ -39,6 +39,39 @@ CentralizedInstantiation::CentralizedInstantiation(desi::SystemData& system,
     architectures_.push_back(std::move(arch));
   }
 
+  // --- static multi-hop routes -------------------------------------------------
+  // The mediator covers non-adjacent host pairs only while the master is a
+  // hub. For every pair without a direct link, compute the first hop of a
+  // shortest path (BFS over the design-time topology) so events can be
+  // relayed host-by-host: each intermediate admin's undeliverable handler
+  // re-routes the event onward. Unreachable pairs simply get no route.
+  for (std::size_t h = 0; h < k; ++h) {
+    const auto origin = static_cast<model::HostId>(h);
+    std::vector<model::HostId> parent(k, origin);
+    std::vector<bool> seen(k, false);
+    seen[h] = true;
+    std::vector<model::HostId> frontier{origin};
+    while (!frontier.empty()) {
+      std::vector<model::HostId> next;
+      for (const model::HostId at : frontier)
+        for (std::size_t g = 0; g < k; ++g) {
+          const auto peer = static_cast<model::HostId>(g);
+          if (seen[g] || !m.connected(at, peer)) continue;
+          seen[g] = true;
+          parent[g] = at;
+          next.push_back(peer);
+        }
+      frontier = std::move(next);
+    }
+    for (std::size_t g = 0; g < k; ++g) {
+      const auto destination = static_cast<model::HostId>(g);
+      if (g == h || !seen[g] || m.connected(origin, destination)) continue;
+      model::HostId hop = destination;
+      while (parent[hop] != origin) hop = parent[hop];
+      connectors_[h]->set_next_hop(destination, hop);
+    }
+  }
+
   // --- location tables: initial deployment + meta components -----------------
   for (std::size_t h = 0; h < k; ++h) {
     prism::DistributionConnector& connector = *connectors_[h];
@@ -58,6 +91,8 @@ CentralizedInstantiation::CentralizedInstantiation(desi::SystemData& system,
   std::vector<model::HostId> all_hosts;
   for (std::size_t h = 0; h < k; ++h)
     all_hosts.push_back(static_cast<model::HostId>(h));
+  prism::AdminComponent::Params admin_params = config_.admin;
+  admin_params.fleet = all_hosts;
 
   for (std::size_t h = 0; h < k; ++h) {
     const auto host = static_cast<model::HostId>(h);
@@ -73,7 +108,7 @@ CentralizedInstantiation::CentralizedInstantiation(desi::SystemData& system,
     freq_monitors_.push_back(freq);
 
     auto admin = std::make_unique<prism::AdminComponent>(
-        host, *connectors_[h], factory_, freq, rel, config_.admin);
+        host, *connectors_[h], factory_, freq, rel, admin_params);
     admins_.push_back(&static_cast<prism::AdminComponent&>(
         architectures_[h]->add_component(std::move(admin))));
     architectures_[h]->weld(*admins_[h], *connectors_[h]);
@@ -84,7 +119,7 @@ CentralizedInstantiation::CentralizedInstantiation(desi::SystemData& system,
       prism::DeployerComponent::DeployerParams deployer_params;
       deployer_params.admin_hosts = all_hosts;
       auto deployer = std::make_unique<prism::DeployerComponent>(
-          host, *connectors_[h], factory_, nullptr, nullptr, config_.admin,
+          host, *connectors_[h], factory_, nullptr, nullptr, admin_params,
           deployer_params);
       deployer_ = &static_cast<prism::DeployerComponent&>(
           architectures_[h]->add_component(std::move(deployer)));
@@ -149,6 +184,20 @@ void CentralizedInstantiation::set_instruments(obs::Instruments instruments) {
 
 prism::AdminComponent& CentralizedInstantiation::admin(model::HostId host) {
   return *admins_.at(host);
+}
+
+void CentralizedInstantiation::crash_host(model::HostId host) {
+  network_->fail_host(host);
+  admins_.at(host)->crash();
+  if (deployer_ && host == config_.master_host) deployer_->crash();
+}
+
+void CentralizedInstantiation::restart_host(model::HostId host) {
+  network_->recover_host(host);
+  if (deployer_ && host == config_.master_host)
+    deployer_->restart(/*resume_reporting=*/false);
+  admins_.at(host)->restart(config_.enable_monitoring &&
+                            config_.enable_admin_reporting);
 }
 
 model::Deployment CentralizedInstantiation::runtime_deployment() const {

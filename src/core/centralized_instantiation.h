@@ -102,6 +102,16 @@ class CentralizedInstantiation {
                                        : nullptr;
   }
 
+  /// Host crash + restart (chaos hooks; the paper's device-reboot
+  /// dependability event). crash_host takes the host's network down and
+  /// crashes its admin — and the deployer, when `host` is the master — so
+  /// volatile middleware state is lost exactly as a reboot would lose it.
+  /// restart_host brings the network back and re-registers the host with
+  /// the rest of the system (see AdminComponent::restart); monitoring
+  /// reports resume per the framework config. Both are idempotent.
+  void crash_host(model::HostId host);
+  void restart_host(model::HostId host);
+
   /// The deployment as the running system currently has it (from the
   /// deployer's location table; kNoHost for components it has not seen).
   [[nodiscard]] model::Deployment runtime_deployment() const;

@@ -170,7 +170,47 @@ void AdminComponent::collect_and_report() {
   send_to_deployer(std::move(report));
 }
 
+void AdminComponent::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  reporting_ = false;
+  filters_.clear();
+  buffers_.clear();
+  contested_.clear();
+  for (auto& [component, pending] : pending_transfers_)
+    crash_recovery_.push_back(std::move(pending.transfer));
+  pending_transfers_.clear();
+  if (obs_.metrics) obs_.metrics->counter("admin.crashes").add(1);
+}
+
+void AdminComponent::restart(bool resume_reporting) {
+  if (!crashed_) return;
+  crashed_ = false;
+  if (obs_.metrics) obs_.metrics->counter("admin.restarts").add(1);
+  std::vector<Event> recovered = std::move(crash_recovery_);
+  crash_recovery_.clear();
+  for (Event& transfer : recovered) {
+    const std::string* component = transfer.get_string("component");
+    if (!component || architecture()->find_component(*component)) continue;
+    if (obs_.metrics)
+      obs_.metrics->counter("admin.recovered_transfers").add(1);
+    transfer.set_to(name());
+    transfer.set("restored", true);
+    handle_component_transfer(transfer);
+  }
+  // Re-registration: peers and the deployer may hold arbitrarily stale
+  // views of this host after the outage (and it may hold stale views of
+  // them); broadcasting the local inventory resynchronizes the location
+  // tables the redeployment protocol routes by.
+  for (const std::string& component : architecture()->component_names()) {
+    if (component.rfind("__", 0) == 0) continue;
+    announce_ownership(component, restored_.count(component) > 0);
+  }
+  if (resume_reporting) start_reporting();
+}
+
 void AdminComponent::handle(const Event& event) {
+  if (crashed_) return;
   if (event.name() == "__new_config") {
     handle_new_config(event);
   } else if (event.name() == "__request_component") {
@@ -249,6 +289,9 @@ void AdminComponent::handle_request_component(const Event& event) {
   if (const std::optional<double> epoch = event.get_double("epoch"))
     transfer.set("epoch", *epoch);
   transfer.set("state", state.take());
+  // Shipping ends our custody: a stale provisional marker left behind would
+  // poison later ownership arbitration on this host.
+  restored_.erase(*component);
   // Point our own routing at the new host before the transfer leaves, so
   // events arriving meanwhile chase the component instead of piling up.
   connector_.set_location(*component, target);
@@ -359,7 +402,16 @@ void AdminComponent::announce_ownership(const std::string& component,
   update.set("host", static_cast<double>(host_));
   update.set("restored", restored);
   if (epoch) update.set("epoch", *epoch);
-  send(std::move(update));  // broadcast to peers (deployer rebroadcasts)
+  send(Event(update));  // broadcast to peers (deployer rebroadcasts)
+  // The flood reaches direct peers only; admins beyond one hop get a
+  // directed copy that rides the location-table/next-hop routing instead.
+  const std::vector<model::HostId>& peers = connector_.peers();
+  for (const model::HostId h : params_.fleet) {
+    if (h == host_ || std::count(peers.begin(), peers.end(), h)) continue;
+    Event directed(update);
+    directed.set_to(admin_name(h));
+    send(std::move(directed));
+  }
 }
 
 void AdminComponent::schedule_restored_reclaims(const std::string& component,
@@ -374,6 +426,23 @@ void AdminComponent::schedule_restored_reclaims(const std::string& component,
         schedule_restored_reclaims(component,
                                    std::min(delay_ms * 2.0, 30'000.0));
       });
+}
+
+void AdminComponent::schedule_contested_reasserts(const std::string& component,
+                                                  double delay_ms) {
+  if (!architecture()) return;
+  architecture()->scaffold().schedule(delay_ms, [this, component, delay_ms] {
+    const auto it = contested_.find(component);
+    if (it == contested_.end()) return;  // conflict re-armed elsewhere or gone
+    if (crashed_ || !architecture()->find_component(component) ||
+        --it->second <= 0) {
+      contested_.erase(it);
+      return;
+    }
+    announce_ownership(component, restored_.count(component) > 0);
+    schedule_contested_reasserts(component,
+                                 std::min(delay_ms * 2.0, 30'000.0));
+  });
 }
 
 void AdminComponent::handle_location_update(const Event& event) {
@@ -396,10 +465,33 @@ void AdminComponent::handle_location_update(const Event& event) {
       (void)architecture()->detach_component(*component);  // destroyed
       connector_.set_location(*component, claimant);
       flush_buffer(*component);
+    } else if (!mine_restored && !claim_restored && host_ > claimant) {
+      // Two *authoritative* claims: the system forked (e.g. a provisional
+      // copy was shipped onward as a regular transfer while the original
+      // still lived elsewhere). Destroying outright is unsafe — the claim
+      // may be stale and ours the last copy — so the junior holder (the
+      // higher host id, mirroring the provisional tie-break) demotes its
+      // copy to provisional instead: the reclaim cycle destroys it if the
+      // claimant's copy is real and keeps it if the claim was stale.
+      util::log_info("prism.admin", "demoting forked copy of '", *component,
+                     "' to provisional (authoritative claim from host ",
+                     claimant, ")");
+      restored_.insert(*component);
+      contested_.erase(*component);
+      announce_ownership(*component, /*restored=*/true);
+      schedule_restored_reclaims(*component,
+                                 params_.transfer_retry_interval_ms);
     } else {
       // We are authoritative (or the senior provisional holder): re-assert
-      // so the other copy stands down.
+      // so the other copy stands down — and keep re-asserting on a backoff
+      // timer, since this one response may die in the same fault window
+      // that spawned the conflict.
       announce_ownership(*component, mine_restored);
+      if (!contested_.count(*component)) {
+        contested_[*component] = kMaxContestedReasserts;
+        schedule_contested_reasserts(*component,
+                                     params_.transfer_retry_interval_ms);
+      }
     }
     pending_transfers_.erase(*component);
     return;
@@ -412,6 +504,7 @@ void AdminComponent::handle_location_update(const Event& event) {
 }
 
 void AdminComponent::on_undeliverable(const Event& event) {
+  if (crashed_) return;  // a dead process buffers nothing
   if (event.to().empty() || event.to() == name()) return;
   const std::optional<model::HostId> where = connector_.location(event.to());
   if (where && *where != host_) {

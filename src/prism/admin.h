@@ -71,6 +71,14 @@ class AdminComponent : public Component {
     /// reattached locally rather than lost).
     double transfer_retry_interval_ms = 1'000.0;
     int transfer_max_attempts = 20;
+    /// Every host of the deployment (filled in by the instantiation).
+    /// Ownership claims flood to direct peers, but on sparse topologies a
+    /// claimant and the copy it must displace may not be adjacent (nor both
+    /// adjacent to the master whose deployer rebroadcasts): admins in this
+    /// list that are not direct peers additionally get a *directed* copy of
+    /// each claim, which the location-table/next-hop routing can relay
+    /// host-by-host. Empty list = flood-only (the legacy behaviour).
+    std::vector<model::HostId> fleet;
   };
 
   /// The connector, factory, and monitors must outlive the admin. Monitors
@@ -94,6 +102,28 @@ class AdminComponent : public Component {
 
   void handle(const Event& event) override;
   void on_attached() override;
+
+  // --- crash / restart (the paper's device-reboot dependability event) ----
+
+  /// Models the host process dying: all volatile state is discarded —
+  /// buffered events, stability-filter history, the reporting cadence, and
+  /// the retry bookkeeping of unconfirmed outbound transfers. The
+  /// serialized images of those transfers are set aside as stable storage
+  /// (a component whose migration never confirmed still exists on this
+  /// host's disk) for recovery at restart(). While crashed, every incoming
+  /// event is ignored. Idempotent.
+  virtual void crash();
+
+  /// Recovery and re-registration. Unconfirmed outbound transfers set
+  /// aside by crash() are reconstituted locally as *provisional* copies
+  /// (the ownership-resolution protocol destroys the surplus copy when the
+  /// transfer had actually arrived), then a __location_update is broadcast
+  /// for every locally deployed application component so the deployer and
+  /// peer admins rebuild their location tables. Reporting resumes when
+  /// `resume_reporting`.
+  virtual void restart(bool resume_reporting);
+
+  [[nodiscard]] bool crashed() const noexcept { return crashed_; }
 
   /// Number of events currently buffered for in-flight components.
   [[nodiscard]] std::size_t buffered_events() const;
@@ -149,6 +179,14 @@ class AdminComponent : public Component {
                           std::optional<double> epoch = std::nullopt);
   void schedule_restored_reclaims(const std::string& component,
                                   double delay_ms);
+  /// Repeats the authoritative claim for a *contested* component (another
+  /// host also claims to hold it) with capped exponential backoff. A single
+  /// re-assertion can be eaten by a fault window, leaving both copies alive
+  /// and silent; bounded repetition stretches the claim past any finite
+  /// outage. The losing copy stands down silently, so repetition is bounded
+  /// by count rather than by an acknowledgement.
+  void schedule_contested_reasserts(const std::string& component,
+                                    double delay_ms);
 
   /// Stability filters keyed per monitored series ("freq:a->b", "rel:3").
   std::map<std::string, StabilityFilter> filters_;
@@ -158,6 +196,9 @@ class AdminComponent : public Component {
   /// lost), the restored copy yields and destroys itself — the resolution
   /// protocol that keeps every component existing exactly once.
   std::set<std::string> restored_;
+  /// Held components another host has claimed: re-assertion attempts left.
+  std::map<std::string, int> contested_;
+  static constexpr int kMaxContestedReasserts = 8;
   /// In-flight outbound transfers awaiting arrival confirmation.
   struct PendingTransfer {
     Event transfer;
@@ -168,6 +209,10 @@ class AdminComponent : public Component {
   /// Events buffered for components with no known location (bounded).
   std::map<std::string, std::deque<Event>> buffers_;
   static constexpr std::size_t kMaxBufferedPerComponent = 64;
+
+  bool crashed_ = false;
+  /// Serialized transfers rescued by crash() for restart-time recovery.
+  std::vector<Event> crash_recovery_;
 
   std::uint64_t components_received_ = 0;
   std::uint64_t components_shipped_ = 0;

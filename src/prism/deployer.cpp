@@ -15,7 +15,17 @@ DeployerComponent::DeployerComponent(
                      admin_params),
       deployer_params_(std::move(deployer_params)) {}
 
+void DeployerComponent::crash() {
+  if (!crashed() && (!pending_.empty() || completion_)) {
+    pending_.clear();
+    if (obs_.metrics) obs_.metrics->counter("deploy.crashed_rounds").add(1);
+    finish(false);
+  }
+  AdminComponent::crash();
+}
+
 void DeployerComponent::handle(const Event& event) {
+  if (crashed()) return;
   if (event.name() == "__monitor_report") {
     handle_monitor_report(event);
     return;
@@ -119,7 +129,7 @@ void DeployerComponent::handle_monitor_report(const Event& event) {
 
 bool DeployerComponent::effect_deployment(const TargetDeployment& target,
                                           CompletionHandler done) {
-  if (!pending_.empty()) return false;
+  if (crashed() || !pending_.empty()) return false;
   completion_ = std::move(done);
   migrations_requested_ = 0;
   ++epoch_;

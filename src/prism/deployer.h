@@ -103,6 +103,15 @@ class DeployerComponent final : public AdminComponent {
 
   void handle(const Event& event) override;
 
+  /// Deployer crash semantics on top of AdminComponent::crash(): an
+  /// in-flight redeployment round dies with the process and is reported as
+  /// failed to its caller (the improvement loop must not wait forever on a
+  /// completion that can no longer arrive). The epoch counter itself is
+  /// modeled as stable storage and survives — recycling epoch values after
+  /// a restart would let pre-crash stale acks satisfy post-crash rounds,
+  /// exactly what the epoch stamp exists to prevent.
+  void crash() override;
+
  private:
   void handle_monitor_report(const Event& event);
   void handle_migration_ack(const Event& event);

@@ -36,6 +36,11 @@ void DistributionConnector::remove_peer(model::HostId peer) {
   std::erase(peers_, peer);
 }
 
+void DistributionConnector::set_next_hop(model::HostId destination,
+                                         model::HostId via) {
+  if (destination != host_) next_hops_[destination] = via;
+}
+
 void DistributionConnector::set_location(const std::string& component,
                                          model::HostId host) {
   locations_[component] = host;
@@ -127,12 +132,29 @@ void DistributionConnector::route(const Event& event, Component* sender) {
                       "no known location for '", event.to(), "'");
       return;
     }
-    const bool direct =
-        std::count(peers_.begin(), peers_.end(), *destination) > 0;
-    if (direct) {
+    const auto is_peer = [this](model::HostId h) {
+      return std::count(peers_.begin(), peers_.end(), h) > 0;
+    };
+    // Next-hop relay is a control-plane overlay: only meta components
+    // (admins, the deployer) are chased across multiple hops, because the
+    // redeployment and ownership protocols must reach every host. Workload
+    // traffic keeps the paper's data-plane model — direct link or mediated
+    // by the master — so multi-hop relays do not load links the deployment
+    // model says the interaction never crosses.
+    const bool meta = event.to().rfind("__", 0) == 0;
+    if (is_peer(*destination)) {
       forward_remote(event, *destination);
-    } else if (mediator_ && *mediator_ != host_) {
+    } else if (mediator_ && *mediator_ != host_ && is_peer(*mediator_)) {
       // Not directly connected: the Deployer's host mediates (paper §4.3).
+      forward_remote(event, *mediator_);
+    } else if (const auto hop = meta ? next_hops_.find(*destination)
+                                     : next_hops_.end();
+               hop != next_hops_.end()) {
+      // No usable mediator (we *are* the mediator host, or it is not
+      // adjacent either): forward along the static next-hop route. The
+      // receiving host's admin re-routes the event onward.
+      forward_remote(event, hop->second);
+    } else if (mediator_ && *mediator_ != host_) {
       forward_remote(event, *mediator_);
     } else {
       ++undeliverable_remote_;

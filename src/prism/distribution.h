@@ -43,6 +43,15 @@ class DistributionConnector final : public Connector {
   /// mediated exchange between devices that are not directly connected).
   void set_mediator(model::HostId host) { mediator_ = host; }
 
+  /// Static next-hop route: events for a component on `destination` may be
+  /// forwarded to direct peer `via` when neither direct delivery nor
+  /// mediation can reach it. The mediator scheme assumes the master host is
+  /// adjacent to every other host; on sparse topologies that assumption
+  /// breaks — most damagingly *on the master itself*, which has no mediator
+  /// to lean on and silently dropped traffic to its non-neighbors. Routes
+  /// are filled in from the design-time topology by the instantiations.
+  void set_next_hop(model::HostId destination, model::HostId via);
+
   // --- component location table ------------------------------------------------
 
   /// Records that `component` currently lives on `host` (updated by
@@ -103,6 +112,7 @@ class DistributionConnector final : public Connector {
   model::HostId host_;
   std::vector<model::HostId> peers_;
   std::optional<model::HostId> mediator_;
+  std::unordered_map<model::HostId, model::HostId> next_hops_;
   std::unordered_map<std::string, model::HostId> locations_;
   PongHandler pong_handler_;
   std::uint64_t undeliverable_remote_ = 0;

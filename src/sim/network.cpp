@@ -12,6 +12,7 @@ SimNetwork::SimNetwork(Simulator& simulator, std::size_t host_count,
       k_(host_count),
       links_(host_count * host_count),
       link_free_(host_count * host_count, 0.0),
+      link_dropped_(host_count * host_count, 0),
       host_up_(host_count, true),
       receivers_(host_count),
       rng_(seed) {
@@ -83,6 +84,25 @@ bool SimNetwork::reachable(model::HostId a, model::HostId b) const {
   return !link.severed && link.bandwidth > 0.0;
 }
 
+void SimNetwork::reset_stats() noexcept {
+  stats_ = MessageStats{};
+  std::fill(link_dropped_.begin(), link_dropped_.end(), 0);
+}
+
+std::uint64_t SimNetwork::link_dropped(model::HostId a, model::HostId b) const {
+  return link_dropped_[index(a, b)];
+}
+
+std::vector<LinkDrops> SimNetwork::dropped_links() const {
+  std::vector<LinkDrops> result;
+  for (std::size_t a = 0; a < k_; ++a)
+    for (std::size_t b = a + 1; b < k_; ++b)
+      if (const std::uint64_t n = link_dropped_[a * k_ + b])
+        result.push_back({static_cast<model::HostId>(a),
+                          static_cast<model::HostId>(b), n});
+  return result;
+}
+
 void SimNetwork::set_receiver(model::HostId host, Receiver receiver) {
   if (host >= k_) throw std::out_of_range("SimNetwork: bad host id");
   receivers_[host] = std::move(receiver);
@@ -102,6 +122,7 @@ bool SimNetwork::send(NetMessage msg) {
       // nothing.
       if (!host_up_[m.to]) {
         ++stats_.dropped;
+        if (m.from != m.to) ++link_dropped_[index(m.from, m.to)];
         if (obs_.metrics) obs_.metrics->counter("net.dropped").add(1);
         return;
       }
@@ -136,6 +157,7 @@ bool SimNetwork::send(NetMessage msg) {
   }
   if (!rng_.chance(link.reliability)) {
     ++stats_.dropped;
+    ++link_dropped_[li];
     if (obs_.metrics) obs_.metrics->counter("net.dropped").add(1);
     // The sender does not learn about the loss (fire-and-forget events);
     // reliability protocols are layered above when needed.

@@ -52,6 +52,13 @@ struct MessageStats {
   double kb_delivered = 0.0;
 };
 
+/// One link's share of the drop count (canonical pair, a < b).
+struct LinkDrops {
+  model::HostId a = 0;
+  model::HostId b = 0;
+  std::uint64_t dropped = 0;
+};
+
 class SimNetwork {
  public:
   /// The simulator must outlive the network.
@@ -99,7 +106,16 @@ class SimNetwork {
   bool send(NetMessage msg);
 
   [[nodiscard]] const MessageStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = MessageStats{}; }
+  void reset_stats() noexcept;
+
+  /// Drops charged to the (a, b) link: reliability losses plus messages that
+  /// were in flight on the link when the receiver crashed. Local (a == a)
+  /// deliveries are never charged to a link.
+  [[nodiscard]] std::uint64_t link_dropped(model::HostId a,
+                                           model::HostId b) const;
+  /// Every link with at least one drop, in canonical (a, b) order —
+  /// campaign reports use this to localize lossy links.
+  [[nodiscard]] std::vector<LinkDrops> dropped_links() const;
 
   /// Attaches observability sinks. Counters mirror MessageStats under
   /// "net.*"; each link additionally feeds a queueing-delay histogram
@@ -118,6 +134,7 @@ class SimNetwork {
   std::size_t k_;
   std::vector<LinkState> links_;        // canonical-pair square matrix
   std::vector<TimePoint> link_free_;    // per-link transfer queue tail
+  std::vector<std::uint64_t> link_dropped_;  // per-link share of dropped
   std::vector<bool> host_up_;
   std::vector<Receiver> receivers_;
   util::Xoshiro256ss rng_;

@@ -509,5 +509,76 @@ TEST(Migration, StaleLocationUpdateDoesNotAck) {
   EXPECT_TRUE(done);
 }
 
+TEST(CrashRestart, TargetRestartMidRedeploymentDoesNotStrandComponent) {
+  // The migration target dies while the component is in flight toward it.
+  // After restart + re-registration the source's retransmit loop must
+  // still land the component: exactly one copy, on the intended host.
+  AdminComponent::Params params;
+  params.transfer_retry_interval_ms = 500.0;
+  params.transfer_max_attempts = 20;
+  Testbed bed(3, 1.0, false, params);
+  // Slow links: the transfer is reliably in flight when the crash hits.
+  for (int a = 0; a < 3; ++a)
+    for (int b = a + 1; b < 3; ++b)
+      bed.net.set_link(a, b, {.reliability = 1.0, .bandwidth = 1000.0,
+                              .delay_ms = 500.0});
+  Counter& counter = bed.place_counter(1, "mover");
+  counter.count = 7;
+
+  bool done = false;
+  ASSERT_TRUE(bed.deployer->effect_deployment(
+      {{"mover", 2}}, [&](bool ok, std::size_t) { done = ok; }));
+  // Request reaches host 1 ~0.5s in, the transfer lands ~1s in. Kill the
+  // target at 1.2s wall: the in-flight delivery is dropped, acks are dead.
+  bed.sim.schedule_at(1'200.0, [&] {
+    bed.net.fail_host(2);
+    bed.admins[2]->crash();
+  });
+  bed.sim.run_until(5'000.0);
+  EXPECT_TRUE(bed.admins[2]->crashed());
+  EXPECT_EQ(bed.archs[2]->find_component("mover"), nullptr);
+
+  bed.net.recover_host(2);
+  bed.admins[2]->restart(/*resume_reporting=*/false);
+  bed.sim.run_until(40'000.0);
+
+  int copies = 0;
+  for (int h = 0; h < 3; ++h)
+    if (bed.archs[h]->find_component("mover")) ++copies;
+  EXPECT_EQ(copies, 1) << "component stranded or duplicated";
+  auto* landed = dynamic_cast<Counter*>(bed.archs[2]->find_component("mover"));
+  ASSERT_NE(landed, nullptr) << "migration never completed after restart";
+  EXPECT_EQ(landed->count, 7u);
+  EXPECT_TRUE(done);
+}
+
+TEST(CrashRestart, ForkedAuthoritativeCopiesResolveAcrossHops) {
+  // Two *authoritative* copies on hosts that are not directly connected
+  // (star topology, hub host 0): arbitration claims must relay through the
+  // hub, the junior (higher id) copy demotes itself to provisional, and the
+  // reclaim cycle destroys it — exactly one copy survives, on the senior.
+  AdminComponent::Params params;
+  params.transfer_retry_interval_ms = 500.0;
+  params.fleet = {0, 1, 2};
+  Testbed bed(3, 1.0, /*star=*/true, params);
+  bed.place_counter(1, "twin");
+  bed.place_counter(2, "twin");  // the fork; location tables now say host 2
+
+  bed.sim.run_until(100.0);
+  // A restart's re-registration broadcast is what surfaces the conflict.
+  bed.admins[1]->crash();
+  bed.admins[1]->restart(/*resume_reporting=*/false);
+  bed.sim.run_until(60'000.0);
+
+  EXPECT_NE(bed.archs[1]->find_component("twin"), nullptr)
+      << "senior authoritative copy must survive";
+  EXPECT_EQ(bed.archs[2]->find_component("twin"), nullptr)
+      << "junior copy must demote and yield";
+  int copies = 0;
+  for (int h = 0; h < 3; ++h)
+    if (bed.archs[h]->find_component("twin")) ++copies;
+  EXPECT_EQ(copies, 1);
+}
+
 }  // namespace
 }  // namespace dif::prism

@@ -1,0 +1,179 @@
+// Chaos layer: scenario presets, deterministic fault-schedule compilation,
+// the injector's inject/heal lifecycle, per-link drop accounting, and the
+// end-to-end campaign runner's invariant checking (chaos/scenario.h,
+// chaos/fault_schedule.h, chaos/campaign.h).
+#include "chaos/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "chaos/fault_schedule.h"
+#include "chaos/scenario.h"
+#include "desi/generator.h"
+#include "util/json.h"
+
+namespace dif::chaos {
+namespace {
+
+TEST(Scenario, PresetsResolveByName) {
+  for (const std::string& name : scenario_names()) {
+    const ScenarioSpec spec = scenario_by_name(name);
+    EXPECT_EQ(spec.name, name);
+  }
+  EXPECT_THROW(scenario_by_name("no-such-scenario"), std::invalid_argument);
+}
+
+TEST(Scenario, QuietHasNoFaults) {
+  const ScenarioSpec quiet = scenario_by_name("quiet");
+  EXPECT_EQ(quiet.partitions + quiet.loss_bursts + quiet.degradations +
+                quiet.crashes + quiet.noise_bursts,
+            0u);
+}
+
+desi::GeneratorSpec small_system() {
+  desi::GeneratorSpec spec;
+  spec.hosts = 5;
+  spec.components = 10;
+  spec.link_density = 0.5;
+  spec.interaction_density = 0.3;
+  return spec;
+}
+
+TEST(FaultSchedule, CompilationIsDeterministic) {
+  const auto system = desi::Generator::generate(small_system(), 11);
+  const ScenarioSpec spec = scenario_by_name("mixed");
+  const FaultSchedule one = FaultSchedule::compile(spec, system->model(), 0, 3);
+  const FaultSchedule two = FaultSchedule::compile(spec, system->model(), 0, 3);
+  ASSERT_EQ(one.actions().size(), two.actions().size());
+  for (std::size_t i = 0; i < one.actions().size(); ++i) {
+    EXPECT_EQ(one.actions()[i].kind, two.actions()[i].kind);
+    EXPECT_EQ(one.actions()[i].at_ms, two.actions()[i].at_ms);
+    EXPECT_EQ(one.actions()[i].duration_ms, two.actions()[i].duration_ms);
+    EXPECT_EQ(one.actions()[i].a, two.actions()[i].a);
+    EXPECT_EQ(one.actions()[i].b, two.actions()[i].b);
+  }
+  // A different seed draws a different concrete schedule.
+  const FaultSchedule other =
+      FaultSchedule::compile(spec, system->model(), 0, 4);
+  bool differs = other.actions().size() != one.actions().size();
+  for (std::size_t i = 0; !differs && i < one.actions().size(); ++i)
+    differs = one.actions()[i].at_ms != other.actions()[i].at_ms ||
+              one.actions()[i].a != other.actions()[i].a ||
+              one.actions()[i].b != other.actions()[i].b;
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultSchedule, ActionsRespectWindowTopologyAndMaster) {
+  const auto system = desi::Generator::generate(small_system(), 11);
+  const model::DeploymentModel& m = system->model();
+  const ScenarioSpec spec = scenario_by_name("mixed");
+  const FaultSchedule schedule = FaultSchedule::compile(spec, m, 0, 3);
+  EXPECT_FALSE(schedule.actions().empty());
+  for (const FaultAction& action : schedule.actions()) {
+    EXPECT_GE(action.at_ms, spec.fault_from_ms);
+    EXPECT_LE(action.at_ms + action.duration_ms, spec.fault_until_ms);
+    if (action.kind == FaultKind::kCrash) {
+      EXPECT_NE(action.a, 0u);  // crash_master defaults to false
+    } else {
+      EXPECT_LT(action.a, action.b);  // canonical link endpoints
+      EXPECT_TRUE(m.connected(action.a, action.b));
+    }
+  }
+  EXPECT_TRUE(std::is_sorted(
+      schedule.actions().begin(), schedule.actions().end(),
+      [](const FaultAction& x, const FaultAction& y) {
+        return x.at_ms < y.at_ms;
+      }));
+}
+
+TEST(FaultInjector, PartitionInjectsAndHeals) {
+  auto system = desi::Generator::generate(small_system(), 11);
+  core::CentralizedInstantiation inst(*system, {});
+  ScenarioSpec spec = scenario_by_name("partitions");
+  const FaultSchedule schedule =
+      FaultSchedule::compile(spec, system->model(), 0, 3);
+  ASSERT_FALSE(schedule.actions().empty());
+  FaultInjector injector(inst, {});
+  injector.arm(schedule);
+
+  const FaultAction& first = schedule.actions().front();
+  // Mid-fault: the link is severed; after the heal it carries traffic again.
+  inst.simulator().run_until(first.at_ms + 1.0);
+  EXPECT_TRUE(inst.network().link(first.a, first.b).severed);
+  inst.simulator().run_until(spec.fault_until_ms + 1.0);
+  EXPECT_FALSE(inst.network().link(first.a, first.b).severed);
+  EXPECT_GT(injector.injected().at("partition"), 0u);
+}
+
+TEST(FaultInjector, CrashedHostRestarts) {
+  auto system = desi::Generator::generate(small_system(), 11);
+  core::CentralizedInstantiation inst(*system, {});
+  ScenarioSpec spec = scenario_by_name("crashes");
+  const FaultSchedule schedule =
+      FaultSchedule::compile(spec, system->model(), 0, 3);
+  ASSERT_FALSE(schedule.actions().empty());
+  FaultInjector injector(inst, {});
+  injector.arm(schedule);
+
+  const FaultAction& crash = schedule.actions().front();
+  ASSERT_EQ(crash.kind, FaultKind::kCrash);
+  inst.simulator().run_until(crash.at_ms + 1.0);
+  EXPECT_TRUE(inst.admin(crash.a).crashed());
+  inst.simulator().run_until(spec.fault_until_ms + 1.0);
+  EXPECT_FALSE(inst.admin(crash.a).crashed());
+  EXPECT_EQ(injector.injected().at("crash"), schedule.actions().size());
+}
+
+TEST(Network, PerLinkDropSharesMatchTotal) {
+  sim::Simulator sim;
+  sim::SimNetwork net(sim, 3, /*seed=*/1);
+  net.set_link(0, 1, {.reliability = 0.5, .bandwidth = 1000.0,
+                      .delay_ms = 1.0});
+  net.set_link(1, 2, {.reliability = 0.9, .bandwidth = 1000.0,
+                      .delay_ms = 1.0});
+  for (int i = 0; i < 400; ++i) {
+    net.send({.from = 0, .to = 1, .channel = "t", .payload = {},
+              .size_kb = 0.1});
+    net.send({.from = 1, .to = 2, .channel = "t", .payload = {},
+              .size_kb = 0.1});
+  }
+  sim.run_until(10'000.0);
+  std::uint64_t per_link = 0;
+  for (const sim::LinkDrops& link : net.dropped_links())
+    per_link += link.dropped;
+  EXPECT_EQ(per_link, net.stats().dropped);
+  // The lossier link accounts for visibly more of the total.
+  EXPECT_GT(net.link_dropped(0, 1), net.link_dropped(1, 2));
+  EXPECT_GT(net.link_dropped(1, 2), 0u);
+}
+
+TEST(Campaign, RunIsCleanAndReportsDeterministically) {
+  CampaignConfig config;
+  config.seeds = {3};
+  CampaignRunner runner(config);
+  const CampaignReport report = runner.run();
+  ASSERT_EQ(report.runs.size(), 2u);  // centralized + decentralized
+  EXPECT_EQ(report.total_violations(), 0u);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.runs[0].mode, "centralized");
+  EXPECT_EQ(report.runs[1].mode, "decentralized");
+  for (const RunReport& run : report.runs) {
+    EXPECT_EQ(run.seed, 3u);
+    EXPECT_GT(run.actions_scheduled, 0u);
+    EXPECT_GT(run.net_sent, 0u);
+    EXPECT_GT(run.initial_availability, 0.0);
+  }
+
+  // Same config, fresh runner: the serialized report is byte-identical.
+  CampaignRunner again(config);
+  EXPECT_EQ(report.to_json().dump(2), again.run().to_json().dump(2));
+
+  const util::json::Value doc = report.to_json();
+  EXPECT_EQ(doc.at("schema").as_string(), "dif-campaign-v1");
+  EXPECT_EQ(doc.at("total_runs").as_number(), 2.0);
+}
+
+}  // namespace
+}  // namespace dif::chaos

@@ -45,6 +45,14 @@
 //       --metrics-json / --trace-json dump the run's metric registry
 //       ("dif-metrics-v1") and adaptation trace ("dif-trace-v1"); both
 //       flags are also accepted by `portfolio`.
+//
+//   difctl campaign [--seeds 0..31] [--scenario mixed] [--json [PATH]]
+//       Fault-injection campaign: run the centralized and decentralized
+//       improvement loops under a seeded fault schedule, once per seed,
+//       checking dependability invariants after every run. --json emits
+//       the "dif-campaign-v1" report (to PATH, or stdout without one).
+//       Exit 0 when every invariant held, 1 on violations, 2 on usage
+//       errors. See docs/difctl.md for the full flag reference.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -54,6 +62,7 @@
 #include <sstream>
 
 #include "algo/portfolio.h"
+#include "chaos/campaign.h"
 #include "check/static_analyzer.h"
 #include "core/improvement_loop.h"
 #include "desi/algorithm_container.h"
@@ -86,7 +95,11 @@ int usage() {
                "  check    <system.json> [--json] [--strict]\n"
                "  simulate <system.json> [--duration-ms D] [--interval-ms I] "
                "[--objective NAME] [--seed S] [--adaptive] "
-               "[--metrics-json PATH] [--trace-json PATH]\n");
+               "[--metrics-json PATH] [--trace-json PATH]\n"
+               "  campaign [--seeds A..B|a,b,c] [--scenario NAME] "
+               "[--hosts K] [--components N] [--duration-ms D] "
+               "[--tolerance T] [--centralized|--decentralized] "
+               "[--json [PATH]] [--metrics-json PATH] [--trace-json PATH]\n");
   return 2;
 }
 
@@ -379,6 +392,91 @@ int cmd_simulate(const std::string& path, const Flags& flags) {
   return 0;
 }
 
+/// "A..B" (inclusive range), "a,b,c" (list), or a single number.
+std::vector<std::uint64_t> parse_seeds(const std::string& text) {
+  std::vector<std::uint64_t> seeds;
+  const auto range = text.find("..");
+  if (range != std::string::npos) {
+    const std::uint64_t lo = std::stoull(text.substr(0, range));
+    const std::uint64_t hi = std::stoull(text.substr(range + 2));
+    if (hi < lo)
+      throw std::invalid_argument("empty seed range '" + text + "'");
+    for (std::uint64_t s = lo; s <= hi; ++s) seeds.push_back(s);
+    return seeds;
+  }
+  std::stringstream list(text);
+  for (std::string item; std::getline(list, item, ',');)
+    if (!item.empty()) seeds.push_back(std::stoull(item));
+  if (seeds.empty()) throw std::invalid_argument("no seeds in '" + text + "'");
+  return seeds;
+}
+
+int cmd_campaign(const Flags& flags) {
+  chaos::CampaignConfig config;
+  try {
+    config.scenario = chaos::scenario_by_name(flags.get("scenario", "mixed"));
+    config.seeds = parse_seeds(flags.get("seeds", "0..3"));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "difctl campaign: %s\n", e.what());
+    return usage();
+  }
+  config.generator.hosts = flags.get_u64("hosts", config.generator.hosts);
+  config.generator.components =
+      flags.get_u64("components", config.generator.components);
+  if (flags.has("duration-ms"))
+    config.scenario.duration_ms = std::stod(flags.get("duration-ms", "0"));
+  if (flags.has("tolerance"))
+    config.availability_tolerance = std::stod(flags.get("tolerance", "0"));
+  // --centralized / --decentralized restrict to one mode; both (or
+  // neither) flags run both.
+  if (flags.has("centralized") && !flags.has("decentralized"))
+    config.decentralized = false;
+  if (flags.has("decentralized") && !flags.has("centralized"))
+    config.centralized = false;
+
+  obs::Registry metrics;
+  obs::TraceLog trace;
+  const std::string metrics_path = flags.get("metrics-json", "");
+  const std::string trace_path = flags.get("trace-json", "");
+  obs::Instruments instruments;
+  if (!metrics_path.empty()) instruments.metrics = &metrics;
+  if (!trace_path.empty()) instruments.trace = &trace;
+
+  chaos::CampaignRunner runner(config, instruments);
+  const chaos::CampaignReport report = runner.run();
+
+  std::fprintf(stderr, "%-6s %-14s %8s %8s %10s %10s %6s\n", "seed", "mode",
+               "faults", "moves", "avail0", "avail1", "viol");
+  for (const chaos::RunReport& run : report.runs) {
+    std::uint64_t faults = 0;
+    for (const auto& [kind, n] : run.faults) faults += n;
+    std::fprintf(stderr, "%-6llu %-14s %8llu %8llu %10.4f %10.4f %6zu\n",
+                 static_cast<unsigned long long>(run.seed), run.mode.c_str(),
+                 static_cast<unsigned long long>(faults),
+                 static_cast<unsigned long long>(
+                     run.mode == "centralized" ? run.redeployments
+                                               : run.migrations),
+                 run.initial_availability, run.final_availability,
+                 run.violations.size());
+    for (const chaos::InvariantViolation& v : run.violations)
+      std::fprintf(stderr, "       ! %s: %s\n", v.invariant.c_str(),
+                   v.detail.c_str());
+  }
+  std::fprintf(stderr, "campaign: %zu runs, %zu invariant violations\n",
+               report.runs.size(), report.total_violations());
+
+  if (flags.has("json")) {
+    const std::string json_path = flags.get("json", "");
+    if (json_path.empty())
+      std::printf("%s\n", report.to_json().dump(2).c_str());
+    else
+      write_json_file(json_path, report.to_json());
+  }
+  if (!metrics_path.empty()) write_json_file(metrics_path, metrics.to_json());
+  if (!trace_path.empty()) write_json_file(trace_path, trace.to_json());
+  return report.ok() ? 0 : 1;
+}
+
 int cmd_check(const std::string& path, const Flags& flags) {
   const auto system = desi::XadlLite::from_text(read_file(path));
   const check::CheckReport report =
@@ -412,6 +510,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     if (command == "generate") return cmd_generate(Flags(argc, argv, 2));
+    if (command == "campaign") return cmd_campaign(Flags(argc, argv, 2));
     if (argc < 3) return usage();
     const std::string path = argv[2];
     if (command == "evaluate") return cmd_evaluate(path);
