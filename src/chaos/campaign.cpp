@@ -1,5 +1,6 @@
 #include "chaos/campaign.h"
 
+#include <algorithm>
 #include <functional>
 #include <utility>
 
@@ -62,6 +63,60 @@ void check_census(core::CentralizedInstantiation& inst,
                        std::to_string(hosts.size()) + " times"});
 }
 
+void check_atomicity(core::CentralizedInstantiation& inst,
+                     const model::DeploymentModel& m, RunReport& report) {
+  // The transactional effector's contract: after every closed round the
+  // placement of the components it touched equals what the round *declared*
+  // — the proposed deployment (committed), the checkpoint (aborted / rolled
+  // back), or a declared partial commit — never an undeclared mix. Only the
+  // latest round is binding: earlier declarations are superseded.
+  const prism::DeployerComponent& deployer = inst.deployer();
+  if (deployer.redeployment_in_flight()) {
+    report.violations.push_back(
+        {"atomicity",
+         "a redeployment round is still open after the settle window"});
+    return;
+  }
+  const std::vector<prism::RoundRecord>& history = deployer.round_history();
+  if (history.empty()) return;
+  const prism::RoundRecord& last = history.back();
+  // A crashed master takes its round state down with it; the census
+  // invariant still guards exactly-once placement in that case.
+  if (last.outcome == prism::TxnOutcome::kCrashed) return;
+  std::map<std::string, std::vector<model::HostId>> where;
+  for (std::size_t h = 0; h < m.host_count(); ++h)
+    for (const std::string& name :
+         inst.architecture(static_cast<model::HostId>(h)).component_names()) {
+      if (name.rfind("__", 0) == 0) continue;
+      where[name].push_back(static_cast<model::HostId>(h));
+    }
+  for (const auto& [component, declared] : last.declared) {
+    const auto it = where.find(component);
+    // Lost or duplicated components are the census invariant's finding;
+    // atomicity judges the placement of exactly-once-hosted ones.
+    if (it == where.end() || it->second.size() != 1) continue;
+    const model::HostId actual = it->second.front();
+    if (actual == declared) continue;
+    // An *unresolved* component is one the round explicitly declared
+    // unknown: its migration (or its undo) may have run with every
+    // confirmation lost, and — after successive failed rounds planned from
+    // stale beliefs — it can legitimately sit anywhere along that failed
+    // history. The deployer admits as much in the record, so only the
+    // census invariant (exactly-once) binds it; atomicity binds every
+    // component the round claims to have *resolved*.
+    if (std::find(last.unresolved.begin(), last.unresolved.end(),
+                  component) != last.unresolved.end())
+      continue;
+    report.violations.push_back(
+        {"atomicity",
+         "component '" + component + "' is on host " +
+             std::to_string(actual) + " but round " +
+             std::to_string(last.epoch) + " (" +
+             prism::to_string(last.outcome) + ") declared host " +
+             std::to_string(declared)});
+  }
+}
+
 void check_availability(const desi::SystemData& pristine,
                         const model::Deployment& final_deployment,
                         double tolerance, RunReport& report) {
@@ -115,6 +170,9 @@ RunReport CampaignRunner::run_centralized(std::uint64_t seed) {
   core::FrameworkConfig fc;
   fc.master_host = 0;
   fc.seed = seed;
+  fc.deployer.redeploy_timeout_ms = config_.redeploy_timeout_ms;
+  fc.deployer.rollback_timeout_ms = config_.rollback_timeout_ms;
+  fc.deployer.allow_partial = config_.allow_partial;
   core::CentralizedInstantiation inst(*system, fc);
   inst.set_instruments(obs_);
 
@@ -158,6 +216,11 @@ RunReport CampaignRunner::run_centralized(std::uint64_t seed) {
   report.redeployments = loop.redeployments_applied();
   report.final_epoch = inst.deployer().current_epoch();
   report.stale_acks = inst.deployer().stale_acks_ignored();
+  for (const char* outcome : {"committed", "aborted", "rolled_back",
+                              "partial", "rollback_failed", "crashed"})
+    report.txn_outcomes[outcome] = 0;
+  for (const prism::RoundRecord& round : inst.deployer().round_history())
+    ++report.txn_outcomes[prism::to_string(round.outcome)];
   collect_net(inst.network(), report);
 
   for (std::size_t i = 1; i < epoch_samples.size(); ++i)
@@ -177,6 +240,7 @@ RunReport CampaignRunner::run_centralized(std::uint64_t seed) {
 
   check_conservation(inst.network(), report);
   check_census(inst, system->model(), report);
+  check_atomicity(inst, system->model(), report);
   check_availability(*pristine, inst.runtime_deployment(),
                      config_.availability_tolerance, report);
   check_preflight(*system, report);
@@ -285,6 +349,9 @@ util::json::Value RunReport::to_json() const {
     adaptation["redeployments"] = redeployments;
     adaptation["final_epoch"] = final_epoch;
     adaptation["stale_acks"] = stale_acks;
+    Object txn;
+    for (const auto& [outcome, n] : txn_outcomes) txn[outcome] = n;
+    adaptation["txn"] = std::move(txn);
   } else {
     adaptation["migrations"] = migrations;
   }

@@ -13,6 +13,12 @@
 //   census         after the convergence window every application component
 //                  is hosted exactly once — nothing lost by a crash, nothing
 //                  duplicated by a recovered transfer
+//   atomicity      the last redeployment round left every component it
+//                  *resolved* where the round declared it — the proposed
+//                  deployment, the checkpoint, or a declared partial
+//                  commit — never an undeclared mix (components the round
+//                  explicitly declared unresolved are bound only by the
+//                  census invariant)
 //   availability   the converged deployment, scored on a pristine copy of
 //                  the generated model, is no worse than the initial
 //                  deployment (within CampaignConfig::availability_tolerance)
@@ -49,8 +55,17 @@ struct CampaignConfig {
   /// Improvement-loop cadence (centralized mode).
   double improve_interval_ms = 5'000.0;
   /// Extra post-scenario time for in-flight transfers to finish before the
-  /// census / availability invariants are judged.
-  double settle_ms = 20'000.0;
+  /// census / availability / atomicity invariants are judged. Must exceed
+  /// redeploy_timeout_ms + rollback_timeout_ms so a round launched at the
+  /// very end of the run is guaranteed closed at judgment time.
+  double settle_ms = 30'000.0;
+  /// Transactional-effector budgets for the centralized runs: tight enough
+  /// that every round (including its rollback) resolves inside settle_ms.
+  double redeploy_timeout_ms = 10'000.0;
+  double rollback_timeout_ms = 15'000.0;
+  /// Graceful degradation: let rolled-back rounds keep their completed
+  /// migrations (rounds then close as "partial" instead of "rolled_back").
+  bool allow_partial = false;
   /// Slack allowed on the availability invariant: transient faults steer
   /// the adaptation through states optimized against *observed* (degraded)
   /// reliabilities, and hill-climbing back after the heal may stop within
@@ -99,6 +114,10 @@ struct RunReport {
   std::uint64_t migrations = 0;
   std::uint64_t final_epoch = 0;
   std::uint64_t stale_acks = 0;
+  /// Transactional-round outcomes (centralized only), keyed by
+  /// prism::TxnOutcome name: committed / aborted / rolled_back / partial /
+  /// rollback_failed / crashed.
+  std::map<std::string, std::uint64_t> txn_outcomes;
 
   std::vector<InvariantViolation> violations;
 

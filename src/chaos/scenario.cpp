@@ -37,12 +37,25 @@ ScenarioSpec scenario_by_name(const std::string& name) {
     spec.noise_bursts = 3;
     return spec;
   }
+  if (name == "midmigration") {
+    // Crashes and severs aimed at the redeployment window: short, frequent
+    // faults starting right as the first analyzer ticks start moving
+    // components, so transfers and their acks die mid-flight. The
+    // transactional effector must keep every round atomic regardless.
+    spec.partitions = 3;
+    spec.crashes = 2;
+    spec.fault_from_ms = 6'000.0;
+    spec.fault_until_ms = 45'000.0;
+    spec.min_fault_ms = 2'000.0;
+    spec.max_fault_ms = 6'000.0;
+    return spec;
+  }
   throw std::invalid_argument("chaos: unknown scenario '" + name + "'");
 }
 
 std::vector<std::string> scenario_names() {
   return {"mixed", "partitions", "loss", "degrade", "crashes", "noise",
-          "quiet"};
+          "midmigration", "quiet"};
 }
 
 }  // namespace dif::chaos

@@ -116,7 +116,8 @@ CentralizedInstantiation::CentralizedInstantiation(desi::SystemData& system,
     if (config_.create_deployer && host == config_.master_host) {
       // The deployer runs beside the master's regular admin, under its own
       // "__deployer" identity (monitoring stays with the admin).
-      prism::DeployerComponent::DeployerParams deployer_params;
+      prism::DeployerComponent::DeployerParams deployer_params =
+          config_.deployer;
       deployer_params.admin_hosts = all_hosts;
       auto deployer = std::make_unique<prism::DeployerComponent>(
           host, *connectors_[h], factory_, nullptr, nullptr, admin_params,

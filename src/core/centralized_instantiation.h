@@ -47,8 +47,12 @@ struct FrameworkConfig {
   /// behaviour (events toward a severed link are lost).
   bool enable_store_and_forward = false;
   double store_and_forward_retry_ms = 1'000.0;
-  /// Admin monitoring/report cadence and stability filter.
+  /// Admin monitoring/report cadence, stability filter, and (when
+  /// memory_capacity_kb is set) the prepare-phase capacity vote.
   prism::AdminComponent::Params admin;
+  /// Transactional-redeployment budgets: deadlines, retry caps/backoff,
+  /// and allow_partial (admin_hosts is filled in by the instantiation).
+  prism::DeployerComponent::DeployerParams deployer;
   /// Reliability pinging cadence.
   prism::NetworkReliabilityMonitor::Params reliability;
   std::uint64_t seed = 1;

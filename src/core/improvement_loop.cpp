@@ -66,12 +66,31 @@ analyzer::Decision ImprovementLoop::tick() {
     if (config_.enable_escalation) escalation_.observe(decision);
     if (decision.action == analyzer::Decision::Action::kRedeploy) {
       effect_outstanding_ = true;
+      const std::size_t tick_index = history_.size();
       const bool accepted = instantiation_.adapter().effect(
-          decision.target, [this](bool success, std::size_t migrations) {
+          decision.target,
+          [this, tick_index](bool success, std::size_t migrations) {
             effect_outstanding_ = false;
             if (success) {
               ++applied_;
               pending_realization_ = true;
+            } else {
+              // The round aborted, timed out, or rolled back: the old
+              // placement stands (or was restored), so the paper's ledger
+              // must show an effector rejection, not an applied
+              // redeployment. Amend the tick that launched the round — it
+              // was recorded as effected before the outcome was known.
+              ++rejected_;
+              if (obs_.metrics)
+                obs_.metrics->counter("loop.effector_rejected").add(1);
+              const char* outcome =
+                  prism::to_string(instantiation_.deployer().last_outcome());
+              if (tick_index < history_.size()) {
+                TickRecord& launched = history_[tick_index];
+                launched.effected = false;
+                launched.reason +=
+                    std::string(" (effector: round ") + outcome + ")";
+              }
             }
             util::log_info("loop", "redeployment finished, success=",
                            success, " migrations=", migrations);

@@ -1,6 +1,7 @@
 #include "prism/admin.h"
 
 #include <algorithm>
+#include <iterator>
 #include <stdexcept>
 
 #include "util/logging.h"
@@ -177,6 +178,7 @@ void AdminComponent::crash() {
   filters_.clear();
   buffers_.clear();
   contested_.clear();
+  reservations_.clear();
   for (auto& [component, pending] : pending_transfers_)
     crash_recovery_.push_back(std::move(pending.transfer));
   pending_transfers_.clear();
@@ -211,7 +213,11 @@ void AdminComponent::restart(bool resume_reporting) {
 
 void AdminComponent::handle(const Event& event) {
   if (crashed_) return;
-  if (event.name() == "__new_config") {
+  if (event.name() == "__prepare") {
+    handle_prepare(event);
+  } else if (event.name() == "__abort") {
+    handle_abort(event);
+  } else if (event.name() == "__new_config") {
     handle_new_config(event);
   } else if (event.name() == "__request_component") {
     handle_request_component(event);
@@ -223,6 +229,92 @@ void AdminComponent::handle(const Event& event) {
     if (const std::string* component = event.get_string("component"))
       pending_transfers_.erase(*component);
   }
+}
+
+void AdminComponent::handle_prepare(const Event& event) {
+  // Prepare phase of a transactional redeployment: vote on whether this
+  // host can take its inbound components, and reserve capacity for them so
+  // concurrent arrivals cannot oversubscribe the host between the vote and
+  // the transfers. Idempotent: a retransmitted __prepare recomputes the
+  // same vote and re-acks (the first ack may have been lost).
+  const std::optional<double> epoch = event.get_double("epoch");
+  const std::vector<std::uint8_t>* plan = event.get_bytes("plan");
+  if (!epoch || !plan) return;
+  // A new round supersedes any reservations a dead predecessor left behind.
+  for (auto it = reservations_.begin(); it != reservations_.end();)
+    it = it->second.epoch < *epoch ? reservations_.erase(it) : std::next(it);
+
+  struct Inbound {
+    std::string component;
+    double memory_kb = 0.0;
+  };
+  std::vector<Inbound> inbound;
+  double inbound_kb = 0.0;
+  double outbound_kb = 0.0;
+  ByteReader r(*plan);
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string component = r.str();
+    const model::HostId target = r.u32();
+    const double memory_kb = r.f64();
+    const Component* local = architecture()->find_component(component);
+    if (target == host_) {
+      if (!local) {
+        inbound.push_back({component, memory_kb});
+        inbound_kb += memory_kb;
+      }
+    } else if (local) {
+      outbound_kb += local->memory_kb();
+    }
+  }
+
+  bool ok = true;
+  if (params_.memory_capacity_kb > 0.0) {
+    double usage_kb = 0.0;
+    for (const std::string& name : architecture()->component_names()) {
+      if (name.rfind("__", 0) == 0) continue;
+      const Component* c = architecture()->find_component(name);
+      usage_kb += c ? c->memory_kb() : 0.0;
+    }
+    ok = usage_kb - outbound_kb + inbound_kb <= params_.memory_capacity_kb;
+    if (!ok)
+      util::log_warn("prism.admin", "host ", host_, " vetoes epoch ",
+                     static_cast<std::uint64_t>(*epoch), ": ",
+                     usage_kb - outbound_kb + inbound_kb,
+                     " KB would exceed capacity ", params_.memory_capacity_kb,
+                     " KB");
+  }
+  if (ok) {
+    for (const Inbound& in : inbound) {
+      reservations_[in.component] = {*epoch, in.memory_kb};
+      // TTL guard: a round that dies between prepare and transfer (master
+      // crash, lost __abort) must not pin this capacity forever.
+      if (architecture()) {
+        const double reserved_epoch = *epoch;
+        architecture()->scaffold().schedule(
+            params_.reservation_ttl_ms,
+            [this, component = in.component, reserved_epoch] {
+              const auto it = reservations_.find(component);
+              if (it != reservations_.end() &&
+                  it->second.epoch == reserved_epoch)
+                reservations_.erase(it);
+            });
+      }
+    }
+  }
+  if (obs_.metrics) obs_.metrics->counter("admin.prepare_votes").add(1);
+  Event ack("__prepare_ack");
+  ack.set("host", static_cast<double>(host_));
+  ack.set("epoch", *epoch);
+  ack.set("ok", ok);
+  send_to_deployer(std::move(ack));
+}
+
+void AdminComponent::handle_abort(const Event& event) {
+  const std::optional<double> epoch = event.get_double("epoch");
+  if (!epoch) return;
+  for (auto it = reservations_.begin(); it != reservations_.end();)
+    it = it->second.epoch == *epoch ? reservations_.erase(it) : std::next(it);
 }
 
 void AdminComponent::handle_new_config(const Event& event) {
@@ -243,11 +335,26 @@ void AdminComponent::handle_new_config(const Event& event) {
   const std::optional<double> epoch = event.get_double("epoch");
   ByteReader r(*config);
   const std::uint32_t count = r.u32();
+  const bool confirm = event.get_bool("confirm").value_or(false);
   for (std::uint32_t i = 0; i < count; ++i) {
     const std::string component = r.str();
     const model::HostId target = r.u32();
     if (target != host_) continue;                       // not my business
-    if (architecture()->find_component(component)) continue;  // already here
+    if (architecture()->find_component(component)) {
+      // Positive confirmation: the deployer's targeted retries (and every
+      // rollback compensation) ask the destination to ack a component it
+      // already holds — the migration's work may have completed with every
+      // acknowledgement lost, and without this the round could only time
+      // out. Provisional copies don't count: their custody is undecided.
+      if (confirm && epoch && !restored_.count(component)) {
+        Event ack("__migration_ack");
+        ack.set("component", component);
+        ack.set("host", static_cast<double>(host_));
+        ack.set("epoch", *epoch);
+        send_to_deployer(std::move(ack));
+      }
+      continue;  // already here
+    }
     const std::optional<model::HostId> current =
         connector_.location(component);
     if (!current || *current == host_) {
@@ -288,6 +395,9 @@ void AdminComponent::handle_request_component(const Event& event) {
   transfer.set("origin", static_cast<double>(host_));
   if (const std::optional<double> epoch = event.get_double("epoch"))
     transfer.set("epoch", *epoch);
+  const std::uint64_t custody = custody_versions_[*component] + 1;
+  custody_versions_[*component] = custody;
+  transfer.set("custody", static_cast<double>(custody));
   transfer.set("state", state.take());
   // Shipping ends our custody: a stale provisional marker left behind would
   // poison later ownership arbitration on this host.
@@ -356,6 +466,20 @@ void AdminComponent::handle_component_transfer(const Event& event) {
     ack_origin();
     return;
   }
+  if (!provisional) {
+    const std::uint64_t custody = static_cast<std::uint64_t>(
+        event.get_double("custody").value_or(0.0));
+    const auto known = custody_versions_.find(*component);
+    if (known != custody_versions_.end() && custody <= known->second) {
+      // A stale retransmission of a saga whose custody already moved
+      // through (or out of) this host: the component lives on further down
+      // the chain. Re-ack so the sender releases its retained copy, but do
+      // NOT attach — that would resurrect an old copy of a component that
+      // exists elsewhere.
+      ack_origin();
+      return;
+    }
+  }
   if (!factory_.contains(*type)) {
     util::log_error("prism.admin", "no factory for component type '", *type,
                     "'");
@@ -369,6 +493,9 @@ void AdminComponent::handle_component_transfer(const Event& event) {
   Component& attached = architecture()->add_component(std::move(migrant));
   architecture()->weld(attached, connector_);
   connector_.set_location(*component, host_);
+  if (const std::optional<double> custody = event.get_double("custody"))
+    custody_versions_[*component] = static_cast<std::uint64_t>(*custody);
+  reservations_.erase(*component);  // the reserved capacity is now used
   ++components_received_;
   ack_origin();
 
@@ -401,13 +528,21 @@ void AdminComponent::announce_ownership(const std::string& component,
   update.set("component", component);
   update.set("host", static_cast<double>(host_));
   update.set("restored", restored);
+  // Carry the custody version so receivers can tell a fresh claim ("your
+  // transfer arrived — I hold saga N") from a stale backed-off re-assert
+  // left over from an earlier placement of the same component.
+  const auto custody = custody_versions_.find(component);
+  if (custody != custody_versions_.end())
+    update.set("custody", static_cast<double>(custody->second));
   if (epoch) update.set("epoch", *epoch);
   send(Event(update));  // broadcast to peers (deployer rebroadcasts)
-  // The flood reaches direct peers only; admins beyond one hop get a
-  // directed copy that rides the location-table/next-hop routing instead.
-  const std::vector<model::HostId>& peers = connector_.peers();
+  // The flood rides each direct link exactly once, so a peer behind a dead
+  // or degraded link would never hear it — and ownership conflicts cluster
+  // exactly when links are bad. Every other fleet member therefore also
+  // gets a directed copy that rides the location-table/next-hop routing,
+  // which can detour around a dead direct link.
   for (const model::HostId h : params_.fleet) {
-    if (h == host_ || std::count(peers.begin(), peers.end(), h)) continue;
+    if (h == host_) continue;
     Event directed(update);
     directed.set_to(admin_name(h));
     send(std::move(directed));
@@ -498,8 +633,19 @@ void AdminComponent::handle_location_update(const Event& event) {
   }
 
   connector_.set_location(*component, claimant);
-  // Arrival confirmation for a transfer we shipped.
-  pending_transfers_.erase(*component);
+  // Arrival confirmation for a transfer we shipped — but only when the
+  // claim's custody version has reached the saga we sent. A stale claim
+  // (even one naming our transfer's target, e.g. a backed-off ownership
+  // re-assert from a previous placement of the same component) carries an
+  // older custody version and must not cancel the retained copy and its
+  // retry schedule while the real transfer is still lost on the wire.
+  const auto pending = pending_transfers_.find(*component);
+  if (pending != pending_transfers_.end()) {
+    const double shipped =
+        pending->second.transfer.get_double("custody").value_or(0.0);
+    if (event.get_double("custody").value_or(0.0) >= shipped)
+      pending_transfers_.erase(pending);
+  }
   flush_buffer(*component);
 }
 

@@ -71,13 +71,20 @@ class AdminComponent : public Component {
     /// reattached locally rather than lost).
     double transfer_retry_interval_ms = 1'000.0;
     int transfer_max_attempts = 20;
+    /// Memory capacity this admin enforces when voting on a transactional
+    /// redeployment's prepare phase (KB). <= 0 leaves capacity unmodelled:
+    /// the admin always votes yes but still tracks reservations.
+    double memory_capacity_kb = 0.0;
+    /// Reservations taken in a prepare phase expire after this long without
+    /// the reserved component arriving (the round died without an __abort).
+    double reservation_ttl_ms = 30'000.0;
     /// Every host of the deployment (filled in by the instantiation).
-    /// Ownership claims flood to direct peers, but on sparse topologies a
-    /// claimant and the copy it must displace may not be adjacent (nor both
-    /// adjacent to the master whose deployer rebroadcasts): admins in this
-    /// list that are not direct peers additionally get a *directed* copy of
-    /// each claim, which the location-table/next-hop routing can relay
-    /// host-by-host. Empty list = flood-only (the legacy behaviour).
+    /// Ownership claims flood to direct peers, but the flood rides each
+    /// direct link exactly once — a non-adjacent host, or a peer behind a
+    /// dead/degraded link, would never hear it. Every admin in this list
+    /// therefore additionally gets a *directed* copy of each claim, which
+    /// the location-table/next-hop routing can relay host-by-host around
+    /// the broken link. Empty list = flood-only (the legacy behaviour).
     std::vector<model::HostId> fleet;
   };
 
@@ -156,6 +163,8 @@ class AdminComponent : public Component {
 
  private:
   void collect_and_report();
+  void handle_prepare(const Event& event);
+  void handle_abort(const Event& event);
   void handle_new_config(const Event& event);
   void handle_request_component(const Event& event);
   void handle_component_transfer(const Event& event);
@@ -206,9 +215,24 @@ class AdminComponent : public Component {
     int attempts = 0;
   };
   std::map<std::string, PendingTransfer> pending_transfers_;
+  /// Custody version per component: every outbound transfer ships the
+  /// holder's version + 1 and the receiver records it on attach, so the
+  /// version grows by one per hop along a component's migration chain. A
+  /// retransmitted transfer whose version is <= our recorded one duplicates
+  /// a saga whose custody already moved through this host — it is re-acked
+  /// (so the sender releases its retained copy) but never re-attached,
+  /// which would resurrect a stale copy of a component living elsewhere.
+  std::map<std::string, std::uint64_t> custody_versions_;
   /// Events buffered for components with no known location (bounded).
   std::map<std::string, std::deque<Event>> buffers_;
   static constexpr std::size_t kMaxBufferedPerComponent = 64;
+  /// Capacity reserved for inbound components during a prepare phase, keyed
+  /// by component: released on arrival, __abort, or TTL expiry.
+  struct Reservation {
+    double epoch = 0.0;
+    double memory_kb = 0.0;
+  };
+  std::map<std::string, Reservation> reservations_;
 
   bool crashed_ = false;
   /// Serialized transfers rescued by crash() for restart-time recovery.

@@ -1,5 +1,7 @@
 #include "prism/deployer.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace dif::prism {
@@ -16,10 +18,15 @@ DeployerComponent::DeployerComponent(
       deployer_params_(std::move(deployer_params)) {}
 
 void DeployerComponent::crash() {
-  if (!crashed() && (!pending_.empty() || completion_)) {
-    pending_.clear();
+  if (!crashed() && (round_.active() || completion_)) {
     if (obs_.metrics) obs_.metrics->counter("deploy.crashed_rounds").add(1);
-    finish(false);
+    if (round_.active()) {
+      end_phase_span(phase_span_, false);
+      close_round(TxnOutcome::kCrashed);
+    } else {
+      last_outcome_ = TxnOutcome::kCrashed;
+      finish(false);
+    }
   }
   AdminComponent::crash();
 }
@@ -28,6 +35,10 @@ void DeployerComponent::handle(const Event& event) {
   if (crashed()) return;
   if (event.name() == "__monitor_report") {
     handle_monitor_report(event);
+    return;
+  }
+  if (event.name() == "__prepare_ack") {
+    handle_prepare_ack(event);
     return;
   }
   if (event.name() == "__migration_ack") {
@@ -56,8 +67,15 @@ void DeployerComponent::handle(const Event& event) {
       // abandoned round must not satisfy the new round's bookkeeping.
       const bool restored = event.get_bool("restored").value_or(false);
       if (!restored && ack_epoch_matches(event)) {
-        if (pending_.erase(*component) && pending_.empty() && completion_)
-          finish(true);
+        const auto at = static_cast<model::HostId>(*host);
+        if (round_.acknowledge(*component, at)) {
+          if (obs_.metrics)
+            obs_.metrics->counter("deploy.acks_recovered_via_location").add(1);
+          util::log_debug("prism.deployer", "recovered ack for '", *component,
+                          "' via location update (epoch ", epoch_,
+                          "; the explicit __migration_ack was lost)");
+          check_round_completion();
+        }
       }
     }
     return;
@@ -68,9 +86,9 @@ void DeployerComponent::handle(const Event& event) {
 bool DeployerComponent::ack_epoch_matches(const Event& event) {
   const std::optional<double> epoch = event.get_double("epoch");
   if (epoch && static_cast<std::uint64_t>(*epoch) == epoch_) return true;
-  if (!pending_.empty()) {
+  if (round_.active()) {
     const std::string* component = event.get_string("component");
-    if (component && pending_.count(*component)) {
+    if (component && round_.has_open_task(*component)) {
       ++stale_acks_ignored_;
       if (obs_.metrics)
         obs_.metrics->counter("deploy.stale_acks_ignored").add(1);
@@ -97,8 +115,10 @@ void DeployerComponent::handle_monitor_report(const Event& event) {
       HostReport::ComponentInfo info;
       info.name = r.str();
       info.memory_kb = r.f64();
-      // Keep the deployer's routing table fresh from the ground truth.
+      // Keep the deployer's routing table fresh from the ground truth, and
+      // remember component footprints for the prepare phase's plan blob.
       connector().set_location(info.name, report.host);
+      component_memory_kb_[info.name] = info.memory_kb;
       report.components.push_back(std::move(info));
     }
   }
@@ -129,58 +149,185 @@ void DeployerComponent::handle_monitor_report(const Event& event) {
 
 bool DeployerComponent::effect_deployment(const TargetDeployment& target,
                                           CompletionHandler done) {
-  if (crashed() || !pending_.empty()) return false;
+  if (crashed() || round_.active()) return false;
   completion_ = std::move(done);
   migrations_requested_ = 0;
   ++epoch_;
-  renotify_rounds_ = 0;
+  renotify_total_ = 0;
+  prepare_attempts_ = 0;
   redeploy_start_ms_ = architecture()->scaffold().now_ms();
   if (obs_.metrics) obs_.metrics->counter("deploy.redeployments").add(1);
 
-  // Serialize desired configuration + current locations once.
-  std::uint32_t moves = 0;
-  ByteWriter all_config;
+  // Checkpoint the believed pre-round placement of everything that moves;
+  // rollback restores exactly this map.
+  std::vector<MigrationTask> plan;
+  std::map<std::string, model::HostId> checkpoint;
   for (const auto& [component, host] : target) {
-    all_config.str(component);
-    all_config.u32(host);
     const std::optional<model::HostId> current =
         connector().location(component);
     if (current && *current != host) {
-      pending_.insert(component);
-      ++moves;
+      MigrationTask task;
+      task.component = component;
+      task.from = *current;
+      task.to = host;
+      plan.push_back(std::move(task));
+      checkpoint.emplace(component, *current);
     }
   }
-  migrations_requested_ = moves;
+  migrations_requested_ = plan.size();
   if (obs_.trace) {
     redeploy_span_ = obs_.trace->begin_span(
         redeploy_start_ms_, "deploy.redeploy",
         {{"epoch", static_cast<std::int64_t>(epoch_)},
-         {"moves_requested", static_cast<std::int64_t>(moves)}});
+         {"moves_requested", static_cast<std::int64_t>(plan.size())}});
   }
 
-  if (pending_.empty()) {
+  if (plan.empty()) {
+    // Nothing moves: trivially committed, no prepare round trip.
+    RoundRecord record;
+    record.epoch = epoch_;
+    record.outcome = TxnOutcome::kCommitted;
+    history_.push_back(std::move(record));
+    last_outcome_ = TxnOutcome::kCommitted;
     finish(true);
     return true;
   }
 
   current_target_ = target;
-  broadcast_new_config();
+  round_.begin(epoch_, std::move(plan), std::move(checkpoint),
+               deployer_params_.allow_partial);
+  phase_span_ = begin_phase_span(
+      "deploy.txn.prepare",
+      static_cast<std::int64_t>(round_.participants().size()),
+      "participants");
+  send_prepare();
+  schedule_prepare_retry(epoch_);
+  schedule_round_deadline(epoch_);
+  return true;
+}
 
-  // Timeout guard: if this epoch is still pending after the deadline, the
-  // redeployment failed (e.g. a partition swallowed every retry).
-  const std::uint64_t epoch = epoch_;
+void DeployerComponent::send_prepare() {
+  ++prepare_attempts_;
+  // Plan blob: u32 count, then per record: str component, u32 target host,
+  // f64 memory footprint (0 when no monitor report mentioned it yet).
+  ByteWriter body;
+  for (const MigrationTask& task : round_.tasks()) {
+    body.str(task.component);
+    body.u32(task.to);
+    const auto it = component_memory_kb_.find(task.component);
+    body.f64(it != component_memory_kb_.end() ? it->second : 0.0);
+  }
+  ByteWriter blob;
+  blob.u32(static_cast<std::uint32_t>(round_.tasks().size()));
+  const std::vector<std::uint8_t> tail = body.take();
+  blob.raw(tail);
+  const std::vector<std::uint8_t> plan_blob = blob.take();
+
+  for (const model::HostId host : round_.participants()) {
+    Event prepare("__prepare");
+    prepare.set_to(admin_name(host));
+    prepare.set("plan", plan_blob);
+    prepare.set("epoch", static_cast<double>(epoch_));
+    send(std::move(prepare));
+  }
+}
+
+void DeployerComponent::schedule_prepare_retry(std::uint64_t epoch) {
+  architecture()->scaffold().schedule(
+      deployer_params_.renotify_interval_ms, [this, epoch] {
+        if (epoch != epoch_ || round_.phase() != TxnPhase::kPrepare) return;
+        if (prepare_attempts_ >= deployer_params_.prepare_max_attempts) {
+          util::log_warn("prism.deployer", "prepare for epoch ", epoch,
+                         " exhausted its ", prepare_attempts_,
+                         " sends with ", round_.prepare_pending(),
+                         " votes missing; aborting");
+          if (obs_.metrics)
+            obs_.metrics->counter("deploy.txn.prepare_exhausted").add(1);
+          abort_round();
+          return;
+        }
+        ++renotify_total_;
+        if (obs_.metrics)
+          obs_.metrics->counter("deploy.renotify_total").add(1);
+        send_prepare();
+        schedule_prepare_retry(epoch);
+      });
+}
+
+void DeployerComponent::schedule_round_deadline(std::uint64_t epoch) {
   architecture()->scaffold().schedule(
       deployer_params_.redeploy_timeout_ms, [this, epoch] {
-        if (epoch == epoch_ && !pending_.empty()) {
+        if (epoch != epoch_ || !round_.active()) return;
+        if (round_.phase() == TxnPhase::kRollback) return;  // own deadline
+        if (obs_.metrics) obs_.metrics->counter("deploy.timeouts").add(1);
+        if (round_.phase() == TxnPhase::kPrepare) {
+          util::log_warn("prism.deployer", "redeployment timed out in "
+                         "prepare with ", round_.prepare_pending(),
+                         " votes missing");
+          abort_round();
+        } else {
           util::log_warn("prism.deployer", "redeployment timed out with ",
-                         pending_.size(), " components unacked");
-          if (obs_.metrics) obs_.metrics->counter("deploy.timeouts").add(1);
-          pending_.clear();
-          finish(false);
+                         round_.open_tasks(),
+                         " migrations unconfirmed; rolling back");
+          begin_rollback("commit deadline");
         }
       });
-  schedule_renotify(epoch);
-  return true;
+}
+
+void DeployerComponent::abort_round() {
+  // Nothing has been asked to move yet: releasing the participants'
+  // reservations is the only compensation an aborted prepare needs.
+  for (const model::HostId host : round_.participants()) {
+    Event abort_event("__abort");
+    abort_event.set_to(admin_name(host));
+    abort_event.set("epoch", static_cast<double>(epoch_));
+    send(std::move(abort_event));
+  }
+  end_phase_span(phase_span_, false);
+  close_round(TxnOutcome::kAborted);
+}
+
+void DeployerComponent::handle_prepare_ack(const Event& event) {
+  const std::optional<double> host = event.get_double("host");
+  const std::optional<double> epoch = event.get_double("epoch");
+  if (!host || !epoch) return;
+  if (static_cast<std::uint64_t>(*epoch) != epoch_ ||
+      round_.phase() != TxnPhase::kPrepare)
+    return;  // late vote from an abandoned round
+  const bool ok = event.get_bool("ok").value_or(false);
+  if (!round_.vote(static_cast<model::HostId>(*host), ok)) return;
+  if (!ok) {
+    if (obs_.metrics) obs_.metrics->counter("deploy.txn.votes_no").add(1);
+    util::log_warn("prism.deployer", "host ",
+                   static_cast<model::HostId>(*host), " vetoed epoch ",
+                   epoch_, " (capacity); aborting");
+    abort_round();
+    return;
+  }
+  if (round_.prepared()) start_commit();
+}
+
+void DeployerComponent::start_commit() {
+  end_phase_span(phase_span_, true);
+  round_.start_commit();
+  if (obs_.metrics) obs_.metrics->counter("deploy.txn.commits").add(1);
+  phase_span_ = begin_phase_span(
+      "deploy.txn.commit", static_cast<std::int64_t>(round_.open_tasks()),
+      "migrations");
+  if (round_.open_tasks() == 0) {
+    // Every migration was already confirmed while votes were being
+    // collected (acks raced ahead of the prepare round trip).
+    check_round_completion();
+    return;
+  }
+  broadcast_new_config();
+  for (MigrationTask& task : round_.tasks()) {
+    if (task.done) continue;
+    task.attempts = 1;
+    task.retry_delay_ms = deployer_params_.renotify_interval_ms;
+    schedule_task_retry(epoch_, TxnPhase::kCommit, task.component,
+                        task.retry_delay_ms);
+  }
 }
 
 void DeployerComponent::broadcast_new_config() {
@@ -225,15 +372,109 @@ void DeployerComponent::broadcast_new_config() {
   }
 }
 
-void DeployerComponent::schedule_renotify(std::uint64_t epoch) {
+void DeployerComponent::send_task_config(const MigrationTask& task) {
+  // Targeted single-component __new_config. `confirm` asks the receiving
+  // admin to positively acknowledge a component it already holds — without
+  // it, a migration (or compensation) whose work happened but whose acks
+  // were all lost could never be confirmed, only timed out.
+  ByteWriter config;
+  config.u32(1);
+  config.str(task.component);
+  config.u32(task.to);
+  ByteWriter locations;
+  if (const std::optional<model::HostId> current =
+          connector().location(task.component)) {
+    locations.u32(1);
+    locations.str(task.component);
+    locations.u32(*current);
+  } else {
+    locations.u32(0);
+  }
+  Event config_event("__new_config");
+  config_event.set_to(admin_name(task.to));
+  config_event.set("config", config.take());
+  config_event.set("locations", locations.take());
+  config_event.set("epoch", static_cast<double>(epoch_));
+  config_event.set("confirm", true);
+  send(std::move(config_event));
+}
+
+void DeployerComponent::schedule_task_retry(std::uint64_t epoch,
+                                            TxnPhase phase,
+                                            std::string component,
+                                            double delay_ms) {
   architecture()->scaffold().schedule(
-      deployer_params_.renotify_interval_ms, [this, epoch] {
-        if (epoch != epoch_ || pending_.empty()) return;
-        ++renotify_rounds_;
-        if (obs_.metrics)
-          obs_.metrics->counter("deploy.renotify_rounds").add(1);
-        broadcast_new_config();
-        schedule_renotify(epoch);
+      delay_ms, [this, epoch, phase, component = std::move(component)] {
+        if (epoch != epoch_ || round_.phase() != phase) return;
+        MigrationTask* task = nullptr;
+        for (MigrationTask& t : round_.tasks()) {
+          if (t.component == component) {
+            task = &t;
+            break;
+          }
+        }
+        if (!task || task->done) return;
+        if (task->attempts >= deployer_params_.migration_max_attempts) {
+          if (obs_.metrics)
+            obs_.metrics->counter("deploy.txn.migration_exhausted").add(1);
+          if (phase == TxnPhase::kCommit) {
+            util::log_warn("prism.deployer", "migration of '", component,
+                           "' exhausted its retry budget; rolling back");
+            begin_rollback("migration retries exhausted");
+          } else {
+            util::log_error("prism.deployer", "compensation of '", component,
+                            "' exhausted its retry budget; rollback failed");
+            end_phase_span(phase_span_, false);
+            close_round(TxnOutcome::kRollbackFailed);
+          }
+          return;
+        }
+        ++task->attempts;
+        ++renotify_total_;
+        if (obs_.metrics) {
+          obs_.metrics->counter("deploy.renotify_total").add(1);
+          obs_.metrics->counter("deploy.txn.migration_retries").add(1);
+        }
+        send_task_config(*task);
+        task->retry_delay_ms =
+            std::min(task->retry_delay_ms * deployer_params_.retry_backoff,
+                     deployer_params_.retry_max_ms);
+        schedule_task_retry(epoch, phase, task->component,
+                            task->retry_delay_ms);
+      });
+}
+
+void DeployerComponent::begin_rollback(const std::string& reason) {
+  end_phase_span(phase_span_, false);
+  if (obs_.metrics) obs_.metrics->counter("deploy.txn.rollbacks").add(1);
+  util::log_warn("prism.deployer", "rolling back epoch ", epoch_, ": ",
+                 reason);
+  const std::size_t compensations = round_.start_rollback();
+  if (obs_.metrics && compensations > 0)
+    obs_.metrics->counter("deploy.txn.compensations").add(compensations);
+  if (round_.open_tasks() == 0) {
+    check_round_completion();
+    return;
+  }
+  phase_span_ = begin_phase_span("deploy.txn.rollback",
+                                 static_cast<std::int64_t>(compensations),
+                                 "compensations");
+  for (MigrationTask& task : round_.tasks()) {
+    task.attempts = 1;
+    task.retry_delay_ms = deployer_params_.renotify_interval_ms;
+    send_task_config(task);
+    schedule_task_retry(epoch_, TxnPhase::kRollback, task.component,
+                        task.retry_delay_ms);
+  }
+  const std::uint64_t epoch = epoch_;
+  architecture()->scaffold().schedule(
+      deployer_params_.rollback_timeout_ms, [this, epoch] {
+        if (epoch != epoch_ || round_.phase() != TxnPhase::kRollback) return;
+        util::log_error("prism.deployer", "rollback of epoch ", epoch,
+                        " timed out with ", round_.open_tasks(),
+                        " compensations unconfirmed");
+        end_phase_span(phase_span_, false);
+        close_round(TxnOutcome::kRollbackFailed);
       });
 }
 
@@ -245,9 +486,61 @@ void DeployerComponent::handle_migration_ack(const Event& event) {
   // its component may not even be part of the current target, and counting
   // it would mark the current round's migration done before it happened.
   if (!ack_epoch_matches(event)) return;
-  connector().set_location(*component, static_cast<model::HostId>(*host));
-  pending_.erase(*component);
-  if (pending_.empty() && completion_) finish(true);
+  const auto at = static_cast<model::HostId>(*host);
+  connector().set_location(*component, at);
+  if (round_.acknowledge(*component, at)) check_round_completion();
+}
+
+void DeployerComponent::check_round_completion() {
+  if (!round_.active() || round_.open_tasks() != 0) return;
+  end_phase_span(phase_span_, true);
+  if (round_.phase() == TxnPhase::kRollback) {
+    close_round(round_.kept() > 0 ? TxnOutcome::kPartial
+                                  : TxnOutcome::kRolledBack);
+  } else {
+    // Every migration confirmed — possibly while still formally in
+    // PREPARE, when the acks raced ahead of the votes.
+    close_round(TxnOutcome::kCommitted);
+  }
+}
+
+void DeployerComponent::close_round(TxnOutcome outcome) {
+  RoundRecord record = round_.close(outcome);
+  last_outcome_ = outcome;
+  if (outcome == TxnOutcome::kAborted || outcome == TxnOutcome::kRolledBack ||
+      outcome == TxnOutcome::kPartial ||
+      outcome == TxnOutcome::kRollbackFailed)
+    ++rounds_rolled_back_;
+  if (obs_.metrics)
+    obs_.metrics->counter(std::string("deploy.txn.") + to_string(outcome))
+        .add(1);
+  if (!record.unresolved.empty()) {
+    std::string names;
+    for (const std::string& component : record.unresolved) {
+      if (!names.empty()) names += ", ";
+      names += component;
+    }
+    util::log_warn("prism.deployer", "round ", record.epoch, " closed ",
+                   to_string(outcome), " with unresolved components: ",
+                   names);
+  }
+  history_.push_back(std::move(record));
+  finish(outcome == TxnOutcome::kCommitted);
+}
+
+obs::TraceLog::SpanId DeployerComponent::begin_phase_span(
+    const char* name, std::int64_t extra, const char* extra_key) {
+  if (!obs_.trace) return obs::TraceLog::kInvalidSpan;
+  return obs_.trace->begin_span(
+      architecture()->scaffold().now_ms(), name,
+      {{"epoch", static_cast<std::int64_t>(epoch_)}, {extra_key, extra}});
+}
+
+void DeployerComponent::end_phase_span(obs::TraceLog::SpanId& span, bool ok) {
+  if (!obs_.trace || span == obs::TraceLog::kInvalidSpan) return;
+  obs_.trace->span_field(span, "ok", ok);
+  obs_.trace->end_span(span, architecture()->scaffold().now_ms());
+  span = obs::TraceLog::kInvalidSpan;
 }
 
 void DeployerComponent::finish(bool success) {
@@ -268,8 +561,10 @@ void DeployerComponent::finish(bool success) {
     obs_.trace->span_field(redeploy_span_, "success", success);
     obs_.trace->span_field(redeploy_span_, "migrations",
                            static_cast<std::int64_t>(migrations_requested_));
-    obs_.trace->span_field(redeploy_span_, "renotify_rounds",
-                           static_cast<std::int64_t>(renotify_rounds_));
+    obs_.trace->span_field(redeploy_span_, "renotify_total",
+                           static_cast<std::int64_t>(renotify_total_));
+    obs_.trace->span_field(redeploy_span_, "outcome",
+                           std::string(to_string(last_outcome_)));
     obs_.trace->end_span(redeploy_span_, now);
     redeploy_span_ = obs::TraceLog::kInvalidSpan;
   }

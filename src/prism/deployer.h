@@ -5,19 +5,24 @@
 // its own host, plus:
 //   * aggregating the __monitor_report events from every Slave Admin and
 //     handing them to a registered observer (DeSi's MiddlewareAdapter);
-//   * driving redeployment: given a desired deployment, it informs every
-//     AdminComponent of the new configuration and of the current component
-//     locations, then counts __migration_ack events until the redeployment
-//     is complete (or times out);
+//   * driving redeployment as a *transaction* (TxnRound): PREPARE asks every
+//     host that receives a component to reserve capacity and vote via
+//     __prepare_ack; COMMIT broadcasts the new configuration and chases each
+//     outstanding migration with targeted, capped-exponential-backoff
+//     retries; a veto, deadline, or exhausted retry budget triggers
+//     ABORT/ROLLBACK — compensating migrations that restore the
+//     checkpointed pre-round placement (minus a kept sub-plan when
+//     `allow_partial`);
 //   * mediating interactions between hosts that are not directly connected
 //     (location updates it hears are re-broadcast to its peers).
 #pragma once
 
 #include <functional>
-#include <set>
+#include <map>
 
 #include "obs/instruments.h"
 #include "prism/admin.h"
+#include "prism/txn_round.h"
 
 namespace dif::prism {
 
@@ -50,12 +55,28 @@ class DeployerComponent final : public AdminComponent {
   struct DeployerParams {
     /// All hosts that run an AdminComponent (targets of __new_config).
     std::vector<model::HostId> admin_hosts;
-    /// Give up on a redeployment after this long without full acks.
+    /// Deadline for PREPARE + COMMIT together: a round still uncommitted
+    /// after this long aborts (in PREPARE) or rolls back (in COMMIT).
     double redeploy_timeout_ms = 30'000.0;
-    /// While acks are outstanding, rebroadcast the new configuration at
-    /// this cadence — __new_config / __request_component ride lossy links
-    /// too, and a lost one would otherwise stall the redeployment forever.
+    /// Separate budget for the rollback phase; when the compensations
+    /// themselves cannot be confirmed in time, the round closes as
+    /// rollback_failed (the atomicity invariant then flags it).
+    double rollback_timeout_ms = 30'000.0;
+    /// Base interval for every retransmission: __prepare re-sends and the
+    /// first per-migration config retry both start here.
     double renotify_interval_ms = 4'000.0;
+    /// Retries after this many __prepare sends stop; the round aborts
+    /// instead of spamming a partitioned network forever.
+    int prepare_max_attempts = 6;
+    /// Per-migration cap on targeted __new_config (re)notifications; an
+    /// exhausted budget rolls the round back (or fails the rollback).
+    int migration_max_attempts = 8;
+    /// Per-migration retries back off geometrically, capped.
+    double retry_backoff = 2.0;
+    double retry_max_ms = 8'000.0;
+    /// Graceful degradation: keep the migrations that completed when the
+    /// round rolls back (close as `partial`) instead of compensating them.
+    bool allow_partial = false;
   };
 
   DeployerComponent(model::HostId host, DistributionConnector& connector,
@@ -77,7 +98,9 @@ class DeployerComponent final : public AdminComponent {
 
   /// Desired placement: component name -> target host.
   using TargetDeployment = std::vector<std::pair<std::string, model::HostId>>;
-  /// `success` is false on timeout; `migrations` counts components moved.
+  /// `success` is true only for a fully committed round; aborted, rolled
+  /// back, and partial rounds all report false (see `last_outcome()`).
+  /// `migrations` counts components moved.
   using CompletionHandler =
       std::function<void(bool success, std::size_t migrations)>;
 
@@ -88,7 +111,7 @@ class DeployerComponent final : public AdminComponent {
                          CompletionHandler done);
 
   [[nodiscard]] bool redeployment_in_flight() const noexcept {
-    return !pending_.empty();
+    return round_.active();
   }
   [[nodiscard]] std::uint64_t redeployments_completed() const noexcept {
     return completed_;
@@ -100,6 +123,21 @@ class DeployerComponent final : public AdminComponent {
     return stale_acks_ignored_;
   }
   [[nodiscard]] std::uint64_t current_epoch() const noexcept { return epoch_; }
+
+  /// Outcome of the most recently closed round (kNone before any round).
+  [[nodiscard]] TxnOutcome last_outcome() const noexcept {
+    return last_outcome_;
+  }
+  /// Every closed round, in order; `back()` is the latest.
+  [[nodiscard]] const std::vector<RoundRecord>& round_history() const noexcept {
+    return history_;
+  }
+  /// Closed rounds that ended in abort, rollback, partial commit, or a
+  /// failed rollback — anything short of a clean commit or a clean timeout
+  /// report. difctl maps a nonzero count to its distinct exit code.
+  [[nodiscard]] std::uint64_t rounds_rolled_back() const noexcept {
+    return rounds_rolled_back_;
+  }
 
   void handle(const Event& event) override;
 
@@ -114,10 +152,24 @@ class DeployerComponent final : public AdminComponent {
 
  private:
   void handle_monitor_report(const Event& event);
+  void handle_prepare_ack(const Event& event);
   void handle_migration_ack(const Event& event);
+  void send_prepare();
+  void schedule_prepare_retry(std::uint64_t epoch);
+  void schedule_round_deadline(std::uint64_t epoch);
+  void start_commit();
+  void abort_round();
+  void begin_rollback(const std::string& reason);
   void broadcast_new_config();
-  void schedule_renotify(std::uint64_t epoch);
+  void send_task_config(const MigrationTask& task);
+  void schedule_task_retry(std::uint64_t epoch, TxnPhase phase,
+                           std::string component, double delay_ms);
+  void check_round_completion();
+  void close_round(TxnOutcome outcome);
   void finish(bool success);
+  [[nodiscard]] obs::TraceLog::SpanId begin_phase_span(
+      const char* name, std::int64_t extra, const char* extra_key);
+  void end_phase_span(obs::TraceLog::SpanId& span, bool ok);
   /// Does `event` acknowledge a migration of the *current* epoch? Events
   /// without an epoch stamp, or stamped with a different epoch, are stale
   /// leftovers of an earlier round and must not be counted.
@@ -125,16 +177,24 @@ class DeployerComponent final : public AdminComponent {
 
   ReportHandler report_handler_;
   DeployerParams deployer_params_;
-  std::set<std::string> pending_;
+  TxnRound round_;
+  /// Component memory footprints gleaned from monitor reports; feeds the
+  /// prepare plan so admins can reserve capacity for inbound components.
+  std::map<std::string, double> component_memory_kb_;
   TargetDeployment current_target_;
   CompletionHandler completion_;
+  std::vector<RoundRecord> history_;
+  TxnOutcome last_outcome_ = TxnOutcome::kNone;
   std::size_t migrations_requested_ = 0;
   std::uint64_t epoch_ = 0;  // stamps every protocol event of a round
   std::uint64_t completed_ = 0;
   std::uint64_t stale_acks_ignored_ = 0;
-  std::uint64_t renotify_rounds_ = 0;
+  std::uint64_t rounds_rolled_back_ = 0;
+  std::uint64_t renotify_total_ = 0;  // per round: prepares + config retries
+  int prepare_attempts_ = 0;
   double redeploy_start_ms_ = 0.0;
   obs::TraceLog::SpanId redeploy_span_ = obs::TraceLog::kInvalidSpan;
+  obs::TraceLog::SpanId phase_span_ = obs::TraceLog::kInvalidSpan;
 };
 
 }  // namespace dif::prism

@@ -1,0 +1,155 @@
+#include "prism/txn_round.h"
+
+#include <algorithm>
+
+namespace dif::prism {
+
+const char* to_string(TxnPhase phase) noexcept {
+  switch (phase) {
+    case TxnPhase::kIdle: return "idle";
+    case TxnPhase::kPrepare: return "prepare";
+    case TxnPhase::kCommit: return "commit";
+    case TxnPhase::kRollback: return "rollback";
+  }
+  return "?";
+}
+
+const char* to_string(TxnOutcome outcome) noexcept {
+  switch (outcome) {
+    case TxnOutcome::kNone: return "none";
+    case TxnOutcome::kCommitted: return "committed";
+    case TxnOutcome::kAborted: return "aborted";
+    case TxnOutcome::kRolledBack: return "rolled_back";
+    case TxnOutcome::kPartial: return "partial";
+    case TxnOutcome::kRollbackFailed: return "rollback_failed";
+    case TxnOutcome::kCrashed: return "crashed";
+  }
+  return "?";
+}
+
+void TxnRound::begin(std::uint64_t epoch, std::vector<MigrationTask> plan,
+                     std::map<std::string, model::HostId> checkpoint,
+                     bool allow_partial) {
+  epoch_ = epoch;
+  allow_partial_ = allow_partial;
+  vetoed_ = false;
+  plan_ = plan;
+  tasks_ = std::move(plan);
+  checkpoint_ = std::move(checkpoint);
+  votes_.clear();
+  participants_.clear();
+  compensations_ = 0;
+  for (const MigrationTask& task : tasks_) participants_.insert(task.to);
+  phase_ = TxnPhase::kPrepare;
+}
+
+std::size_t TxnRound::prepare_pending() const noexcept {
+  return participants_.size() - votes_.size();
+}
+
+bool TxnRound::vote(model::HostId host, bool ok) {
+  if (phase_ != TxnPhase::kPrepare || !participants_.count(host)) return false;
+  if (!ok) {
+    vetoed_ = true;
+    return true;
+  }
+  return votes_.insert(host).second;
+}
+
+bool TxnRound::prepared() const noexcept {
+  return phase_ == TxnPhase::kPrepare && !vetoed_ &&
+         votes_.size() == participants_.size();
+}
+
+void TxnRound::start_commit() noexcept { phase_ = TxnPhase::kCommit; }
+
+std::size_t TxnRound::start_rollback() {
+  // Fold commit progress back into the plan (tasks_ aliases it until now).
+  plan_ = tasks_;
+  tasks_.clear();
+  for (const MigrationTask& task : plan_) {
+    if (allow_partial_ && task.done) continue;  // kept sub-plan
+    MigrationTask comp;
+    comp.component = task.component;
+    comp.from = task.to;  // wherever the commit attempt may have left it
+    const auto it = checkpoint_.find(task.component);
+    comp.to = it != checkpoint_.end() ? it->second : task.from;
+    tasks_.push_back(std::move(comp));
+  }
+  compensations_ = tasks_.size();
+  phase_ = TxnPhase::kRollback;
+  return compensations_;
+}
+
+std::size_t TxnRound::open_tasks() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(tasks_.begin(), tasks_.end(),
+                    [](const MigrationTask& t) { return !t.done; }));
+}
+
+std::size_t TxnRound::kept() const noexcept {
+  if (!allow_partial_) return 0;
+  return static_cast<std::size_t>(
+      std::count_if(plan_.begin(), plan_.end(),
+                    [](const MigrationTask& t) { return t.done; }));
+}
+
+bool TxnRound::has_open_task(const std::string& component) const {
+  return std::any_of(tasks_.begin(), tasks_.end(),
+                     [&](const MigrationTask& t) {
+                       return !t.done && t.component == component;
+                     });
+}
+
+bool TxnRound::acknowledge(const std::string& component, model::HostId host) {
+  for (MigrationTask& task : tasks_) {
+    if (task.done || task.component != component) continue;
+    if (task.to != host) return false;  // confirms the wrong placement
+    task.done = true;
+    return true;
+  }
+  return false;
+}
+
+RoundRecord TxnRound::close(TxnOutcome outcome) {
+  RoundRecord record;
+  record.epoch = epoch_;
+  record.outcome = outcome;
+  record.moves_requested = plan_.size();
+  record.compensations = compensations_;
+  for (const MigrationTask& task : plan_)
+    if (task.done) ++record.moves_completed;
+  // Declared placement: what the deployer asserts the world looks like now.
+  // Committed (and kept-partial) migrations sit at their plan target;
+  // everything else is declared back at its checkpoint.
+  for (const MigrationTask& task : plan_) {
+    const bool kept =
+        outcome == TxnOutcome::kCommitted ||
+        (task.done && (allow_partial_ || outcome == TxnOutcome::kPartial));
+    const auto it = checkpoint_.find(task.component);
+    const model::HostId checkpoint_host =
+        it != checkpoint_.end() ? it->second : task.from;
+    record.declared[task.component] = kept ? task.to : checkpoint_host;
+    record.proposed[task.component] = task.to;
+  }
+  if (phase_ == TxnPhase::kRollback) {
+    for (const MigrationTask& task : tasks_)
+      if (!task.done) record.unresolved.push_back(task.component);
+  } else if (outcome != TxnOutcome::kCommitted) {
+    for (const MigrationTask& task : plan_)
+      if (!task.done) record.unresolved.push_back(task.component);
+  }
+  std::sort(record.unresolved.begin(), record.unresolved.end());
+
+  phase_ = TxnPhase::kIdle;
+  tasks_.clear();
+  plan_.clear();
+  checkpoint_.clear();
+  participants_.clear();
+  votes_.clear();
+  vetoed_ = false;
+  compensations_ = 0;
+  return record;
+}
+
+}  // namespace dif::prism

@@ -1,0 +1,138 @@
+// TxnRound: the pure state machine behind DeployerComponent's transactional
+// redeployment protocol (two-phase commit over the migration protocol).
+//
+// A round moves through PREPARE (participating admins vote on capacity for
+// their inbound components), COMMIT (per-migration execution with retry
+// bookkeeping owned by the deployer), and — on veto, timeout, or retry-budget
+// exhaustion — ROLLBACK (compensating migrations that restore the
+// checkpointed pre-round placement, minus any sub-plan the round was allowed
+// to keep via `allow_partial`). The class holds no I/O and no timers: the
+// DeployerComponent drives it with votes and acknowledgements and reads back
+// which hosts/migrations are still open. Closing a round yields a
+// RoundRecord whose `declared` map is the placement the deployer *declares*
+// final — the campaign engine's atomicity invariant checks the real census
+// against exactly this map.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model/ids.h"
+
+namespace dif::prism {
+
+enum class TxnPhase { kIdle, kPrepare, kCommit, kRollback };
+
+enum class TxnOutcome {
+  kNone,            // round never ran (or is still running)
+  kCommitted,       // every migration confirmed at its target
+  kAborted,         // vetoed or timed out in PREPARE; nothing moved
+  kRolledBack,      // compensations restored the checkpoint exactly
+  kPartial,         // allow_partial: completed migrations kept, rest restored
+  kRollbackFailed,  // compensations themselves could not be confirmed
+  kCrashed,         // the deployer process died mid-round
+};
+
+[[nodiscard]] const char* to_string(TxnPhase phase) noexcept;
+[[nodiscard]] const char* to_string(TxnOutcome outcome) noexcept;
+
+/// One migration the round must effect (or compensate).
+struct MigrationTask {
+  std::string component;
+  model::HostId from = 0;  // believed location when the task was built
+  model::HostId to = 0;    // where the task wants the component confirmed
+  int attempts = 0;        // config (re)notifications sent for this task
+  double retry_delay_ms = 0.0;  // next backoff interval
+  bool done = false;       // confirmed at `to` by an epoch-matched ack
+};
+
+/// What a closed round declares about itself; appended to the deployer's
+/// round history and surfaced through campaign reports.
+struct RoundRecord {
+  std::uint64_t epoch = 0;
+  TxnOutcome outcome = TxnOutcome::kNone;
+  std::size_t moves_requested = 0;
+  std::size_t moves_completed = 0;  // commit-phase migrations confirmed
+  std::size_t compensations = 0;    // rollback migrations issued
+  /// Components whose final location the round could not confirm (empty
+  /// except for kRollbackFailed / kCrashed rounds and prepare aborts, where
+  /// nothing was confirmed but nothing should have moved either).
+  std::vector<std::string> unresolved;
+  /// Declared final placement of every component the round touched.
+  std::map<std::string, model::HostId> declared;
+  /// The commit plan's target placement. An unresolved component may
+  /// legitimately sit here instead of at `declared` — the migration (or its
+  /// undo) happened but every confirmation was lost; anywhere *else* is an
+  /// atomicity breach.
+  std::map<std::string, model::HostId> proposed;
+};
+
+class TxnRound {
+ public:
+  /// Starts a round. `plan` holds only the components that actually move;
+  /// `checkpoint` maps each of them to its pre-round host.
+  void begin(std::uint64_t epoch, std::vector<MigrationTask> plan,
+             std::map<std::string, model::HostId> checkpoint,
+             bool allow_partial);
+
+  [[nodiscard]] TxnPhase phase() const noexcept { return phase_; }
+  [[nodiscard]] bool active() const noexcept {
+    return phase_ != TxnPhase::kIdle;
+  }
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] bool allow_partial() const noexcept { return allow_partial_; }
+
+  /// Hosts that must vote in PREPARE: every host receiving a component.
+  [[nodiscard]] const std::set<model::HostId>& participants() const noexcept {
+    return participants_;
+  }
+  /// Participants that have not voted yes yet.
+  [[nodiscard]] std::size_t prepare_pending() const noexcept;
+  /// Records a vote. Returns false for non-participants / duplicate votes.
+  bool vote(model::HostId host, bool ok);
+  [[nodiscard]] bool vetoed() const noexcept { return vetoed_; }
+  /// True once every participant has voted yes.
+  [[nodiscard]] bool prepared() const noexcept;
+
+  void start_commit() noexcept;
+  /// Enters ROLLBACK: commit tasks that completed are kept when
+  /// `allow_partial`, every other plan component gets a compensating task
+  /// back to its checkpointed host. Returns the number of compensations.
+  std::size_t start_rollback();
+
+  /// Tasks of the *current* phase (plan tasks in PREPARE/COMMIT,
+  /// compensating tasks in ROLLBACK); mutable for retry bookkeeping.
+  [[nodiscard]] std::vector<MigrationTask>& tasks() noexcept { return tasks_; }
+  [[nodiscard]] std::size_t open_tasks() const noexcept;
+  [[nodiscard]] bool has_open_task(const std::string& component) const;
+  /// Plan migrations the rollback keeps (allow_partial only); meaningful in
+  /// ROLLBACK, where a nonzero count closes the round as kPartial.
+  [[nodiscard]] std::size_t kept() const noexcept;
+
+  /// Consumes an epoch-matched acknowledgement: marks the task done when the
+  /// confirmed host is the one the current phase expects. Acks always count,
+  /// whatever the phase — a round stuck in PREPARE whose migrations
+  /// demonstrably completed (the config of a prior broadcast raced ahead)
+  /// still converges. Returns true when a task was consumed.
+  bool acknowledge(const std::string& component, model::HostId host);
+
+  /// Ends the round and resets to kIdle.
+  [[nodiscard]] RoundRecord close(TxnOutcome outcome);
+
+ private:
+  TxnPhase phase_ = TxnPhase::kIdle;
+  std::uint64_t epoch_ = 0;
+  bool allow_partial_ = false;
+  bool vetoed_ = false;
+  std::vector<MigrationTask> tasks_;        // current phase's tasks
+  std::vector<MigrationTask> plan_;         // original commit plan
+  std::map<std::string, model::HostId> checkpoint_;
+  std::set<model::HostId> participants_;
+  std::set<model::HostId> votes_;
+  std::size_t compensations_ = 0;
+};
+
+}  // namespace dif::prism

@@ -330,12 +330,13 @@ TEST(Migration, DuplicateFromLostAcksIsResolvedByReclaimProtocol) {
   counter.count = 42;
 
   bed.deployer->effect_deployment({{"dup", 1}}, [](bool, std::size_t) {});
-  // Transfer: request (0.5 s) + transfer (0.5 s) => arrives ~1 s. Crash the
-  // source at 1.2 s: the component is at host 1 but every ack/update toward
-  // host 0 is lost.
-  bed.sim.schedule_at(1'200.0, [&] { bed.net.fail_host(0); });
+  // Two-phase timeline: prepare (0.5 s) + ack (0.5 s) + commit config
+  // (0.5 s) + request (0.5 s) + transfer (0.5 s) => arrives ~2.5 s. Crash
+  // the source at 2.7 s: the component is at host 1 but every ack/update
+  // toward host 0 is lost.
+  bed.sim.schedule_at(2'700.0, [&] { bed.net.fail_host(0); });
   // Source (still "up" CPU-wise, network-dead) exhausts its 3 retries and
-  // restores a provisional copy around 1.2s + 3*0.5s.
+  // restores a provisional copy around 2.7s + 3*0.5s.
   bed.sim.run_until(6'000.0);
   EXPECT_NE(bed.archs[0]->find_component("dup"), nullptr)
       << "source should have provisionally restored";
@@ -425,8 +426,8 @@ TEST(Migration, RenotifyResumesAfterPartitionHeals) {
   bed.sim.run_until(30'000.0);
   EXPECT_TRUE(done);
   EXPECT_NE(bed.archs[1]->find_component("worker"), nullptr);
-  ASSERT_NE(metrics.find_counter("deploy.renotify_rounds"), nullptr);
-  EXPECT_GE(metrics.find_counter("deploy.renotify_rounds")->value(), 3u);
+  ASSERT_NE(metrics.find_counter("deploy.renotify_total"), nullptr);
+  EXPECT_GE(metrics.find_counter("deploy.renotify_total")->value(), 3u);
   ASSERT_NE(metrics.find_counter("deploy.redeployments_succeeded"), nullptr);
   EXPECT_EQ(metrics.find_counter("deploy.redeployments_succeeded")->value(),
             1u);

@@ -49,6 +49,13 @@ TEST_P(FailureInjectionTest, NoComponentLostOrDuplicatedUnderChurn) {
   config.admin.stability_window = 2;
   config.admin.stability_epsilon = 1.0;
   config.admin.transfer_retry_interval_ms = 500.0;
+  // Tight transactional budgets so every redeployment round — including a
+  // full rollback, its transfer retries, and any reclaim exchange a lost
+  // compensation leaves behind — closes well inside the 40 s quiet-down
+  // windows below; otherwise a round launched on the last tick before a
+  // sample is still legitimately mid-compensation when the census runs.
+  config.deployer.redeploy_timeout_ms = 5'000.0;
+  config.deployer.rollback_timeout_ms = 5'000.0;
   CentralizedInstantiation inst(*system, config);
 
   // Aggressive churn: fluctuation, two scripted outages, one host crash.

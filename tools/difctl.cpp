@@ -38,21 +38,30 @@
 //
 //   difctl simulate system.json [--duration-ms D] [--interval-ms I]
 //                   [--objective NAME] [--seed S] [--adaptive]
+//                   [--allow-partial]
 //                   [--metrics-json PATH] [--trace-json PATH]
 //       Run the full framework (monitors, admins, deployer, improvement
 //       loop) on the simulator for D simulated milliseconds. A run summary
 //       goes to stderr and the final system description to stdout.
+//       --allow-partial lets rolled-back redeployment rounds keep their
+//       completed migrations (graceful degradation to a partial commit).
 //       --metrics-json / --trace-json dump the run's metric registry
 //       ("dif-metrics-v1") and adaptation trace ("dif-trace-v1"); both
 //       flags are also accepted by `portfolio`.
+//       Exit 0 on a clean run, 3 when the run finished but at least one
+//       redeployment round ended in abort/rollback/partial.
 //
 //   difctl campaign [--seeds 0..31] [--scenario mixed] [--json [PATH]]
 //       Fault-injection campaign: run the centralized and decentralized
 //       improvement loops under a seeded fault schedule, once per seed,
 //       checking dependability invariants after every run. --json emits
 //       the "dif-campaign-v1" report (to PATH, or stdout without one).
-//       Exit 0 when every invariant held, 1 on violations, 2 on usage
-//       errors. See docs/difctl.md for the full flag reference.
+//       --allow-partial enables the effector's graceful-degradation mode.
+//       Exit 0 when every invariant held and every round committed, 1 on
+//       violations, 2 on usage errors, 3 when invariants held but at
+//       least one round ended in abort/rollback/partial (informational —
+//       atomicity was preserved, the adaptation was not fully applied).
+//       See docs/difctl.md for the full flag reference.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -94,12 +103,13 @@ int usage() {
                "[--seed S] [--metrics-json PATH] [--trace-json PATH]\n"
                "  check    <system.json> [--json] [--strict]\n"
                "  simulate <system.json> [--duration-ms D] [--interval-ms I] "
-               "[--objective NAME] [--seed S] [--adaptive] "
+               "[--objective NAME] [--seed S] [--adaptive] [--allow-partial] "
                "[--metrics-json PATH] [--trace-json PATH]\n"
                "  campaign [--seeds A..B|a,b,c] [--scenario NAME] "
                "[--hosts K] [--components N] [--duration-ms D] "
                "[--tolerance T] [--centralized|--decentralized] "
-               "[--json [PATH]] [--metrics-json PATH] [--trace-json PATH]\n");
+               "[--allow-partial] [--json [PATH]] [--metrics-json PATH] "
+               "[--trace-json PATH]\n");
   return 2;
 }
 
@@ -337,6 +347,7 @@ int cmd_simulate(const std::string& path, const Flags& flags) {
 
   core::FrameworkConfig config;
   config.seed = flags.get_u64("seed", 1);
+  config.deployer.allow_partial = flags.has("allow-partial");
   core::CentralizedInstantiation inst(*system, config);
 
   obs::Registry metrics;
@@ -371,11 +382,13 @@ int cmd_simulate(const std::string& path, const Flags& flags) {
   std::fprintf(stderr,
                "simulated %.0f ms: %zu ticks, %zu redeployments applied, "
                "%zu effector rejections, %llu deployer completions, "
-               "%llu stale acks ignored\n",
+               "%llu rounds rolled back, %llu stale acks ignored\n",
                duration_ms, loop.history().size(),
                loop.redeployments_applied(), loop.effector_rejections(),
                static_cast<unsigned long long>(
                    inst.deployer().redeployments_completed()),
+               static_cast<unsigned long long>(
+                   inst.deployer().rounds_rolled_back()),
                static_cast<unsigned long long>(
                    inst.deployer().stale_acks_ignored()));
   std::fprintf(stderr,
@@ -389,7 +402,10 @@ int cmd_simulate(const std::string& path, const Flags& flags) {
                std::string(objective->name()).c_str(), value_before,
                value_after);
   std::printf("%s\n", desi::XadlLite::to_text(*system).c_str());
-  return 0;
+  // Exit-code contract: 3 flags a clean run in which at least one
+  // redeployment round ended in abort/rollback/partial — atomicity was
+  // preserved but the adaptation was not fully applied.
+  return inst.deployer().rounds_rolled_back() > 0 ? 3 : 0;
 }
 
 /// "A..B" (inclusive range), "a,b,c" (list), or a single number.
@@ -433,6 +449,7 @@ int cmd_campaign(const Flags& flags) {
     config.decentralized = false;
   if (flags.has("decentralized") && !flags.has("centralized"))
     config.centralized = false;
+  config.allow_partial = flags.has("allow-partial");
 
   obs::Registry metrics;
   obs::TraceLog trace;
@@ -474,7 +491,17 @@ int cmd_campaign(const Flags& flags) {
   }
   if (!metrics_path.empty()) write_json_file(metrics_path, metrics.to_json());
   if (!trace_path.empty()) write_json_file(trace_path, trace.to_json());
-  return report.ok() ? 0 : 1;
+  if (!report.ok()) return 1;
+  // Exit-code contract: 3 flags a violation-free campaign in which at
+  // least one centralized round ended in abort/rollback/partial.
+  std::uint64_t rolled = 0;
+  for (const chaos::RunReport& run : report.runs)
+    for (const char* outcome :
+         {"aborted", "rolled_back", "partial", "rollback_failed"}) {
+      const auto it = run.txn_outcomes.find(outcome);
+      if (it != run.txn_outcomes.end()) rolled += it->second;
+    }
+  return rolled > 0 ? 3 : 0;
 }
 
 int cmd_check(const std::string& path, const Flags& flags) {
