@@ -1,0 +1,71 @@
+// EF — Protocol-fuzzer overhead: mutation throughput and the wall-clock
+// cost of fuzzed campaign runs against the unfuzzed baseline.
+//
+// Each row sweeps a block of fuzz rounds at one mutation rate (rate 0 is
+// the baseline: the interceptor still inspects every control-plane message
+// but never mutates). Reported: targeted messages and applied mutations per
+// round, mutations applied per wall-clock second, the invariant verdict,
+// and wall-clock per run. Expected shape: overhead grows mildly with the
+// rate (mutated runs schedule extra duplicate/delayed deliveries, and
+// failing rounds pay for shrinking); nonzero violation counts at the
+// higher rates are the fuzzer doing its job, not a bench failure (see
+// docs/fuzzing.md on the known-bad seeds).
+#include "bench_common.h"
+
+#include <chrono>
+#include <cstdint>
+
+#include "chaos/fuzz.h"
+
+namespace dif::bench {
+namespace {
+
+void run() {
+  header("EF", "protocol-fuzzer mutation throughput and overhead",
+         "fuzzing the redeployment/custody control plane costs bounded "
+         "wall-clock over an unfuzzed campaign; violations at higher "
+         "rates are genuine fuzzer finds, priced here via shrink cost");
+
+  util::Table table({"rate", "rounds", "targeted/run", "mutations/run",
+                     "mutations/s", "violations", "wall/run"});
+
+  for (const double rate : {0.0, 0.04, 0.08, 0.16}) {
+    chaos::FuzzConfig config;
+    config.seed = 0;
+    config.rounds = 8;
+    config.policy.mutation_rate = rate;
+
+    chaos::FuzzRunner runner(config);
+    const auto started = std::chrono::steady_clock::now();
+    const chaos::FuzzReport report = runner.run();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+
+    std::uint64_t targeted = 0;
+    std::uint64_t mutations = 0;
+    for (const chaos::FuzzRound& round : report.rounds) {
+      targeted += round.targeted;
+      mutations += round.mutations.size();
+    }
+    const double rounds = static_cast<double>(report.rounds.size());
+    const double mutations_per_s =
+        wall_ms > 0.0 ? static_cast<double>(mutations) / (wall_ms / 1'000.0)
+                      : 0.0;
+
+    table.add_row(
+        {util::fmt(rate, 2), std::to_string(report.rounds.size()),
+         util::fmt(static_cast<double>(targeted) / rounds, 1),
+         util::fmt(static_cast<double>(mutations) / rounds, 1),
+         util::fmt(mutations_per_s, 0),
+         std::to_string(report.total_violations()),
+         util::fmt(wall_ms / rounds, 1) + " ms"});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace
+}  // namespace dif::bench
+
+int main() { dif::bench::run(); }

@@ -155,7 +155,8 @@ void collect_net(const sim::SimNetwork& net, RunReport& report) {
 
 }  // namespace
 
-RunReport CampaignRunner::run_centralized(std::uint64_t seed) {
+RunReport CampaignRunner::run_centralized_once(std::uint64_t seed,
+                                               const PrepareHook& prepare) {
   RunReport report;
   report.seed = seed;
   report.mode = "centralized";
@@ -204,6 +205,8 @@ RunReport CampaignRunner::run_centralized(std::uint64_t seed) {
       inst.simulator().schedule_after(config_.epoch_probe_ms, probe);
   };
   inst.simulator().schedule_at(0.0, probe);
+
+  if (prepare) prepare(inst);
 
   loop.start();
   inst.start();

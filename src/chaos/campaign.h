@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -149,8 +150,21 @@ class CampaignRunner {
   /// Runs every (seed, enabled mode) combination and returns the report.
   [[nodiscard]] CampaignReport run();
 
+  /// Called with the fully wired instantiation after the fault schedule is
+  /// armed and before the simulation starts — the protocol fuzzer's hook
+  /// point (it attaches a network interceptor here). May be null.
+  using PrepareHook = std::function<void(core::CentralizedInstantiation&)>;
+
+  /// One centralized run, with `prepare` invoked pre-start. The report and
+  /// its six invariant verdicts are exactly what run() would produce for
+  /// this seed — which is what makes them usable as a fuzzing oracle.
+  [[nodiscard]] RunReport run_centralized_once(std::uint64_t seed,
+                                               const PrepareHook& prepare);
+
  private:
-  [[nodiscard]] RunReport run_centralized(std::uint64_t seed);
+  [[nodiscard]] RunReport run_centralized(std::uint64_t seed) {
+    return run_centralized_once(seed, nullptr);
+  }
   [[nodiscard]] RunReport run_decentralized(std::uint64_t seed);
 
   CampaignConfig config_;

@@ -4,7 +4,7 @@
 #include <tuple>
 #include <utility>
 
-#include "util/rng.h"
+#include "chaos/overlap_ledger.h"
 
 namespace dif::chaos {
 
@@ -20,70 +20,19 @@ std::string_view to_string(FaultKind kind) noexcept {
       return "crash";
     case FaultKind::kNoise:
       return "noise";
+    case FaultKind::kSuspend:
+      return "suspend";
   }
   return "unknown";
 }
 
-namespace {
+namespace detail {
 
-/// Overlap ledger: two faults fighting over the same link field (or the
-/// same host's liveness) would make heal-time state restoration ambiguous
-/// — the second heal would resurrect the first fault's degraded values. A
-/// fault is only emitted when its [at, at+duration) window is free on its
-/// (field-group, target) lane; compile retries a few draws, then skips.
-class OverlapLedger {
- public:
-  bool reserve(int group, std::size_t target, double at, double duration) {
-    auto& lanes = busy_[{group, target}];
-    const double hi = at + duration;
-    for (const auto& [lo, existing_hi] : lanes)
-      if (at < existing_hi && lo < hi) return false;
-    lanes.emplace_back(at, hi);
-    return true;
-  }
-
- private:
-  std::map<std::pair<int, std::size_t>, std::vector<std::pair<double, double>>>
-      busy_;
-};
-
-/// Field groups for the ledger: partitions own the severed flag,
-/// loss/noise own reliability, degradations own bandwidth+delay, crashes
-/// own host liveness.
-constexpr int kGroupSevered = 0;
-constexpr int kGroupReliability = 1;
-constexpr int kGroupThroughput = 2;
-constexpr int kGroupLiveness = 3;
-
-int field_group(FaultKind kind) {
-  switch (kind) {
-    case FaultKind::kPartition:
-      return kGroupSevered;
-    case FaultKind::kLossBurst:
-    case FaultKind::kNoise:
-      return kGroupReliability;
-    case FaultKind::kDegrade:
-      return kGroupThroughput;
-    case FaultKind::kCrash:
-      return kGroupLiveness;
-  }
-  return kGroupSevered;
-}
-
-}  // namespace
-
-FaultSchedule FaultSchedule::compile(const ScenarioSpec& spec,
-                                     const model::DeploymentModel& m,
-                                     model::HostId master_host,
-                                     std::uint64_t seed) {
-  FaultSchedule schedule;
-  schedule.spec_ = spec;
-
-  // Independent chaos stream: campaigns share their seed with the system
-  // generator and the framework, and must not perturb those streams.
-  util::Xoshiro256ss rng =
-      util::Xoshiro256ss(seed).fork(/*stream_id=*/0xc4a05u);
-
+void draw_scenario_actions(const ScenarioSpec& spec,
+                           const model::DeploymentModel& m,
+                           model::HostId master_host, util::Xoshiro256ss& rng,
+                           OverlapLedger& ledger,
+                           std::vector<FaultAction>& out) {
   std::vector<std::pair<model::HostId, model::HostId>> links;
   const std::size_t k = m.host_count();
   for (std::size_t a = 0; a < k; ++a)
@@ -101,7 +50,6 @@ FaultSchedule FaultSchedule::compile(const ScenarioSpec& spec,
 
   const double window_lo = spec.fault_from_ms;
   const double window_hi = std::max(spec.fault_until_ms, window_lo);
-  OverlapLedger ledger;
 
   const auto draw_window = [&](double& at, double& duration) {
     duration = rng.uniform(spec.min_fault_ms,
@@ -116,7 +64,7 @@ FaultSchedule FaultSchedule::compile(const ScenarioSpec& spec,
         FaultAction action;
         action.kind = kind;
         std::size_t lane_target = 0;
-        if (kind == FaultKind::kCrash) {
+        if (kind == FaultKind::kCrash || kind == FaultKind::kSuspend) {
           if (crashable.empty()) return;
           action.a = action.b = crashable[rng.index(crashable.size())];
           lane_target = action.a;
@@ -132,7 +80,7 @@ FaultSchedule FaultSchedule::compile(const ScenarioSpec& spec,
         if (!ledger.reserve(field_group(kind), lane_target, action.at_ms,
                             action.duration_ms))
           continue;  // redraw
-        schedule.actions_.push_back(action);
+        out.push_back(action);
         break;
       }
     }
@@ -143,12 +91,47 @@ FaultSchedule FaultSchedule::compile(const ScenarioSpec& spec,
   emit(FaultKind::kDegrade, spec.degradations);
   emit(FaultKind::kCrash, spec.crashes);
   emit(FaultKind::kNoise, spec.noise_bursts);
+}
 
-  std::sort(schedule.actions_.begin(), schedule.actions_.end(),
+}  // namespace detail
+
+namespace {
+
+void sort_actions(std::vector<FaultAction>& actions) {
+  std::sort(actions.begin(), actions.end(),
             [](const FaultAction& x, const FaultAction& y) {
               return std::tie(x.at_ms, x.kind, x.a, x.b, x.duration_ms) <
                      std::tie(y.at_ms, y.kind, y.a, y.b, y.duration_ms);
             });
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::compile(const ScenarioSpec& spec,
+                                     const model::DeploymentModel& m,
+                                     model::HostId master_host,
+                                     std::uint64_t seed) {
+  FaultSchedule schedule;
+  schedule.spec_ = spec;
+
+  // Independent chaos stream: campaigns share their seed with the system
+  // generator and the framework, and must not perturb those streams.
+  util::Xoshiro256ss rng =
+      util::Xoshiro256ss(seed).fork(/*stream_id=*/0xc4a05u);
+
+  OverlapLedger ledger;
+  detail::draw_scenario_actions(spec, m, master_host, rng, ledger,
+                                schedule.actions_);
+  sort_actions(schedule.actions_);
+  return schedule;
+}
+
+FaultSchedule FaultSchedule::assemble(ScenarioSpec spec,
+                                      std::vector<FaultAction> actions) {
+  FaultSchedule schedule;
+  schedule.spec_ = std::move(spec);
+  schedule.actions_ = std::move(actions);
+  sort_actions(schedule.actions_);
   return schedule;
 }
 
@@ -199,6 +182,12 @@ void FaultInjector::inject(const FaultAction& action) {
     case FaultKind::kCrash:
       inst_.crash_host(action.a);
       break;
+    case FaultKind::kSuspend:
+      // Network-only outage: the host drops off the wire but its admin and
+      // components keep their state (GC pause / SIGSTOP), so heal needs no
+      // administrative restart.
+      net.fail_host(action.a);
+      break;
     case FaultKind::kNoise:
       saved = net.link(action.a, action.b);
       oscillate(action, saved, action.at_ms + action.duration_ms,
@@ -230,6 +219,9 @@ void FaultInjector::heal(const FaultAction& action,
     }
     case FaultKind::kCrash:
       inst_.restart_host(action.a);
+      break;
+    case FaultKind::kSuspend:
+      net.recover_host(action.a);
       break;
   }
   if (obs_.trace && span != obs::TraceLog::kInvalidSpan)

@@ -1,0 +1,249 @@
+#include "chaos/fuzz.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "prism/distribution.h"
+#include "prism/event.h"
+
+namespace dif::chaos {
+
+std::string_view to_string(MutationKind kind) noexcept {
+  switch (kind) {
+    case MutationKind::kDrop:
+      return "drop";
+    case MutationKind::kDelay:
+      return "delay";
+    case MutationKind::kDuplicate:
+      return "duplicate";
+    case MutationKind::kReorder:
+      return "reorder";
+  }
+  return "unknown";
+}
+
+ProtocolFuzzer::ProtocolFuzzer(FuzzPolicy policy, std::uint64_t seed)
+    : policy_(std::move(policy)),
+      // Own stream, disjoint from the generator / framework / chaos forks
+      // that share the same seed.
+      rng_(util::Xoshiro256ss(seed).fork(/*stream_id=*/0xf022u)) {
+  for (const std::string& target : policy_.targets) target_set_.insert(target);
+}
+
+void ProtocolFuzzer::attach(sim::SimNetwork& net,
+                            const sim::Simulator* clock) {
+  clock_ = clock;
+  net.set_fuzz_hook(
+      [this](const sim::NetMessage& msg) { return decide(msg); });
+}
+
+std::optional<sim::FuzzDecision> ProtocolFuzzer::decide(
+    const sim::NetMessage& msg) {
+  if (msg.channel != prism::kEventChannel) return std::nullopt;
+  const prism::Event event = prism::Event::deserialize(msg.payload);
+  if (target_set_.find(event.name()) == target_set_.end()) return std::nullopt;
+  ++targeted_;
+
+  // Fixed draw discipline: every targeted message consumes exactly four
+  // draws whether or not a mutation fires, so masking one mutation (the
+  // shrinker's mechanism) cannot shift any later decision's randomness.
+  const double gate = rng_.uniform();
+  const std::size_t kind_draw = rng_.index(4);
+  const double magnitude_frac = rng_.uniform();
+  const std::size_t dup_draw = rng_.index(
+      static_cast<std::size_t>(std::max(policy_.max_duplicates, 1)));
+
+  if (gate >= policy_.mutation_rate) return std::nullopt;
+  const std::size_t ordinal = next_ordinal_++;
+  if (disabled_.find(ordinal) != disabled_.end()) return std::nullopt;
+
+  MutationRecord record;
+  record.ordinal = ordinal;
+  record.kind = static_cast<MutationKind>(kind_draw);
+  record.event = event.name();
+  record.from = msg.from;
+  record.to = msg.to;
+  record.at_ms = clock_ ? clock_->now() : 0.0;
+
+  sim::FuzzDecision decision;
+  switch (record.kind) {
+    case MutationKind::kDrop:
+      decision.drop = true;
+      break;
+    case MutationKind::kDelay:
+      record.magnitude_ms = magnitude_frac * policy_.max_delay_ms;
+      decision.delay_ms = record.magnitude_ms;
+      break;
+    case MutationKind::kDuplicate:
+      decision.duplicates = static_cast<int>(dup_draw) + 1;
+      record.magnitude_ms = policy_.duplicate_gap_ms;
+      decision.duplicate_gap_ms = policy_.duplicate_gap_ms;
+      break;
+    case MutationKind::kReorder:
+      // Drop the original, deliver one copy after the gap: the message
+      // overtakes everything sent in the interim.
+      decision.drop = true;
+      decision.duplicates = 1;
+      record.magnitude_ms = magnitude_frac * policy_.max_delay_ms;
+      decision.duplicate_gap_ms = record.magnitude_ms;
+      break;
+  }
+  applied_.push_back(record);
+  ++counts_[std::string(to_string(record.kind))];
+  return decision;
+}
+
+RunReport FuzzRunner::run_fuzzed(
+    std::uint64_t seed, const std::set<std::size_t>& disabled,
+    std::vector<MutationRecord>* out, std::uint64_t* targeted,
+    std::map<std::string, std::uint64_t>* mutation_counts) {
+  CampaignConfig cc = config_.campaign;
+  cc.seeds = {seed};
+  CampaignRunner runner(cc, obs_);
+  ProtocolFuzzer fuzzer(config_.policy, seed);
+  fuzzer.set_disabled(disabled);
+  RunReport report = runner.run_centralized_once(
+      seed, [&fuzzer](core::CentralizedInstantiation& inst) {
+        fuzzer.attach(inst.network(), &inst.simulator());
+      });
+  if (out) *out = fuzzer.applied();
+  if (targeted) *targeted = fuzzer.targeted();
+  if (mutation_counts) *mutation_counts = fuzzer.counts();
+  return report;
+}
+
+void FuzzRunner::shrink(FuzzRound& round) {
+  // Greedy ddmin-lite: mask one applied mutation at a time; keep every mask
+  // that preserves the failure. Masking changes the downstream message
+  // stream, so later ordinals may land on different messages in the re-run
+  // — the loop is a heuristic that monotonically shrinks the applied trace
+  // while the oracle keeps failing, not an exact subset search.
+  std::set<std::size_t> disabled;
+  std::vector<MutationRecord> best = round.mutations;
+  for (const MutationRecord& m : round.mutations) {
+    if (round.shrink_runs >= config_.shrink_budget) break;
+    std::set<std::size_t> trial = disabled;
+    trial.insert(m.ordinal);
+    std::vector<MutationRecord> trace;
+    const RunReport report =
+        run_fuzzed(round.seed, trial, &trace, nullptr, nullptr);
+    ++round.shrink_runs;
+    // Masking reshapes the downstream message stream, so a failing trial
+    // can apply *more* mutations than before; only non-growing failing
+    // traces are accepted, keeping `minimal` monotonically non-increasing.
+    if (!report.violations.empty() && trace.size() <= best.size()) {
+      disabled = std::move(trial);
+      best = std::move(trace);
+    }
+  }
+  round.minimal = std::move(best);
+}
+
+FuzzReport FuzzRunner::run() {
+  FuzzReport report;
+  report.config = config_;
+  for (std::size_t r = 0; r < config_.rounds; ++r) {
+    FuzzRound round;
+    round.round = r;
+    round.seed = config_.seed + r;
+    round.report =
+        run_fuzzed(round.seed, {}, &round.mutations, &round.targeted,
+                   &round.mutation_counts);
+    round.failed = !round.report.violations.empty();
+    if (round.failed) shrink(round);
+    report.rounds.push_back(std::move(round));
+  }
+  return report;
+}
+
+std::size_t FuzzReport::total_violations() const {
+  std::size_t n = 0;
+  for (const FuzzRound& round : rounds) n += round.report.violations.size();
+  return n;
+}
+
+util::json::Value MutationRecord::to_json() const {
+  using util::json::Object;
+  Object doc;
+  doc["ordinal"] = static_cast<std::uint64_t>(ordinal);
+  doc["kind"] = std::string(to_string(kind));
+  doc["event"] = event;
+  doc["from"] = static_cast<std::uint64_t>(from);
+  doc["to"] = static_cast<std::uint64_t>(to);
+  doc["at_ms"] = at_ms;
+  doc["magnitude_ms"] = magnitude_ms;
+  return util::json::Value(std::move(doc));
+}
+
+util::json::Value FuzzRound::to_json() const {
+  using util::json::Array;
+  using util::json::Object;
+  Object doc;
+  doc["round"] = round;
+  doc["seed"] = seed;
+  doc["targeted"] = targeted;
+
+  Object kinds;
+  for (const auto& [kind, n] : mutation_counts) kinds[kind] = n;
+  doc["mutation_counts"] = std::move(kinds);
+
+  Array trace;
+  for (const MutationRecord& m : mutations) trace.push_back(m.to_json());
+  doc["mutations"] = std::move(trace);
+  doc["mutation_count"] = static_cast<std::uint64_t>(mutations.size());
+
+  doc["report"] = report.to_json();
+  doc["failed"] = failed;
+
+  Object shrink;
+  shrink["runs"] = static_cast<std::uint64_t>(shrink_runs);
+  Array minimal_trace;
+  for (const MutationRecord& m : minimal)
+    minimal_trace.push_back(m.to_json());
+  shrink["minimal"] = std::move(minimal_trace);
+  shrink["minimal_count"] = static_cast<std::uint64_t>(minimal.size());
+  doc["shrink"] = std::move(shrink);
+  return util::json::Value(std::move(doc));
+}
+
+util::json::Value FuzzReport::to_json() const {
+  using util::json::Array;
+  using util::json::Object;
+  Object doc;
+  doc["schema"] = "dif-fuzz-v1";
+  doc["seed"] = config.seed;
+  doc["rounds_requested"] = static_cast<std::uint64_t>(config.rounds);
+  doc["scenario"] = config.campaign.scenario.name;
+
+  Object policy;
+  policy["mutation_rate"] = config.policy.mutation_rate;
+  policy["max_delay_ms"] = config.policy.max_delay_ms;
+  policy["max_duplicates"] =
+      static_cast<std::uint64_t>(config.policy.max_duplicates);
+  policy["duplicate_gap_ms"] = config.policy.duplicate_gap_ms;
+  Array targets;
+  for (const std::string& target : config.policy.targets)
+    targets.push_back(target);
+  policy["targets"] = std::move(targets);
+  doc["policy"] = std::move(policy);
+
+  Object generator;
+  generator["hosts"] =
+      static_cast<std::uint64_t>(config.campaign.generator.hosts);
+  generator["components"] =
+      static_cast<std::uint64_t>(config.campaign.generator.components);
+  doc["generator"] = std::move(generator);
+
+  Array round_list;
+  for (const FuzzRound& round : rounds) round_list.push_back(round.to_json());
+  doc["runs"] = std::move(round_list);
+
+  std::uint64_t total_mutations = 0;
+  for (const FuzzRound& round : rounds) total_mutations += round.mutations.size();
+  doc["total_mutations"] = total_mutations;
+  doc["total_violations"] = static_cast<std::uint64_t>(total_violations());
+  doc["ok"] = ok();
+  return util::json::Value(std::move(doc));
+}
+
+}  // namespace dif::chaos

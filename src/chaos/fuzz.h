@@ -1,0 +1,190 @@
+// Control-plane protocol fuzzer with the campaign invariants as oracle.
+//
+// ProtocolFuzzer is a deterministic, seed-driven interceptor that sits
+// inside SimNetwork (via SimNetwork::set_fuzz_hook) and mutates
+// control-plane event traffic in flight: it drops, delays, duplicates, and
+// reorders the transactional-redeployment and custody-transfer messages
+// (__prepare, __prepare_ack, __abort, __migration_ack, __location_update,
+// __new_config, __request_component, __component_transfer, __transfer_ack).
+// Every targeted message consumes a fixed number of RNG draws whether or
+// not a mutation fires, so masking individual mutations (the shrinker's
+// tool) never desynchronizes the decision stream.
+//
+// FuzzRunner drives whole centralized campaign runs with the fuzzer
+// attached and uses CampaignRunner's six dependability invariants as the
+// bug oracle: a protocol that is correct under adversarial message
+// scheduling must keep every invariant green. When a seed fails, the runner
+// shrinks greedily — re-running with individual mutations masked and
+// keeping each mask that preserves the failure — down to a minimal failing
+// mutation trace. Reports serialize as schema "dif-fuzz-v1" and are
+// byte-deterministic in (config, seed).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chaos/campaign.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace dif::chaos {
+
+enum class MutationKind {
+  kDrop,       // message vanishes
+  kDelay,      // message arrives late (extra latency on top of the link's)
+  kDuplicate,  // message arrives, then 1..max_duplicates copies follow
+  kReorder,    // original dropped, one copy delivered later: the message
+               // overtakes everything sent in between
+};
+
+[[nodiscard]] std::string_view to_string(MutationKind kind) noexcept;
+
+/// One applied mutation, in application order. `ordinal` is the mutation's
+/// stable index in the decision stream — the handle the shrinker masks.
+struct MutationRecord {
+  std::size_t ordinal = 0;
+  MutationKind kind = MutationKind::kDrop;
+  std::string event;  // protocol event name ("__prepare_ack", ...)
+  model::HostId from = 0;
+  model::HostId to = 0;
+  double at_ms = 0.0;
+  double magnitude_ms = 0.0;  // delay, or duplicate/reorder gap
+
+  [[nodiscard]] util::json::Value to_json() const;
+};
+
+struct FuzzPolicy {
+  /// Probability that a targeted message is mutated at all.
+  double mutation_rate = 0.08;
+  /// Extra latency drawn uniformly from (0, max_delay_ms] for kDelay, and
+  /// the redelivery gap for kReorder.
+  double max_delay_ms = 3'000.0;
+  /// kDuplicate emits 1..max_duplicates copies.
+  int max_duplicates = 2;
+  /// Gap between successive duplicate copies.
+  double duplicate_gap_ms = 250.0;
+  /// Event names eligible for mutation. Defaults to the full
+  /// transactional-redeployment + custody-transfer control plane.
+  std::vector<std::string> targets = {
+      "__prepare",         "__prepare_ack",       "__abort",
+      "__migration_ack",   "__location_update",   "__new_config",
+      "__request_component", "__component_transfer", "__transfer_ack",
+  };
+};
+
+class ProtocolFuzzer {
+ public:
+  ProtocolFuzzer(FuzzPolicy policy, std::uint64_t seed);
+
+  /// Installs the interceptor on `net`. `clock` (optional) stamps each
+  /// MutationRecord with the simulated time it fired.
+  void attach(sim::SimNetwork& net, const sim::Simulator* clock = nullptr);
+
+  /// Mutation ordinals to suppress: the decision stream still consumes its
+  /// draws and assigns the ordinal, but no mutation is applied or
+  /// recorded. This is the shrinker's masking mechanism.
+  void set_disabled(std::set<std::size_t> ordinals) {
+    disabled_ = std::move(ordinals);
+  }
+
+  /// The decision function itself (exposed for direct unit testing).
+  [[nodiscard]] std::optional<sim::FuzzDecision> decide(
+      const sim::NetMessage& msg);
+
+  /// Mutations actually applied, in application order.
+  [[nodiscard]] const std::vector<MutationRecord>& applied() const noexcept {
+    return applied_;
+  }
+  /// Applied mutation counts keyed by kind name.
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counts()
+      const noexcept {
+    return counts_;
+  }
+  /// Targeted messages seen (eligible event on the event channel).
+  [[nodiscard]] std::uint64_t targeted() const noexcept { return targeted_; }
+
+ private:
+  FuzzPolicy policy_;
+  util::Xoshiro256ss rng_;
+  const sim::Simulator* clock_ = nullptr;
+  std::set<std::string> target_set_;
+  std::set<std::size_t> disabled_;
+  std::vector<MutationRecord> applied_;
+  std::map<std::string, std::uint64_t> counts_;
+  std::uint64_t targeted_ = 0;
+  std::size_t next_ordinal_ = 0;
+};
+
+struct FuzzConfig {
+  /// The system + scenario each fuzz round runs (seeds inside are ignored;
+  /// the runner derives one campaign seed per round from `seed`).
+  CampaignConfig campaign;
+  FuzzPolicy policy;
+  /// Master seed: round r fuzzes with seed + r (both the mutation stream
+  /// and the campaign's generation/fault streams).
+  std::uint64_t seed = 0;
+  std::size_t rounds = 1;
+  /// Cap on shrink re-runs per failing round.
+  std::size_t shrink_budget = 64;
+};
+
+/// One fuzzed campaign run plus (when it failed) its shrunk counterpart.
+struct FuzzRound {
+  std::uint64_t round = 0;
+  std::uint64_t seed = 0;  // fuzz + campaign seed for this round
+  std::uint64_t targeted = 0;
+  std::map<std::string, std::uint64_t> mutation_counts;
+  std::vector<MutationRecord> mutations;
+  RunReport report;  // report.violations is the oracle verdict
+  bool failed = false;
+  /// Greedy shrink result: the masked re-run count actually spent and the
+  /// minimal mutation trace that still reproduces a violation.
+  std::size_t shrink_runs = 0;
+  std::vector<MutationRecord> minimal;
+
+  [[nodiscard]] util::json::Value to_json() const;
+};
+
+struct FuzzReport {
+  FuzzConfig config;
+  std::vector<FuzzRound> rounds;
+
+  [[nodiscard]] std::size_t total_violations() const;
+  [[nodiscard]] bool ok() const { return total_violations() == 0; }
+
+  /// {"schema": "dif-fuzz-v1", ...} — deterministic for a given (config,
+  /// seed): std::map-backed objects serialize in key order and no field
+  /// derives from wall clock.
+  [[nodiscard]] util::json::Value to_json() const;
+};
+
+class FuzzRunner {
+ public:
+  explicit FuzzRunner(FuzzConfig config, obs::Instruments instruments = {})
+      : config_(std::move(config)), obs_(instruments) {}
+
+  [[nodiscard]] FuzzReport run();
+
+ private:
+  /// One centralized campaign run with the fuzzer attached; `disabled`
+  /// masks mutation ordinals, `out` receives the applied trace.
+  [[nodiscard]] RunReport run_fuzzed(std::uint64_t seed,
+                                     const std::set<std::size_t>& disabled,
+                                     std::vector<MutationRecord>* out,
+                                     std::uint64_t* targeted,
+                                     std::map<std::string, std::uint64_t>*
+                                         mutation_counts);
+  void shrink(FuzzRound& round);
+
+  FuzzConfig config_;
+  obs::Instruments obs_;
+};
+
+}  // namespace dif::chaos

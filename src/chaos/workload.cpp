@@ -1,0 +1,169 @@
+#include "chaos/workload.h"
+
+#include <algorithm>
+
+#include "chaos/overlap_ledger.h"
+#include "util/rng.h"
+
+namespace dif::chaos {
+
+std::string_view to_string(WorkloadLayerKind kind) noexcept {
+  switch (kind) {
+    case WorkloadLayerKind::kScenario:
+      return "scenario";
+    case WorkloadLayerKind::kKillRegion:
+      return "kill_region";
+    case WorkloadLayerKind::kSuspendProcesses:
+      return "suspend_processes";
+    case WorkloadLayerKind::kRollingRestart:
+      return "rolling_restart";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Hosts a workload layer may take down: everything but the master, unless
+/// the base spec opts the master in (same rule FaultSchedule::compile
+/// applies to crash draws).
+std::vector<model::HostId> killable_hosts(const ScenarioSpec& base,
+                                          const model::DeploymentModel& m,
+                                          model::HostId master_host) {
+  std::vector<model::HostId> hosts;
+  for (std::size_t h = 0; h < m.host_count(); ++h)
+    if (base.crash_master || static_cast<model::HostId>(h) != master_host)
+      hosts.push_back(static_cast<model::HostId>(h));
+  return hosts;
+}
+
+double draw_down_ms(const WorkloadLayer& layer, const ScenarioSpec& base,
+                    util::Xoshiro256ss& rng) {
+  const double window = std::max(base.fault_until_ms - base.fault_from_ms, 0.0);
+  double down = rng.uniform(layer.min_down_ms,
+                            std::max(layer.min_down_ms, layer.max_down_ms));
+  return std::min(down, window);
+}
+
+double draw_onset_ms(double down_ms, const ScenarioSpec& base,
+                     util::Xoshiro256ss& rng) {
+  const double hi = std::max(base.fault_from_ms, base.fault_until_ms - down_ms);
+  return rng.uniform(base.fault_from_ms, hi);
+}
+
+void draw_kill_region(const WorkloadLayer& layer, const ScenarioSpec& base,
+                      const model::DeploymentModel& m,
+                      model::HostId master_host, util::Xoshiro256ss& rng,
+                      OverlapLedger& ledger, std::vector<FaultAction>& out) {
+  // Regions that contain at least one killable host are eligible targets.
+  const std::vector<model::HostId> killable =
+      killable_hosts(base, m, master_host);
+  std::vector<std::vector<model::HostId>> by_region(m.region_count());
+  for (model::HostId h : killable) by_region[m.host_region(h)].push_back(h);
+
+  std::vector<std::size_t> eligible;
+  for (std::size_t r = 0; r < by_region.size(); ++r)
+    if (!by_region[r].empty()) eligible.push_back(r);
+  if (eligible.empty()) return;
+
+  std::size_t region = layer.region;
+  if (layer.draw_region) {
+    region = eligible[rng.index(eligible.size())];
+  } else if (region >= by_region.size() || by_region[region].empty()) {
+    return;  // pinned to a region with nothing killable
+  }
+
+  // Correlated failure: one window shared by the whole region.
+  const double down = draw_down_ms(layer, base, rng);
+  if (down <= 0.0) return;
+  const double at = draw_onset_ms(down, base, rng);
+  for (model::HostId h : by_region[region]) {
+    if (!ledger.reserve(kGroupLiveness, h, at, down)) continue;
+    FaultAction action;
+    action.kind = FaultKind::kCrash;
+    action.a = action.b = h;
+    action.at_ms = at;
+    action.duration_ms = down;
+    out.push_back(action);
+  }
+}
+
+void draw_suspends(const WorkloadLayer& layer, const ScenarioSpec& base,
+                   const model::DeploymentModel& m, model::HostId master_host,
+                   util::Xoshiro256ss& rng, OverlapLedger& ledger,
+                   std::vector<FaultAction>& out) {
+  const std::vector<model::HostId> killable =
+      killable_hosts(base, m, master_host);
+  if (killable.empty()) return;
+  for (std::size_t i = 0; i < layer.count; ++i) {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const model::HostId h = killable[rng.index(killable.size())];
+      const double down = draw_down_ms(layer, base, rng);
+      if (down <= 0.0) return;
+      const double at = draw_onset_ms(down, base, rng);
+      if (!ledger.reserve(kGroupLiveness, h, at, down)) continue;  // redraw
+      FaultAction action;
+      action.kind = FaultKind::kSuspend;
+      action.a = action.b = h;
+      action.at_ms = at;
+      action.duration_ms = down;
+      out.push_back(action);
+      break;
+    }
+  }
+}
+
+void draw_rolling_restart(const WorkloadLayer& layer, const ScenarioSpec& base,
+                          const model::DeploymentModel& m,
+                          model::HostId master_host, OverlapLedger& ledger,
+                          std::vector<FaultAction>& out) {
+  // Deterministic sweep in host-id order; no RNG draws at all.
+  const double down = layer.min_down_ms;
+  if (down <= 0.0) return;
+  double at = base.fault_from_ms;
+  for (model::HostId h : killable_hosts(base, m, master_host)) {
+    if (at + down > base.fault_until_ms) return;  // keep the heal guarantee
+    if (ledger.reserve(kGroupLiveness, h, at, down)) {
+      FaultAction action;
+      action.kind = FaultKind::kCrash;
+      action.a = action.b = h;
+      action.at_ms = at;
+      action.duration_ms = down;
+      out.push_back(action);
+    }
+    at += down + layer.stagger_ms;
+  }
+}
+
+}  // namespace
+
+FaultSchedule WorkloadSpec::compile(const model::DeploymentModel& m,
+                                    model::HostId master_host,
+                                    std::uint64_t seed) const {
+  OverlapLedger ledger;
+  std::vector<FaultAction> actions;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const WorkloadLayer& layer = layers_[i];
+    // One independent stream per layer position: appending layer N+1 can
+    // never shift what layers 0..N drew for the same seed.
+    util::Xoshiro256ss rng =
+        util::Xoshiro256ss(seed).fork(/*stream_id=*/0x10adu + i);
+    switch (layer.kind) {
+      case WorkloadLayerKind::kScenario:
+        detail::draw_scenario_actions(layer.scenario, m, master_host, rng,
+                                      ledger, actions);
+        break;
+      case WorkloadLayerKind::kKillRegion:
+        draw_kill_region(layer, base_, m, master_host, rng, ledger, actions);
+        break;
+      case WorkloadLayerKind::kSuspendProcesses:
+        draw_suspends(layer, base_, m, master_host, rng, ledger, actions);
+        break;
+      case WorkloadLayerKind::kRollingRestart:
+        draw_rolling_restart(layer, base_, m, master_host, ledger, actions);
+        break;
+    }
+  }
+  return FaultSchedule::assemble(base_, std::move(actions));
+}
+
+}  // namespace dif::chaos

@@ -1,0 +1,146 @@
+// Composable adversarial workloads.
+//
+// A WorkloadSpec stacks independent fault *layers* on top of one shared
+// timeline: classic ScenarioSpec draws (partitions, loss bursts, ...),
+// correlated region kills, process suspensions (host unreachable but state
+// preserved), and rolling restarts. Layers are authored independently and
+// composed by `compile`, which draws every layer from its own forked RNG
+// stream against one shared OverlapLedger — so adding a layer never
+// perturbs the faults an earlier layer draws for a given seed, and two
+// layers can never fight over the same link field or host liveness lane.
+//
+// compile() is a pure function of (spec, model, master, seed), exactly like
+// FaultSchedule::compile — the workload library inherits the campaign
+// engine's byte-replayability for free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_schedule.h"
+#include "chaos/scenario.h"
+#include "model/deployment_model.h"
+
+namespace dif::chaos {
+
+enum class WorkloadLayerKind {
+  kScenario,          // a full ScenarioSpec draw (existing fault families)
+  kKillRegion,        // every host of one region crashes in one window
+  kSuspendProcesses,  // kSuspend faults: unreachable, state preserved
+  kRollingRestart,    // staggered one-host-at-a-time crashes
+};
+
+[[nodiscard]] std::string_view to_string(WorkloadLayerKind kind) noexcept;
+
+struct WorkloadLayer {
+  WorkloadLayerKind kind = WorkloadLayerKind::kScenario;
+
+  /// kScenario: the full spec to draw (its own window/counts/magnitudes).
+  ScenarioSpec scenario;
+
+  /// kKillRegion: which region dies. When `draw_region` the region index is
+  /// drawn from the layer's RNG stream instead (among regions that contain
+  /// at least one killable host).
+  std::size_t region = 0;
+  bool draw_region = true;
+
+  /// kSuspendProcesses: how many suspensions to draw.
+  std::size_t count = 2;
+
+  /// kKillRegion / kSuspendProcesses: outage length drawn uniformly from
+  /// [min_down_ms, max_down_ms]. kRollingRestart: every host is down for
+  /// exactly min_down_ms.
+  double min_down_ms = 6'000.0;
+  double max_down_ms = 12'000.0;
+
+  /// kRollingRestart: gap between one host's restart and the next host's
+  /// crash.
+  double stagger_ms = 2'000.0;
+};
+
+class WorkloadSpec {
+ public:
+  explicit WorkloadSpec(std::string name = "workload") {
+    base_.name = std::move(name);
+    // The base spec contributes magnitudes and the fault window only; its
+    // fault counts are zeroed so faults come exclusively from layers.
+    base_.partitions = base_.loss_bursts = base_.degradations = 0;
+    base_.crashes = base_.noise_bursts = 0;
+  }
+
+  /// Shared timeline + injector magnitudes (window, burst reliability,
+  /// degrade factors, crash_master). Fault counts on it are ignored.
+  [[nodiscard]] ScenarioSpec& base() noexcept { return base_; }
+  [[nodiscard]] const ScenarioSpec& base() const noexcept { return base_; }
+
+  WorkloadSpec& add_scenario(ScenarioSpec spec) {
+    WorkloadLayer layer;
+    layer.kind = WorkloadLayerKind::kScenario;
+    layer.scenario = std::move(spec);
+    layers_.push_back(std::move(layer));
+    return *this;
+  }
+
+  /// Correlated zone failure: every killable host of one region crashes at
+  /// the same instant and restarts together.
+  WorkloadSpec& kill_region() {
+    WorkloadLayer layer;
+    layer.kind = WorkloadLayerKind::kKillRegion;
+    layers_.push_back(layer);
+    return *this;
+  }
+  WorkloadSpec& kill_region(std::size_t region) {
+    WorkloadLayer layer;
+    layer.kind = WorkloadLayerKind::kKillRegion;
+    layer.region = region;
+    layer.draw_region = false;
+    layers_.push_back(layer);
+    return *this;
+  }
+
+  /// `count` suspensions (host unreachable, process state preserved —
+  /// long GC pauses / SIGSTOP, not crashes).
+  WorkloadSpec& suspend_processes(std::size_t count) {
+    WorkloadLayer layer;
+    layer.kind = WorkloadLayerKind::kSuspendProcesses;
+    layer.count = count;
+    layers_.push_back(layer);
+    return *this;
+  }
+
+  /// Staggered restart sweep over every killable host, one at a time.
+  WorkloadSpec& rolling_restart(double down_ms = 6'000.0,
+                                double stagger_ms = 2'000.0) {
+    WorkloadLayer layer;
+    layer.kind = WorkloadLayerKind::kRollingRestart;
+    layer.min_down_ms = layer.max_down_ms = down_ms;
+    layer.stagger_ms = stagger_ms;
+    layers_.push_back(layer);
+    return *this;
+  }
+
+  WorkloadSpec& add_layer(WorkloadLayer layer) {
+    layers_.push_back(std::move(layer));
+    return *this;
+  }
+
+  [[nodiscard]] const std::vector<WorkloadLayer>& layers() const noexcept {
+    return layers_;
+  }
+
+  /// Draws every layer against `m` from its own `seed`-derived stream into
+  /// one FaultSchedule. Layer i's actions depend only on (layer i, model,
+  /// master, seed) — appending a layer never changes what the earlier
+  /// layers drew.
+  [[nodiscard]] FaultSchedule compile(const model::DeploymentModel& m,
+                                      model::HostId master_host,
+                                      std::uint64_t seed) const;
+
+ private:
+  ScenarioSpec base_;
+  std::vector<WorkloadLayer> layers_;
+};
+
+}  // namespace dif::chaos

@@ -15,6 +15,7 @@ std::string_view rule_id(Rule rule) noexcept {
     case Rule::kNetworkPartition: return "network-partition";
     case Rule::kIsolatedHost: return "isolated-host";
     case Rule::kUselessHost: return "useless-host";
+    case Rule::kRegionSpof: return "region-spof";
   }
   return "?";
 }

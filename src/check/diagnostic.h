@@ -49,6 +49,11 @@ enum class Rule {
   kIsolatedHost,
   /// Lint: a host that cannot hold even the smallest component.
   kUselessHost,
+  /// In a model with several failure regions, a component whose legal
+  /// hosts all sit in one region: a correlated region failure (the chaos
+  /// layer's KillRegion workload) takes down every placement candidate at
+  /// once.
+  kRegionSpof,
 };
 
 enum class Severity { kWarning, kError };

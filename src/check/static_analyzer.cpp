@@ -461,6 +461,35 @@ void check_network(Ctx& ctx, const AllowMasks& masks) {
   }
 }
 
+void check_regions(Ctx& ctx, const AllowMasks& masks) {
+  // Region constraints only bind models that actually declare regions.
+  if (ctx.m.region_count() < 2) return;
+  for (std::size_t c = 0; c < ctx.n; ++c) {
+    if (masks.count(c) == 0) continue;  // location-unsat owns empty sets
+    std::size_t first_region = 0;
+    bool seen = false, spread = false;
+    for (std::size_t h = 0; h < ctx.k && !spread; ++h) {
+      if (!masks.allowed(c, h)) continue;
+      const std::size_t region = ctx.m.host_region(static_cast<HostId>(h));
+      if (!seen) {
+        first_region = region;
+        seen = true;
+      } else {
+        spread = region != first_region;
+      }
+    }
+    if (spread) continue;
+    ctx.report.add(
+        {Rule::kRegionSpof,
+         Severity::kWarning,
+         {comp_subject(ctx.m, c)},
+         "every legal host lies in region " + std::to_string(first_region) +
+             ": one correlated region failure removes all placement "
+             "candidates",
+         "allow a host in another region or re-zone the hosts"});
+  }
+}
+
 void check_lints(Ctx& ctx) {
   if (ctx.k > 1) {
     for (std::size_t h = 0; h < ctx.k; ++h) {
@@ -523,6 +552,7 @@ CheckReport StaticAnalyzer::analyze(const DeploymentModel& model,
   }
 
   if (options_.network_reachability) check_network(ctx, masks);
+  if (options_.region_awareness) check_regions(ctx, masks);
   if (options_.lints) check_lints(ctx);
   return report;
 }

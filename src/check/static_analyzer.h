@@ -42,6 +42,9 @@ struct CheckOptions {
   bool colocation_consistency = true;
   bool capacity_bounds = true;
   bool network_reachability = true;
+  /// Region awareness (region-spof): inactive on models that declare fewer
+  /// than two regions, so untagged models are unaffected.
+  bool region_awareness = true;
   /// Warning-severity advisory rules (isolated-host, useless-host).
   bool lints = true;
 };

@@ -34,6 +34,10 @@ std::unique_ptr<SystemData> Generator::generate(const GeneratorSpec& spec,
                 .memory_capacity = sample(rng, spec.host_memory),
                 .cpu_capacity = sample(rng, spec.host_cpu),
                 .properties = {}});
+    // Round-robin region assignment (no RNG draw: adding regions must not
+    // shift the generated topology for a given seed).
+    if (spec.regions > 1)
+      m.set_host_region(static_cast<model::HostId>(h), h % spec.regions);
   }
 
   // --- components --------------------------------------------------------------

@@ -31,6 +31,11 @@ struct GeneratorSpec {
   std::size_t hosts = 4;
   std::size_t components = 12;
 
+  /// Failure regions/zones the hosts are spread over (round-robin, so every
+  /// region is populated). 1 leaves the model untagged — generated
+  /// descriptions stay byte-identical to pre-region ones.
+  std::size_t regions = 1;
+
   Range host_memory{60.0, 120.0};       // KB
   Range host_cpu{0.0, 0.0};             // 0 = CPU not modelled
   Range component_memory{2.0, 10.0};    // KB

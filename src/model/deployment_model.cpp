@@ -91,6 +91,34 @@ ComponentId DeploymentModel::component_by_name(std::string_view name) const {
   return static_cast<ComponentId>(it - components_.begin());
 }
 
+void DeploymentModel::set_host_region(HostId id, std::size_t region) {
+  check_host(id);
+  hosts_[id].properties.set(kRegionProperty, static_cast<double>(region));
+  notify(ModelEvent::kEntityParamChanged);
+}
+
+std::size_t DeploymentModel::host_region(HostId id) const {
+  check_host(id);
+  return static_cast<std::size_t>(
+      hosts_[id].properties.get_or(kRegionProperty, 0.0));
+}
+
+std::size_t DeploymentModel::region_count() const {
+  std::size_t highest = 0;
+  for (std::size_t h = 0; h < hosts_.size(); ++h)
+    highest = std::max(highest, host_region(static_cast<HostId>(h)));
+  return hosts_.empty() ? 1 : highest + 1;
+}
+
+std::vector<HostId> DeploymentModel::hosts_in_region(
+    std::size_t region) const {
+  std::vector<HostId> members;
+  for (std::size_t h = 0; h < hosts_.size(); ++h)
+    if (host_region(static_cast<HostId>(h)) == region)
+      members.push_back(static_cast<HostId>(h));
+  return members;
+}
+
 void DeploymentModel::check_host(HostId id) const {
   if (id >= hosts_.size())
     throw std::out_of_range("DeploymentModel: bad host id");

@@ -118,6 +118,22 @@ class DeploymentModel {
   [[nodiscard]] HostId host_by_name(std::string_view name) const;
   [[nodiscard]] ComponentId component_by_name(std::string_view name) const;
 
+  // --- regions ------------------------------------------------------------
+
+  /// Region/zone topology: hosts sharing a region id are assumed to fail
+  /// together under correlated (zone-level) faults, which is what the
+  /// chaos layer's KillRegion workload exercises. The assignment is stored
+  /// as the "region" entry of the host's PropertyMap, so xADL descriptions
+  /// round-trip it like any other extensible parameter; untagged hosts
+  /// default to region 0.
+  static constexpr std::string_view kRegionProperty = "region";
+
+  void set_host_region(HostId id, std::size_t region);
+  [[nodiscard]] std::size_t host_region(HostId id) const;
+  /// 1 + the largest region id in use (1 for an untagged model).
+  [[nodiscard]] std::size_t region_count() const;
+  [[nodiscard]] std::vector<HostId> hosts_in_region(std::size_t region) const;
+
   // --- physical links -----------------------------------------------------
 
   /// Sets the (symmetric) link between two distinct hosts.

@@ -90,8 +90,11 @@ bool DeployerComponent::ack_epoch_matches(const Event& event) {
     const std::string* component = event.get_string("component");
     if (component && round_.has_open_task(*component)) {
       ++stale_acks_ignored_;
-      if (obs_.metrics)
+      ++stale_acks_total_;
+      if (obs_.metrics) {
         obs_.metrics->counter("deploy.stale_acks_ignored").add(1);
+        obs_.metrics->counter("deploy.stale_acks_total").add(1);
+      }
       util::log_debug("prism.deployer", "ignoring stale ack for '",
                       *component, "' (epoch ",
                       epoch ? static_cast<std::uint64_t>(*epoch) : 0,
@@ -486,6 +489,20 @@ void DeployerComponent::handle_migration_ack(const Event& event) {
   // its component may not even be part of the current target, and counting
   // it would mark the current round's migration done before it happened.
   if (!ack_epoch_matches(event)) return;
+  // An epoch-matching ack whose migration is already retired — the round
+  // closed, or this component's task was confirmed once already — is a
+  // network duplicate. It must neither touch the location table (custody
+  // of the transferred copy is retired; re-pointing the table at it would
+  // poison routing until the next round) nor re-open any bookkeeping.
+  if (!round_.active() || !round_.has_open_task(*component)) {
+    ++stale_acks_total_;
+    if (obs_.metrics)
+      obs_.metrics->counter("deploy.stale_acks_total").add(1);
+    util::log_debug("prism.deployer", "ignoring duplicate ack for '",
+                    *component, "' (epoch ", epoch_,
+                    "; its migration is already retired)");
+    return;
+  }
   const auto at = static_cast<model::HostId>(*host);
   connector().set_location(*component, at);
   if (round_.acknowledge(*component, at)) check_round_completion();

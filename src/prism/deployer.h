@@ -122,6 +122,13 @@ class DeployerComponent final : public AdminComponent {
   [[nodiscard]] std::uint64_t stale_acks_ignored() const noexcept {
     return stale_acks_ignored_;
   }
+  /// Every stale or duplicate migration ack discarded: the wrong-epoch
+  /// acks above plus same-epoch duplicates that arrived after their
+  /// migration (and the transferred copy's custody) was retired. The
+  /// latter must never re-touch the location table.
+  [[nodiscard]] std::uint64_t stale_acks_total() const noexcept {
+    return stale_acks_total_;
+  }
   [[nodiscard]] std::uint64_t current_epoch() const noexcept { return epoch_; }
 
   /// Outcome of the most recently closed round (kNone before any round).
@@ -189,6 +196,7 @@ class DeployerComponent final : public AdminComponent {
   std::uint64_t epoch_ = 0;  // stamps every protocol event of a round
   std::uint64_t completed_ = 0;
   std::uint64_t stale_acks_ignored_ = 0;
+  std::uint64_t stale_acks_total_ = 0;
   std::uint64_t rounds_rolled_back_ = 0;
   std::uint64_t renotify_total_ = 0;  // per round: prepares + config retries
   int prepare_attempts_ = 0;

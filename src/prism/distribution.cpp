@@ -8,7 +8,6 @@
 namespace dif::prism {
 
 namespace {
-constexpr const char* kEventChannel = "prism.event";
 constexpr const char* kPingChannel = "prism.ping";
 constexpr const char* kPongChannel = "prism.pong";
 /// Marks events that already crossed the network once (no re-flooding).

@@ -20,6 +20,12 @@
 
 namespace dif::prism {
 
+/// Channel label stamped on serialized Prism events riding the simulated
+/// network. Exposed so message-level interceptors (the chaos layer's
+/// protocol fuzzer) can recognize — and deserialize — event traffic without
+/// touching ping/pong or transfer framing.
+inline constexpr const char* kEventChannel = "prism.event";
+
 class DistributionConnector final : public Connector {
  public:
   /// Registers as `host`'s receiver in `network` (which must outlive the

@@ -155,6 +155,34 @@ bool SimNetwork::send(NetMessage msg) {
     if (obs_.metrics) obs_.metrics->counter("net.unroutable").add(1);
     return false;
   }
+  double fuzz_delay_ms = 0.0;
+  if (fuzz_hook_ && !fuzz_replay_) {
+    if (const std::optional<FuzzDecision> fuzz = fuzz_hook_(msg)) {
+      // Duplicates are scheduled before a drop verdict is applied: "drop
+      // the original, deliver a copy later" is exactly a reorder.
+      for (int copy = 1; copy <= fuzz->duplicates; ++copy) {
+        sim_.schedule_after(
+            fuzz->duplicate_gap_ms * copy, [this, dup = msg]() mutable {
+              fuzz_replay_ = true;
+              send(std::move(dup));
+              fuzz_replay_ = false;
+            });
+        if (obs_.metrics) obs_.metrics->counter("net.fuzz.duplicated").add(1);
+      }
+      if (fuzz->drop) {
+        ++stats_.dropped;
+        ++link_dropped_[li];
+        if (obs_.metrics) {
+          obs_.metrics->counter("net.dropped").add(1);
+          obs_.metrics->counter("net.fuzz.dropped").add(1);
+        }
+        return true;
+      }
+      fuzz_delay_ms = std::max(fuzz->delay_ms, 0.0);
+      if (fuzz_delay_ms > 0.0 && obs_.metrics)
+        obs_.metrics->counter("net.fuzz.delayed").add(1);
+    }
+  }
   if (!rng_.chance(link.reliability)) {
     ++stats_.dropped;
     ++link_dropped_[li];
@@ -179,7 +207,8 @@ bool SimNetwork::send(NetMessage msg) {
                     std::to_string(hi) + ".queue_ms")
         .observe(queue_ms);
   }
-  const double total_delay = queue_ms + transfer_ms + link.delay_ms;
+  const double total_delay =
+      queue_ms + transfer_ms + link.delay_ms + fuzz_delay_ms;
   deliver(std::move(msg), total_delay);
   return true;
 }

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,21 @@ struct LinkDrops {
   model::HostId a = 0;
   model::HostId b = 0;
   std::uint64_t dropped = 0;
+};
+
+/// A fuzz hook's verdict on one outbound message (chaos/fuzz.h). Applied
+/// after the routability checks and before the reliability draw, so a
+/// mutation never masks (or is masked by) an unroutable verdict:
+///   drop        the message dies on the link (charged like a loss)
+///   delay_ms    extra hold before the transfer starts (a large value past
+///               later messages' arrivals is a reorder)
+///   duplicates  extra copies re-entering send() after duplicate_gap_ms
+///               each; replayed copies are never re-fuzzed
+struct FuzzDecision {
+  bool drop = false;
+  double delay_ms = 0.0;
+  int duplicates = 0;
+  double duplicate_gap_ms = 0.0;
 };
 
 class SimNetwork {
@@ -117,6 +133,15 @@ class SimNetwork {
   /// campaign reports use this to localize lossy links.
   [[nodiscard]] std::vector<LinkDrops> dropped_links() const;
 
+  /// Installs (or, with an empty function, removes) the message-level fuzz
+  /// interceptor. The hook sees every routable remote message exactly once
+  /// — duplicates it injects are replayed verbatim, not re-fuzzed — and
+  /// returning nullopt passes the message through untouched. Fuzz drops are
+  /// charged to the link like reliability losses ("net.fuzz.*" counters
+  /// additionally attribute every mutation).
+  using FuzzHook = std::function<std::optional<FuzzDecision>(const NetMessage&)>;
+  void set_fuzz_hook(FuzzHook hook) { fuzz_hook_ = std::move(hook); }
+
   /// Attaches observability sinks. Counters mirror MessageStats under
   /// "net.*"; each link additionally feeds a queueing-delay histogram
   /// ("net.link.<lo>-<hi>.queue_ms": time a message waited for the link's
@@ -140,6 +165,8 @@ class SimNetwork {
   util::Xoshiro256ss rng_;
   MessageStats stats_;
   obs::Instruments obs_;
+  FuzzHook fuzz_hook_;
+  bool fuzz_replay_ = false;  // true while re-sending an injected duplicate
 };
 
 }  // namespace dif::sim

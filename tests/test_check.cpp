@@ -363,5 +363,55 @@ TEST(Preflight, AlgorithmContainerRejectsBrokenModelBeforeSearching) {
   EXPECT_TRUE(results.entries().empty());  // rejected before any run
 }
 
+// --- region-spof -----------------------------------------------------------
+
+TEST(CheckRegionSpof, FlagsAllowListConfinedToOneRegion) {
+  DeploymentModel m = make_model(4, 2);
+  m.set_host_region(0, 0);
+  m.set_host_region(1, 0);
+  m.set_host_region(2, 1);
+  m.set_host_region(3, 1);
+  ConstraintSet cs;
+  cs.allow_only(0, {0, 1});  // both legal hosts die with region 0
+  const CheckReport report = run_checks(m, cs);
+  std::size_t warnings = 0;
+  for (const Diagnostic& d : report.diagnostics())
+    if (d.rule == Rule::kRegionSpof && d.severity == Severity::kWarning)
+      ++warnings;
+  EXPECT_EQ(warnings, 1u);
+}
+
+TEST(CheckRegionSpof, SilentWhenAllowListSpansRegions) {
+  DeploymentModel m = make_model(4, 2);
+  m.set_host_region(0, 0);
+  m.set_host_region(1, 0);
+  m.set_host_region(2, 1);
+  m.set_host_region(3, 1);
+  ConstraintSet cs;
+  cs.allow_only(0, {1, 2});  // regions 0 and 1 both represented
+  const CheckReport report = run_checks(m, cs);
+  EXPECT_FALSE(report.has(Rule::kRegionSpof));
+}
+
+TEST(CheckRegionSpof, SilentOnUnzonedModelsAndWhenDisabled) {
+  // No regions declared: the rule must not fire no matter the constraints.
+  DeploymentModel flat = make_model(3, 2);
+  ConstraintSet cs;
+  cs.allow_only(0, {0, 1});
+  EXPECT_FALSE(run_checks(flat, cs).has(Rule::kRegionSpof));
+
+  // Zoned and confined, but region awareness switched off.
+  DeploymentModel zoned = make_model(4, 2);
+  zoned.set_host_region(0, 0);
+  zoned.set_host_region(1, 0);
+  zoned.set_host_region(2, 1);
+  zoned.set_host_region(3, 1);
+  ConstraintSet confined;
+  confined.allow_only(0, {0, 1});
+  CheckOptions options;
+  options.region_awareness = false;
+  EXPECT_FALSE(run_checks(zoned, confined, options).has(Rule::kRegionSpof));
+}
+
 }  // namespace
 }  // namespace dif::check

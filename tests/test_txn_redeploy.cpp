@@ -517,3 +517,62 @@ TEST(TxnRedeploy, RolledBackRoundIsRecordedAsEffectorRejection) {
 
 }  // namespace
 }  // namespace dif::core
+
+namespace dif::prism {
+namespace {
+
+TEST(TxnRedeploy, DuplicateAckAfterCustodyRetirementIsCountedAndInert) {
+  // The custody edge the protocol fuzzer keeps hitting: a __migration_ack
+  // duplicated by the network arrives *after* the round committed and the
+  // transferred copy's custody was retired. It matches the current epoch —
+  // the epoch filter cannot reject it — yet re-applying it would re-point
+  // the location table at whatever stale host value the duplicate carries,
+  // poisoning routing until the next round.
+  TxnBed bed(2, {}, {});
+  bed.place_counter(0, "mover");
+
+  bool success = false;
+  ASSERT_TRUE(bed.deployer->effect_deployment(
+      {{"mover", 1}}, [&](bool ok, std::size_t) { success = ok; }));
+  bed.sim.run_until(30'000.0);
+  ASSERT_TRUE(success);
+  ASSERT_EQ(bed.deployer->last_outcome(), TxnOutcome::kCommitted);
+  ASSERT_EQ(bed.connectors[0]->location("mover"),
+            std::optional<model::HostId>(1));
+
+  // A clean commit may itself retire one redundant confirmation (the
+  // __location_update recovery can close the round before the explicit
+  // __migration_ack lands), so judge deltas from the post-commit baseline.
+  const std::uint64_t base = bed.deployer->stale_acks_total();
+  const std::uint64_t base_counter =
+      bed.counter_value("deploy.stale_acks_total");
+
+  Event dup("__migration_ack");
+  dup.set("component", std::string("mover"));
+  dup.set("host", 0.0);  // poisonous: the retired source copy's host
+  dup.set("epoch", static_cast<double>(bed.deployer->current_epoch()));
+  bed.deployer->handle(dup);
+
+  // Counted as a duplicate, never re-applied: the location table still
+  // points at the committed placement, no round re-opened, the component
+  // itself untouched.
+  EXPECT_EQ(bed.deployer->stale_acks_total(), base + 1);
+  EXPECT_EQ(bed.counter_value("deploy.stale_acks_total"), base_counter + 1);
+  // The wrong-epoch path stayed untouched — this is the same-epoch edge.
+  EXPECT_EQ(bed.deployer->stale_acks_ignored(), 0u);
+  EXPECT_EQ(bed.connectors[0]->location("mover"),
+            std::optional<model::HostId>(1));
+  EXPECT_FALSE(bed.deployer->redeployment_in_flight());
+  EXPECT_NE(bed.archs[1]->find_component("mover"), nullptr);
+  EXPECT_EQ(bed.archs[0]->find_component("mover"), nullptr);
+
+  // And it stays inert under repetition (every copy of a duplicated burst).
+  bed.deployer->handle(dup);
+  bed.deployer->handle(dup);
+  EXPECT_EQ(bed.deployer->stale_acks_total(), base + 3);
+  EXPECT_EQ(bed.connectors[0]->location("mover"),
+            std::optional<model::HostId>(1));
+}
+
+}  // namespace
+}  // namespace dif::prism

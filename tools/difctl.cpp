@@ -61,6 +61,15 @@
 //       violations, 2 on usage errors, 3 when invariants held but at
 //       least one round ended in abort/rollback/partial (informational —
 //       atomicity was preserved, the adaptation was not fully applied).
+//
+//   difctl fuzz [--seed N] [--rounds M] [--rate R] [--json [PATH]]
+//       Control-plane protocol fuzzer: run centralized campaigns with a
+//       seeded message interceptor that drops, delays, duplicates, and
+//       reorders redeployment/custody protocol events, judged by the
+//       campaign's six dependability invariants. Failing seeds shrink to a
+//       minimal mutation trace. --json emits the "dif-fuzz-v1" report.
+//       Exit 0 when every round held all invariants, 1 on violations, 2 on
+//       usage errors.
 //       See docs/difctl.md for the full flag reference.
 #include <cstdio>
 #include <cstring>
@@ -72,6 +81,7 @@
 
 #include "algo/portfolio.h"
 #include "chaos/campaign.h"
+#include "chaos/fuzz.h"
 #include "check/static_analyzer.h"
 #include "core/improvement_loop.h"
 #include "desi/algorithm_container.h"
@@ -109,7 +119,10 @@ int usage() {
                "[--hosts K] [--components N] [--duration-ms D] "
                "[--tolerance T] [--centralized|--decentralized] "
                "[--allow-partial] [--json [PATH]] [--metrics-json PATH] "
-               "[--trace-json PATH]\n");
+               "[--trace-json PATH]\n"
+               "  fuzz     [--seed N] [--rounds M] [--rate R] [--scenario "
+               "NAME] [--hosts K] [--components N] [--duration-ms D] "
+               "[--shrink-budget B] [--json [PATH]]\n");
   return 2;
 }
 
@@ -504,6 +517,63 @@ int cmd_campaign(const Flags& flags) {
   return rolled > 0 ? 3 : 0;
 }
 
+int cmd_fuzz(const Flags& flags) {
+  chaos::FuzzConfig config;
+  try {
+    config.campaign.scenario =
+        chaos::scenario_by_name(flags.get("scenario", "mixed"));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "difctl fuzz: %s\n", e.what());
+    return usage();
+  }
+  config.seed = flags.get_u64("seed", 0);
+  config.rounds = flags.get_u64("rounds", 1);
+  config.shrink_budget = flags.get_u64("shrink-budget", config.shrink_budget);
+  config.campaign.generator.hosts =
+      flags.get_u64("hosts", config.campaign.generator.hosts);
+  config.campaign.generator.components =
+      flags.get_u64("components", config.campaign.generator.components);
+  if (flags.has("duration-ms"))
+    config.campaign.scenario.duration_ms =
+        std::stod(flags.get("duration-ms", "0"));
+  if (flags.has("rate"))
+    config.policy.mutation_rate = std::stod(flags.get("rate", "0"));
+
+  chaos::FuzzRunner runner(config);
+  const chaos::FuzzReport report = runner.run();
+
+  std::fprintf(stderr, "%-6s %-6s %10s %10s %6s %8s %8s\n", "round", "seed",
+               "targeted", "mutations", "viol", "shrunk", "runs");
+  for (const chaos::FuzzRound& round : report.rounds) {
+    std::fprintf(stderr, "%-6llu %-6llu %10llu %10zu %6zu %8zu %8zu\n",
+                 static_cast<unsigned long long>(round.round),
+                 static_cast<unsigned long long>(round.seed),
+                 static_cast<unsigned long long>(round.targeted),
+                 round.mutations.size(), round.report.violations.size(),
+                 round.failed ? round.minimal.size() : 0, round.shrink_runs);
+    for (const chaos::InvariantViolation& v : round.report.violations)
+      std::fprintf(stderr, "       ! %s: %s\n", v.invariant.c_str(),
+                   v.detail.c_str());
+    if (round.failed)
+      for (const chaos::MutationRecord& m : round.minimal)
+        std::fprintf(stderr, "       * #%zu %s %s %llu->%llu @%.0fms\n",
+                     m.ordinal, std::string(to_string(m.kind)).c_str(),
+                     m.event.c_str(), static_cast<unsigned long long>(m.from),
+                     static_cast<unsigned long long>(m.to), m.at_ms);
+  }
+  std::fprintf(stderr, "fuzz: %zu rounds, %zu invariant violations\n",
+               report.rounds.size(), report.total_violations());
+
+  if (flags.has("json")) {
+    const std::string json_path = flags.get("json", "");
+    if (json_path.empty())
+      std::printf("%s\n", report.to_json().dump(2).c_str());
+    else
+      write_json_file(json_path, report.to_json());
+  }
+  return report.ok() ? 0 : 1;
+}
+
 int cmd_check(const std::string& path, const Flags& flags) {
   const auto system = desi::XadlLite::from_text(read_file(path));
   const check::CheckReport report =
@@ -538,6 +608,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "generate") return cmd_generate(Flags(argc, argv, 2));
     if (command == "campaign") return cmd_campaign(Flags(argc, argv, 2));
+    if (command == "fuzz") return cmd_fuzz(Flags(argc, argv, 2));
     if (argc < 3) return usage();
     const std::string path = argv[2];
     if (command == "evaluate") return cmd_evaluate(path);
