@@ -153,7 +153,7 @@ fi
 echo "== fuzz smoke: protocol fuzzer, determinism + invariant oracle =="
 # A fixed seed block of fuzzed centralized campaigns: the interceptor
 # drops/delays/duplicates/reorders redeployment and custody control-plane
-# messages, and all six campaign invariants must still hold. Reports must
+# messages, and all seven campaign invariants must still hold. Reports must
 # be byte-identical across runs (the shrinker depends on that replay).
 # Seeds 0..4 are the pinned green corpus; seed 5 is a known-bad seed (a
 # torn placement under rollback-phase drop+reorder, kept as the shrinker
@@ -196,6 +196,71 @@ print(f"fuzz smoke OK: {len(report['runs'])} rounds, "
 EOF
 else
   echo "python3 not installed; skipping fuzz schema check"
+fi
+
+echo "== audit smoke: generate | portfolio | audit round trip + schema =="
+# The artifact auditor must accept what the framework itself produces: a
+# generated model's portfolio-improved placement audits clean (warnings
+# are advisory), and the dif-audit-v1 report carries provable SPOF
+# witnesses naming real model hosts.
+"$DIFCTL" generate --hosts 6 --components 16 --seed 3 --constraints 4 \
+  --regions 2 > "$ROOT/build/ci_audit_system.json"
+"$DIFCTL" portfolio "$ROOT/build/ci_audit_system.json" \
+  > "$ROOT/build/ci_audit_best.json" 2> /dev/null
+"$DIFCTL" audit "$ROOT/build/ci_audit_best.json" > /dev/null \
+  || { echo "audit rejected a portfolio-improved placement"; exit 1; }
+"$DIFCTL" audit "$ROOT/build/ci_audit_system.json" --resilience-k 1 --json \
+  > "$ROOT/build/ci_audit_report.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$ROOT/build/ci_audit_report.json" \
+    "$ROOT/build/ci_audit_system.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+system = json.load(open(sys.argv[2]))
+assert report["schema"] == "dif-audit-v1", report.get("schema")
+assert report["ok"] is True and report["errors"] == 0, report
+hosts = {h["name"] for h in system["hosts"]}
+spofs = [d for d in report["resilience"]["diagnostics"]
+         if d["rule"] == "resilience-spof"]
+assert spofs, "no resilience-spof finding on an unreplicated model"
+for d in spofs:
+    assert d["witness"], f"spof without witness: {d}"
+    assert set(d["witness"]) <= hosts, d["witness"]
+regions = [d for d in report["resilience"]["diagnostics"]
+           if d["rule"] == "resilience-region"]
+assert regions, "no resilience-region finding on a 2-region model"
+print(f"audit smoke OK: {len(spofs)} spof witnesses, "
+      f"{len(regions)} region findings, 0 errors")
+EOF
+else
+  echo "python3 not installed; skipping audit schema check"
+fi
+
+echo "== bench gate: analyzer/auditor throughput regression =="
+# BENCH_check.json is the committed baseline (bench/bench_check.cpp); every
+# pinned metric must stay within 10% of it. Median-based throughput keeps
+# the gate robust to scheduler noise.
+if command -v python3 >/dev/null 2>&1 && [ -f "$ROOT/BENCH_check.json" ]; then
+  "$ROOT/build/bench/bench_check" --iters 5 \
+    --json "$ROOT/build/ci_bench_check.json" > /dev/null
+  python3 - "$ROOT/BENCH_check.json" "$ROOT/build/ci_bench_check.json" <<'EOF'
+import json, sys
+baseline = json.load(open(sys.argv[1]))
+current = json.load(open(sys.argv[2]))
+assert current["schema"] == "dif-bench-v1", current.get("schema")
+failed = []
+for name in baseline["pinned"]:
+    old = baseline["metrics"][name]["value"]
+    new = current["metrics"][name]["value"]
+    print(f"{name}: baseline {old:.2f}, current {new:.2f} "
+          f"({100 * new / old:.0f}%)")
+    if new < 0.9 * old:
+        failed.append(name)
+assert not failed, f"throughput regressed >10% on: {failed}"
+print("bench gate OK")
+EOF
+else
+  echo "python3 or BENCH_check.json missing; skipping bench gate"
 fi
 
 echo "== docs: relative-link check =="

@@ -4,6 +4,7 @@
 #include <functional>
 #include <utility>
 
+#include "check/audit.h"
 #include "check/preflight.h"
 #include "core/decentralized_instantiation.h"
 #include "core/improvement_loop.h"
@@ -144,6 +145,37 @@ void check_preflight(const desi::SystemData& system, RunReport& report) {
                           " static-checker errors on the final model"});
 }
 
+/// Seventh oracle: the placement a *clean* final round left behind must
+/// pass the placement auditor against the pristine model + constraints.
+/// Rounds that aborted, rolled back, or crashed legitimately leave the
+/// pre-round placement (audited when *it* committed), so only a
+/// committed-or-empty history is judged; an incomplete placement is the
+/// census invariant's finding, not this one's.
+void check_audit(core::CentralizedInstantiation& inst,
+                 const desi::SystemData& pristine, RunReport& report) {
+  const auto& history = inst.deployer().round_history();
+  if (!history.empty() &&
+      history.back().outcome != prism::TxnOutcome::kCommitted)
+    return;
+  const model::Deployment placement = inst.runtime_deployment();
+  if (!placement.complete()) return;
+  check::AuditOptions options;
+  options.check_bandwidth = false;  // advisory; the sim mediates traffic
+  const check::CheckReport audit = check::PlacementAuditor(options).audit(
+      pristine.model(), pristine.constraints(), placement);
+  if (audit.error_count() == 0) return;
+  std::string first;
+  for (const check::Diagnostic& d : audit.diagnostics())
+    if (d.severity == check::Severity::kError) {
+      first = d.message;
+      break;
+    }
+  report.violations.push_back(
+      {"audit", std::to_string(audit.error_count()) +
+                    " placement-audit error(s) after a clean round: " +
+                    first});
+}
+
 void collect_net(const sim::SimNetwork& net, RunReport& report) {
   const sim::MessageStats& stats = net.stats();
   report.net_sent = stats.sent;
@@ -247,6 +279,7 @@ RunReport CampaignRunner::run_centralized_once(std::uint64_t seed,
   check_availability(*pristine, inst.runtime_deployment(),
                      config_.availability_tolerance, report);
   check_preflight(*system, report);
+  check_audit(inst, *pristine, report);
   return report;
 }
 

@@ -24,6 +24,11 @@
 //                  deployment (within CampaignConfig::availability_tolerance)
 //   preflight      the run-time-mutated model still passes the static
 //                  checker's pre-flight rule set
+//   audit          after a cleanly committed round with a complete runtime
+//                  placement, the placement-auditor (check/audit.h) finds
+//                  no location/capacity/collocation error against the
+//                  pristine model (bandwidth advisories excluded — the sim
+//                  mediates unconnected hosts)
 //
 // Everything is deterministic in the seed: generation, fault times and
 // targets, protocol interleavings, and therefore the whole report —
@@ -156,7 +161,7 @@ class CampaignRunner {
   using PrepareHook = std::function<void(core::CentralizedInstantiation&)>;
 
   /// One centralized run, with `prepare` invoked pre-start. The report and
-  /// its six invariant verdicts are exactly what run() would produce for
+  /// its seven invariant verdicts are exactly what run() would produce for
   /// this seed — which is what makes them usable as a fuzzing oracle.
   [[nodiscard]] RunReport run_centralized_once(std::uint64_t seed,
                                                const PrepareHook& prepare);

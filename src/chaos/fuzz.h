@@ -11,7 +11,7 @@
 // tool) never desynchronizes the decision stream.
 //
 // FuzzRunner drives whole centralized campaign runs with the fuzzer
-// attached and uses CampaignRunner's six dependability invariants as the
+// attached and uses CampaignRunner's seven dependability invariants as the
 // bug oracle: a protocol that is correct under adversarial message
 // scheduling must keep every invariant green. When a seed fails, the runner
 // shrinks greedily — re-running with individual mutations masked and

@@ -16,6 +16,18 @@ std::string_view rule_id(Rule rule) noexcept {
     case Rule::kIsolatedHost: return "isolated-host";
     case Rule::kUselessHost: return "useless-host";
     case Rule::kRegionSpof: return "region-spof";
+    case Rule::kPlacementUnassigned: return "placement-unassigned";
+    case Rule::kPlacementLocation: return "placement-location";
+    case Rule::kPlacementCapacity: return "placement-capacity";
+    case Rule::kPlacementColocation: return "placement-colocation";
+    case Rule::kPlacementBandwidth: return "placement-bandwidth";
+    case Rule::kResilienceSpof: return "resilience-spof";
+    case Rule::kResilienceRegion: return "resilience-region";
+    case Rule::kPlanConflict: return "plan-conflict";
+    case Rule::kPlanCustody: return "plan-custody";
+    case Rule::kPlanOverload: return "plan-overload";
+    case Rule::kPlanTransientOverload: return "plan-transient-overload";
+    case Rule::kPlanNoop: return "plan-noop";
   }
   return "?";
 }
@@ -49,6 +61,11 @@ std::string CheckReport::render_text() const {
     for (std::size_t i = 0; i < d.subjects.size(); ++i)
       out << (i == 0 ? " " : ", ") << d.subjects[i];
     out << ": " << d.message;
+    if (!d.witness.empty()) {
+      out << " [witness:";
+      for (const std::string& w : d.witness) out << ' ' << w;
+      out << ']';
+    }
     if (!d.hint.empty()) out << " (fix: " << d.hint << ')';
     out << '\n';
   }
@@ -72,6 +89,11 @@ util::json::Value CheckReport::to_json() const {
     entry.emplace("subjects", std::move(subjects));
     entry.emplace("message", d.message);
     entry.emplace("hint", d.hint);
+    if (!d.witness.empty()) {
+      util::json::Array witness;
+      for (const std::string& w : d.witness) witness.emplace_back(w);
+      entry.emplace("witness", std::move(witness));
+    }
     entries.emplace_back(std::move(entry));
   }
   util::json::Object doc;

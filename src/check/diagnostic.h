@@ -54,6 +54,48 @@ enum class Rule {
   /// layer's KillRegion workload) takes down every placement candidate at
   /// once.
   kRegionSpof,
+
+  // --- Artifact audit rules (check/audit.h, check/resilience.h,
+  // check/plan_check.h). These judge a *concrete* placement or migration
+  // plan, not the specification. ---
+
+  /// The audited placement leaves a component off every host (or does not
+  /// cover the model's component set at all).
+  kPlacementUnassigned,
+  /// The audited placement puts a component on a host its location
+  /// constraints (allow-list minus forbids) rule out.
+  kPlacementLocation,
+  /// A host's resident components oversubscribe its memory (or modelled
+  /// CPU) capacity in the audited placement.
+  kPlacementCapacity,
+  /// The audited placement splits a must-collocate closure class across
+  /// hosts, or puts a forbidden (separation) pair on one host.
+  kPlacementColocation,
+  /// Advisory: an interaction's endpoint hosts have no direct physical
+  /// link (traffic must be store-and-forward mediated) or the pair's
+  /// aggregate traffic oversubscribes the link's bandwidth.
+  kPlacementBandwidth,
+  /// k hosts failing together (k = 1: a single host) lose components or
+  /// sever live interactions; the witness lists the failing host set.
+  kResilienceSpof,
+  /// One whole failure region going down loses components or severs
+  /// interactions between the surviving hosts.
+  kResilienceRegion,
+  /// A migration plan names one component in two tasks (duplicate or
+  /// contradictory targets).
+  kPlanConflict,
+  /// A plan task's declared source host disagrees with the believed
+  /// current location: a stale custody view would tear the transfer.
+  kPlanCustody,
+  /// The plan's steady-state result oversubscribes a host whose capacity
+  /// is modelled — the admins' prepare vote is certain to veto it.
+  kPlanOverload,
+  /// Advisory: source+destination double occupancy during the transfer
+  /// window peaks above a host's capacity even though the steady state
+  /// fits (the vote credits outbound moves, so the round would commit).
+  kPlanTransientOverload,
+  /// Advisory: a plan task whose source equals its destination.
+  kPlanNoop,
 };
 
 enum class Severity { kWarning, kError };
@@ -72,6 +114,10 @@ struct Diagnostic {
   std::string message;
   /// How to repair the specification.
   std::string hint;
+  /// Proof artifact, where the rule has one: for resilience rules the
+  /// failing host set, for capacity rules the resident components. Host or
+  /// component names, not prefixed subjects.
+  std::vector<std::string> witness = {};
 };
 
 /// The analyzer's verdict over one model + constraint set.
@@ -101,7 +147,8 @@ class CheckReport {
   [[nodiscard]] std::string render_text() const;
 
   /// {"errors": N, "warnings": N, "diagnostics": [{rule, severity,
-  ///  subjects, message, hint}, ...]}
+  ///  subjects, message, hint, witness}, ...]}; `witness` only when
+  ///  non-empty.
   [[nodiscard]] util::json::Value to_json() const;
 
  private:

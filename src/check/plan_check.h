@@ -1,0 +1,87 @@
+// Static admission checking for migration plans — before any __prepare.
+//
+// A TxnRound (src/prism/txn_round.h) discovers an infeasible plan the
+// expensive way: it ships __prepare to every participant, collects vetoes,
+// and burns a round closing `aborted`. FoundationDB's data distribution
+// takes the opposite stance — cheap static admission before fleet-scale
+// movement — and this checker brings that here. It judges a plan against
+// the *deployer's belief state* (locations learned from monitor reports,
+// per-component footprints, optional per-host capacities), so it lives in
+// src/check and knows nothing of src/prism; the deployer adapts its
+// MigrationTask list into PlanTasks:
+//
+//   plan-conflict            one component in two tasks           (error)
+//   plan-custody             declared source ≠ believed location  (error)
+//   dangling-reference       source/target outside the fleet      (error)
+//   plan-overload            steady state certain to be vetoed    (error)
+//   plan-transient-overload  double occupancy peaks over capacity (warning)
+//   plan-noop                source equals destination            (warning)
+//
+// The capacity split mirrors the admins' prepare vote (prism/admin.cpp),
+// which admits `usage − outbound + inbound ≤ capacity`: a steady-state
+// overflow is *certain* to be vetoed (error), while transient
+// source+destination double occupancy during the transfer window would
+// still commit (warning).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/audit.h"
+#include "model/ids.h"
+
+namespace dif::model {
+class Deployment;
+}  // namespace dif::model
+
+namespace dif::check {
+
+/// One migration the plan wants; mirrors prism::MigrationTask without
+/// depending on it (check sits below prism in the layer graph).
+struct PlanTask {
+  std::string component;
+  model::HostId from = 0;
+  model::HostId to = 0;
+};
+
+/// The belief state a plan is judged against. Every map is optional:
+/// absent knowledge disables the corresponding check, mirroring the admin
+/// vote where `memory_capacity_kb <= 0` means capacity is unmodelled.
+struct PlanContext {
+  /// Fleet size; 0 = unknown (disables the dangling-host check).
+  std::size_t host_count = 0;
+  /// Host names for diagnostics, indexed by id (optional; ids are used
+  /// when absent or out of range).
+  std::vector<std::string> host_names;
+  /// Believed current location per component (custody check).
+  std::map<std::string, model::HostId> locations;
+  /// Believed footprint per component, KB (absent → 0, like the prepare
+  /// payload the deployer ships).
+  std::map<std::string, double> component_memory_kb;
+  /// Believed used memory per host, KB (from monitor reports; absent → 0).
+  std::map<model::HostId, double> host_used_memory_kb;
+  /// Modelled capacity per host, KB. Hosts absent (or ≤ 0) are unmodelled:
+  /// no capacity checks fire for them.
+  std::map<model::HostId, double> host_capacity_kb;
+};
+
+class MigrationPlanChecker {
+ public:
+  [[nodiscard]] CheckReport check(const std::vector<PlanTask>& plan,
+                                  const PlanContext& context) const;
+};
+
+/// Model-level convenience (difctl audit --plan): builds the PlanContext
+/// from a concrete model + current placement — locations, footprints, used
+/// memory, and capacities all come from the model — runs the checker, then
+/// audits the post-plan placement with PlacementAuditor and appends those
+/// diagnostics with a "post-plan:" message prefix. Tasks naming unknown
+/// components are dangling-reference errors and are not applied.
+[[nodiscard]] CheckReport check_plan(const model::DeploymentModel& model,
+                                     const model::ConstraintSet& set,
+                                     const model::Deployment& current,
+                                     const std::vector<PlanTask>& plan,
+                                     const AuditOptions& audit_options = {});
+
+}  // namespace dif::check

@@ -27,18 +27,6 @@ std::string fmt(double value) {
   return os.str();
 }
 
-std::string comp_subject(const DeploymentModel& m, std::size_t c) {
-  if (c < m.component_count())
-    return "component " + m.component(static_cast<ComponentId>(c)).name;
-  return "component #" + std::to_string(c);
-}
-
-std::string host_subject(const DeploymentModel& m, std::size_t h) {
-  if (h < m.host_count())
-    return "host " + m.host(static_cast<HostId>(h)).name;
-  return "host #" + std::to_string(h);
-}
-
 /// Union-find with path halving over component ids.
 class UnionFind {
  public:
@@ -58,65 +46,21 @@ class UnionFind {
   std::vector<std::size_t> parent_;
 };
 
-/// Per-component host bitmask rows, like ConstraintChecker's compiled masks
-/// but built rule-level so the analyzer works on models the checker's
-/// constructor would reject (e.g. zero hosts).
-class AllowMasks {
- public:
-  AllowMasks(const DeploymentModel& m, const ConstraintSet& set)
-      : hosts_(m.host_count()), words_((hosts_ + 63) / 64) {
-    const std::size_t n = m.component_count();
-    rows_.assign(n * words_, 0);
-    for (std::size_t c = 0; c < n; ++c)
-      for (std::size_t h = 0; h < hosts_; ++h)
-        if (set.host_allowed(static_cast<ComponentId>(c),
-                             static_cast<HostId>(h)))
-          rows_[c * words_ + h / 64] |= std::uint64_t{1} << (h % 64);
-  }
-
-  [[nodiscard]] std::size_t words() const noexcept { return words_; }
-
-  [[nodiscard]] std::size_t count(std::size_t c) const {
-    std::size_t total = 0;
-    for (std::size_t w = 0; w < words_; ++w)
-      total += std::popcount(rows_[c * words_ + w]);
-    return total;
-  }
-
-  [[nodiscard]] bool allowed(std::size_t c, std::size_t h) const {
-    return (rows_[c * words_ + h / 64] >> (h % 64)) & 1u;
-  }
-
-  /// AND of the rows of every component in `members`.
-  [[nodiscard]] std::vector<std::uint64_t> intersection(
-      const std::vector<std::size_t>& members) const {
-    std::vector<std::uint64_t> out(words_, ~std::uint64_t{0});
-    for (const std::size_t c : members)
-      for (std::size_t w = 0; w < words_; ++w) out[w] &= rows_[c * words_ + w];
-    // Mask off the bits beyond the host count.
-    if (words_ > 0 && hosts_ % 64 != 0)
-      out[words_ - 1] &= (std::uint64_t{1} << (hosts_ % 64)) - 1;
-    return out;
-  }
-
- private:
-  std::size_t hosts_;
-  std::size_t words_;
-  std::vector<std::uint64_t> rows_;
-};
-
 bool mask_bit(const std::vector<std::uint64_t>& mask, std::size_t h) {
   return (mask[h / 64] >> (h % 64)) & 1u;
 }
 
 std::size_t mask_count(const std::vector<std::uint64_t>& mask) {
   std::size_t total = 0;
-  for (const std::uint64_t w : mask) total += std::popcount(w);
+  for (const std::uint64_t w : mask)
+    total += static_cast<std::size_t>(std::popcount(w));
   return total;
 }
 
-/// Rule context shared by all rule functions.
+/// Rule context shared by all rule functions: the prebuilt AnalysisContext
+/// plus this run's report.
 struct Ctx {
+  const AnalysisContext& a;
   const DeploymentModel& m;
   const ConstraintSet& set;
   CheckReport& report;
@@ -129,7 +73,7 @@ void check_dangling(Ctx& ctx) {
     if (c < ctx.n) return false;
     ctx.report.add({Rule::kDanglingReference,
                     Severity::kError,
-                    {comp_subject(ctx.m, c)},
+                    {ctx.a.component_subject(c)},
                     std::string(where) + " references component id " +
                         std::to_string(c) + " but the model has " +
                         std::to_string(ctx.n) + " components",
@@ -140,7 +84,7 @@ void check_dangling(Ctx& ctx) {
     if (h < ctx.k) return false;
     ctx.report.add({Rule::kDanglingReference,
                     Severity::kError,
-                    {host_subject(ctx.m, h)},
+                    {ctx.a.host_subject(h)},
                     std::string(where) + " references host id " +
                         std::to_string(h) + " but the model has " +
                         std::to_string(ctx.k) + " hosts",
@@ -180,12 +124,12 @@ void check_param_ranges(Ctx& ctx) {
   for (std::size_t h = 0; h < ctx.k; ++h) {
     const model::Host& host = ctx.m.host(static_cast<HostId>(h));
     if (bad_nonneg(host.memory_capacity))
-      report(host_subject(ctx.m, h),
+      report(ctx.a.host_subject(h),
              "memory capacity " + fmt(host.memory_capacity) +
                  " is not a finite non-negative number",
              "set a non-negative memory capacity in KB");
     if (bad_nonneg(host.cpu_capacity))
-      report(host_subject(ctx.m, h),
+      report(ctx.a.host_subject(h),
              "CPU capacity " + fmt(host.cpu_capacity) +
                  " is not a finite non-negative number",
              "set a non-negative CPU capacity (0 = not modelled)");
@@ -194,12 +138,12 @@ void check_param_ranges(Ctx& ctx) {
     const model::SoftwareComponent& comp =
         ctx.m.component(static_cast<ComponentId>(c));
     if (bad_nonneg(comp.memory_size))
-      report(comp_subject(ctx.m, c),
+      report(ctx.a.component_subject(c),
              "memory size " + fmt(comp.memory_size) +
                  " is not a finite non-negative number",
              "set a non-negative memory size in KB");
     if (bad_nonneg(comp.cpu_load))
-      report(comp_subject(ctx.m, c),
+      report(ctx.a.component_subject(c),
              "CPU load " + fmt(comp.cpu_load) +
                  " is not a finite non-negative number",
              "set a non-negative CPU load");
@@ -253,7 +197,7 @@ void check_param_ranges(Ctx& ctx) {
   }
 }
 
-void check_location(Ctx& ctx, const AllowMasks& masks) {
+void check_location(Ctx& ctx) {
   if (ctx.k == 0) {
     if (ctx.n > 0)
       ctx.report.add({Rule::kLocationUnsat,
@@ -264,38 +208,27 @@ void check_location(Ctx& ctx, const AllowMasks& masks) {
     return;
   }
   for (std::size_t c = 0; c < ctx.n; ++c) {
-    if (masks.count(c) > 0) continue;
+    if (ctx.a.allowed_count(c) > 0) continue;
     ctx.report.add(
         {Rule::kLocationUnsat,
          Severity::kError,
-         {comp_subject(ctx.m, c)},
+         {ctx.a.component_subject(c)},
          "the allow-list minus the forbidden hosts leaves no legal host",
          "widen the allow-list or drop a forbid rule"});
   }
 }
 
-void check_colocation(Ctx& ctx, UnionFind& groups) {
+void check_colocation(Ctx& ctx) {
   for (const auto& [a, b] : ctx.set.anti_colocation_pairs()) {
     if (a >= ctx.n || b >= ctx.n) continue;  // dangling rule reports these
-    if (groups.find(a) != groups.find(b)) continue;
+    if (ctx.a.group_root(a) != ctx.a.group_root(b)) continue;
     ctx.report.add({Rule::kColocationConflict,
                     Severity::kError,
-                    {comp_subject(ctx.m, a), comp_subject(ctx.m, b)},
+                    {ctx.a.component_subject(a), ctx.a.component_subject(b)},
                     "the must-collocate closure forces them onto one host "
                     "but a separation constraint forbids sharing one",
                     "break the collocation chain or drop the separation"});
   }
-}
-
-/// Collects the union-find classes (only valid component ids).
-std::vector<std::vector<std::size_t>> collect_groups(std::size_t n,
-                                                     UnionFind& groups) {
-  std::vector<std::vector<std::size_t>> members(n);
-  for (std::size_t c = 0; c < n; ++c) members[groups.find(c)].push_back(c);
-  std::vector<std::vector<std::size_t>> out;
-  for (auto& g : members)
-    if (!g.empty()) out.push_back(std::move(g));
-  return out;
 }
 
 std::string group_subjects(const Ctx& ctx,
@@ -308,9 +241,8 @@ std::string group_subjects(const Ctx& ctx,
   return out + "}";
 }
 
-void check_groups(Ctx& ctx, const AllowMasks& masks,
-                  const std::vector<std::vector<std::size_t>>& groups,
-                  bool location_satisfiability, bool capacity_bounds) {
+void check_groups(Ctx& ctx, bool location_satisfiability,
+                  bool capacity_bounds) {
   if (ctx.k == 0) return;
   // Global pigeonhole first: total footprint vs total capacity.
   if (capacity_bounds && ctx.n > 0) {
@@ -329,14 +261,15 @@ void check_groups(Ctx& ctx, const AllowMasks& masks,
                       "grow the hosts or shrink the components"});
   }
 
-  for (const auto& group : groups) {
+  for (const auto& group : ctx.a.groups()) {
     // Skip groups with an individually-unsatisfiable member: location-unsat
     // already reported the root cause.
     bool member_unsat = false;
-    for (const std::size_t c : group) member_unsat |= masks.count(c) == 0;
+    for (const std::size_t c : group)
+      member_unsat |= ctx.a.allowed_count(c) == 0;
     if (member_unsat) continue;
 
-    const std::vector<std::uint64_t> common = masks.intersection(group);
+    const std::vector<std::uint64_t> common = ctx.a.allowed_intersection(group);
     const std::size_t legal_hosts = mask_count(common);
     if (legal_hosts == 0) {
       if (location_satisfiability && group.size() > 1)
@@ -365,7 +298,7 @@ void check_groups(Ctx& ctx, const AllowMasks& masks,
       all_model_cpu &= host.cpu_capacity > 0.0;
     }
     const std::string subject = group.size() == 1
-                                    ? comp_subject(ctx.m, group[0])
+                                    ? ctx.a.component_subject(group[0])
                                     : group_subjects(ctx, group);
     if (group_mem > best_mem)
       ctx.report.add(
@@ -416,7 +349,7 @@ std::vector<std::size_t> network_components(const DeploymentModel& m) {
   return label;
 }
 
-void check_network(Ctx& ctx, const AllowMasks& masks) {
+void check_network(Ctx& ctx) {
   if (ctx.k == 0) return;
   const std::vector<std::size_t> label = network_components(ctx.m);
   std::size_t partitions = 0;
@@ -434,11 +367,11 @@ void check_network(Ctx& ctx, const AllowMasks& masks) {
       std::size_t a_here = 0, b_here = 0, a_host = 0, b_host = 0;
       for (std::size_t h = 0; h < ctx.k; ++h) {
         if (label[h] != part) continue;
-        if (masks.allowed(ix.a, h)) {
+        if (ctx.a.allowed(ix.a, h)) {
           ++a_here;
           a_host = h;
         }
-        if (masks.allowed(ix.b, h)) {
+        if (ctx.a.allowed(ix.b, h)) {
           ++b_here;
           b_host = h;
         }
@@ -453,7 +386,7 @@ void check_network(Ctx& ctx, const AllowMasks& masks) {
     ctx.report.add(
         {Rule::kNetworkPartition,
          Severity::kError,
-         {comp_subject(ctx.m, ix.a), comp_subject(ctx.m, ix.b)},
+         {ctx.a.component_subject(ix.a), ctx.a.component_subject(ix.b)},
          "no allowed host pair for this interaction lies in one connected "
          "network partition: the interaction can never be carried",
          "add a physical link between the partitions or relax the "
@@ -461,15 +394,15 @@ void check_network(Ctx& ctx, const AllowMasks& masks) {
   }
 }
 
-void check_regions(Ctx& ctx, const AllowMasks& masks) {
+void check_regions(Ctx& ctx) {
   // Region constraints only bind models that actually declare regions.
   if (ctx.m.region_count() < 2) return;
   for (std::size_t c = 0; c < ctx.n; ++c) {
-    if (masks.count(c) == 0) continue;  // location-unsat owns empty sets
+    if (ctx.a.allowed_count(c) == 0) continue;  // location-unsat owns these
     std::size_t first_region = 0;
     bool seen = false, spread = false;
     for (std::size_t h = 0; h < ctx.k && !spread; ++h) {
-      if (!masks.allowed(c, h)) continue;
+      if (!ctx.a.allowed(c, h)) continue;
       const std::size_t region = ctx.m.host_region(static_cast<HostId>(h));
       if (!seen) {
         first_region = region;
@@ -482,7 +415,7 @@ void check_regions(Ctx& ctx, const AllowMasks& masks) {
     ctx.report.add(
         {Rule::kRegionSpof,
          Severity::kWarning,
-         {comp_subject(ctx.m, c)},
+         {ctx.a.component_subject(c)},
          "every legal host lies in region " + std::to_string(first_region) +
              ": one correlated region failure removes all placement "
              "candidates",
@@ -500,7 +433,7 @@ void check_lints(Ctx& ctx) {
       if (!linked)
         ctx.report.add({Rule::kIsolatedHost,
                         Severity::kWarning,
-                        {host_subject(ctx.m, h)},
+                        {ctx.a.host_subject(h)},
                         "no physical link connects this host to the rest of "
                         "the network",
                         "add a physical link or drop the host"});
@@ -516,7 +449,7 @@ void check_lints(Ctx& ctx) {
       if (min_mem > host.memory_capacity)
         ctx.report.add({Rule::kUselessHost,
                         Severity::kWarning,
-                        {host_subject(ctx.m, h)},
+                        {ctx.a.host_subject(h)},
                         "memory capacity " + fmt(host.memory_capacity) +
                             " KB is below every component's footprint "
                             "(smallest: " +
@@ -528,33 +461,92 @@ void check_lints(Ctx& ctx) {
 
 }  // namespace
 
-CheckReport StaticAnalyzer::analyze(const DeploymentModel& model,
-                                    const ConstraintSet& set) const {
+AnalysisContext::AnalysisContext(const DeploymentModel& model,
+                                 const ConstraintSet& set)
+    : model_(&model),
+      set_(&set),
+      n_(model.component_count()),
+      k_(model.host_count()),
+      words_((k_ + 63) / 64) {
+  // Allow-mask rows: like ConstraintChecker's compiled masks but built
+  // rule-level so the analyzer works on models the checker's constructor
+  // would reject (e.g. zero hosts).
+  rows_.assign(n_ * words_, 0);
+  for (std::size_t c = 0; c < n_; ++c)
+    for (std::size_t h = 0; h < k_; ++h)
+      if (set.host_allowed(static_cast<ComponentId>(c),
+                           static_cast<HostId>(h)))
+        rows_[c * words_ + h / 64] |= std::uint64_t{1} << (h % 64);
+
+  // Must-collocate closure, flattened to per-component roots.
+  UnionFind uf(n_);
+  for (const auto& [a, b] : set.colocation_pairs())
+    if (a < n_ && b < n_) uf.unite(a, b);
+  root_.resize(n_);
+  std::vector<std::vector<std::size_t>> members(n_);
+  for (std::size_t c = 0; c < n_; ++c) {
+    root_[c] = uf.find(c);
+    members[root_[c]].push_back(c);
+  }
+  for (auto& g : members)
+    if (!g.empty()) groups_.push_back(std::move(g));
+}
+
+std::size_t AnalysisContext::allowed_count(std::size_t c) const {
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < words_; ++w)
+    total += static_cast<std::size_t>(std::popcount(rows_[c * words_ + w]));
+  return total;
+}
+
+std::vector<std::uint64_t> AnalysisContext::allowed_intersection(
+    const std::vector<std::size_t>& members) const {
+  std::vector<std::uint64_t> out(words_, ~std::uint64_t{0});
+  for (const std::size_t c : members)
+    for (std::size_t w = 0; w < words_; ++w) out[w] &= rows_[c * words_ + w];
+  // Mask off the bits beyond the host count.
+  if (words_ > 0 && k_ % 64 != 0)
+    out[words_ - 1] &= (std::uint64_t{1} << (k_ % 64)) - 1;
+  return out;
+}
+
+std::string AnalysisContext::component_subject(std::size_t c) const {
+  if (c < model_->component_count())
+    return "component " + model_->component(static_cast<ComponentId>(c)).name;
+  return "component #" + std::to_string(c);
+}
+
+std::string AnalysisContext::host_subject(std::size_t h) const {
+  if (h < model_->host_count())
+    return "host " + model_->host(static_cast<HostId>(h)).name;
+  return "host #" + std::to_string(h);
+}
+
+CheckReport StaticAnalyzer::analyze(const AnalysisContext& context) const {
   CheckReport report;
-  Ctx ctx{model, set, report, model.component_count(), model.host_count()};
+  Ctx ctx{context,           context.model(), context.constraints(),
+          report,            context.components(),
+          context.hosts()};
 
   if (options_.dangling_references) check_dangling(ctx);
   if (options_.parameter_ranges) check_param_ranges(ctx);
-
-  const AllowMasks masks(model, set);
-  if (options_.location_satisfiability) check_location(ctx, masks);
-
-  UnionFind groups(ctx.n);
-  for (const auto& [a, b] : set.colocation_pairs())
-    if (a < ctx.n && b < ctx.n) groups.unite(a, b);
-  if (options_.colocation_consistency) check_colocation(ctx, groups);
+  if (options_.location_satisfiability) check_location(ctx);
+  if (options_.colocation_consistency) check_colocation(ctx);
 
   if ((options_.location_satisfiability || options_.capacity_bounds) &&
-      ctx.k > 0) {
-    const auto classes = collect_groups(ctx.n, groups);
-    check_groups(ctx, masks, classes, options_.location_satisfiability,
+      ctx.k > 0)
+    check_groups(ctx, options_.location_satisfiability,
                  options_.capacity_bounds);
-  }
 
-  if (options_.network_reachability) check_network(ctx, masks);
-  if (options_.region_awareness) check_regions(ctx, masks);
+  if (options_.network_reachability) check_network(ctx);
+  if (options_.region_awareness) check_regions(ctx);
   if (options_.lints) check_lints(ctx);
   return report;
+}
+
+CheckReport StaticAnalyzer::analyze(const DeploymentModel& model,
+                                    const ConstraintSet& set) const {
+  return analyze(AnalysisContext(model, set));
 }
 
 CheckReport run_checks(const DeploymentModel& model, const ConstraintSet& set,

@@ -18,10 +18,18 @@
 //   isolated-host (lint)  host with no physical link
 //   useless-host (lint)   host too small for every component
 //
+// The full rule catalogue — these spec rules plus the artifact audit rules
+// of check/audit.h, check/resilience.h, and check/plan_check.h — is
+// documented with defect examples in docs/checking.md.
+//
 // Complexity: O(n·k) per location rule plus O(k^2) for the host-graph BFS —
 // negligible next to any solver run, so the preflight hook (preflight.h)
 // runs it on every algorithm entry.
 #pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "check/diagnostic.h"
 
@@ -49,6 +57,68 @@ struct CheckOptions {
   bool lints = true;
 };
 
+/// Shared rule context over one (model, constraint set) pair: the
+/// per-component allowed-host bitmask rows and the must-collocate
+/// union-find closure, built once up front. Building these dominates an
+/// analyze() call, so the spec rules (StaticAnalyzer) and the artifact
+/// auditors (check/audit.h, check/plan_check.h) reuse one build instead of
+/// reconstructing the maps per rule or per pass.
+///
+/// The context borrows the model and constraint set; both must outlive it,
+/// and it must be rebuilt after either mutates.
+class AnalysisContext {
+ public:
+  AnalysisContext(const model::DeploymentModel& model,
+                  const model::ConstraintSet& set);
+
+  [[nodiscard]] const model::DeploymentModel& model() const noexcept {
+    return *model_;
+  }
+  [[nodiscard]] const model::ConstraintSet& constraints() const noexcept {
+    return *set_;
+  }
+  /// Component / host counts captured at build time.
+  [[nodiscard]] std::size_t components() const noexcept { return n_; }
+  [[nodiscard]] std::size_t hosts() const noexcept { return k_; }
+
+  /// Location rules (allow-list minus forbids) permit component c on host h.
+  /// Valid only for c < components() and h < hosts().
+  [[nodiscard]] bool allowed(std::size_t c, std::size_t h) const {
+    return (rows_[c * words_ + h / 64] >> (h % 64)) & 1u;
+  }
+  /// Number of legal hosts for component c.
+  [[nodiscard]] std::size_t allowed_count(std::size_t c) const;
+  /// AND of the allowed-host rows of every component in `members`
+  /// (word-packed little-endian bits, tail bits beyond hosts() masked off).
+  [[nodiscard]] std::vector<std::uint64_t> allowed_intersection(
+      const std::vector<std::size_t>& members) const;
+
+  /// Representative of c's must-collocate closure class.
+  [[nodiscard]] std::size_t group_root(std::size_t c) const {
+    return root_[c];
+  }
+  /// The closure classes, singletons included (every component appears in
+  /// exactly one class).
+  [[nodiscard]] const std::vector<std::vector<std::size_t>>& groups()
+      const noexcept {
+    return groups_;
+  }
+
+  /// "component <name>" / "host <name>" diagnostic subject strings.
+  [[nodiscard]] std::string component_subject(std::size_t c) const;
+  [[nodiscard]] std::string host_subject(std::size_t h) const;
+
+ private:
+  const model::DeploymentModel* model_;
+  const model::ConstraintSet* set_;
+  std::size_t n_ = 0;      // components
+  std::size_t k_ = 0;      // hosts
+  std::size_t words_ = 0;  // 64-bit words per allow-mask row
+  std::vector<std::uint64_t> rows_;
+  std::vector<std::size_t> root_;
+  std::vector<std::vector<std::size_t>> groups_;
+};
+
 class StaticAnalyzer {
  public:
   explicit StaticAnalyzer(CheckOptions options = {}) : options_(options) {}
@@ -57,6 +127,10 @@ class StaticAnalyzer {
   /// point), only on allocation failure.
   [[nodiscard]] CheckReport analyze(const model::DeploymentModel& model,
                                     const model::ConstraintSet& set) const;
+
+  /// Same rules over a prebuilt shared context, so one context build can
+  /// serve the spec rules and the artifact auditors.
+  [[nodiscard]] CheckReport analyze(const AnalysisContext& context) const;
 
   [[nodiscard]] const CheckOptions& options() const noexcept {
     return options_;

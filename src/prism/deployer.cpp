@@ -110,6 +110,8 @@ void DeployerComponent::handle_monitor_report(const Event& event) {
   HostReport report;
   report.host = static_cast<model::HostId>(*host);
   report.memory_kb = event.get_double("memory_kb").value_or(0.0);
+  // Believed per-host usage feeds the plan preflight's capacity leg.
+  host_memory_kb_[report.host] = report.memory_kb;
 
   if (const auto* blob = event.get_bytes("components")) {
     ByteReader r(*blob);
@@ -196,6 +198,9 @@ bool DeployerComponent::effect_deployment(const TargetDeployment& target,
     return true;
   }
 
+  if (deployer_params_.preflight_plans && preflight_reject(plan, checkpoint))
+    return true;
+
   current_target_ = target;
   round_.begin(epoch_, std::move(plan), std::move(checkpoint),
                deployer_params_.allow_partial);
@@ -206,6 +211,50 @@ bool DeployerComponent::effect_deployment(const TargetDeployment& target,
   send_prepare();
   schedule_prepare_retry(epoch_);
   schedule_round_deadline(epoch_);
+  return true;
+}
+
+bool DeployerComponent::preflight_reject(
+    const std::vector<MigrationTask>& plan,
+    const std::map<std::string, model::HostId>& checkpoint) {
+  check::PlanContext ctx;
+  for (const model::HostId host : deployer_params_.admin_hosts)
+    ctx.host_count = std::max<std::size_t>(ctx.host_count, host + 1);
+  std::vector<check::PlanTask> tasks;
+  tasks.reserve(plan.size());
+  for (const MigrationTask& task : plan) {
+    tasks.push_back({task.component, task.from, task.to});
+    ctx.locations.emplace(task.component, task.from);
+  }
+  ctx.component_memory_kb = component_memory_kb_;
+  ctx.host_used_memory_kb = host_memory_kb_;
+  ctx.host_capacity_kb = deployer_params_.host_capacity_kb;
+
+  check::CheckReport verdict = check::MigrationPlanChecker().check(tasks, ctx);
+  const bool reject = !verdict.ok();
+  last_preflight_ = std::move(verdict);
+  if (!reject) return false;
+
+  util::log_warn("prism.deployer", "preflight rejected epoch ", epoch_,
+                 " before any prepare was sent:\n",
+                 last_preflight_->render_text());
+  ++plans_rejected_;
+  if (obs_.metrics) obs_.metrics->counter("deploy.preflight_rejected").add(1);
+
+  // Close as `aborted` without the round ever starting: nothing moved, so
+  // the declared placement is the checkpoint itself.
+  RoundRecord record;
+  record.epoch = epoch_;
+  record.outcome = TxnOutcome::kAborted;
+  record.moves_requested = plan.size();
+  record.declared = checkpoint;
+  for (const MigrationTask& task : plan)
+    record.proposed.emplace(task.component, task.to);
+  history_.push_back(std::move(record));
+  last_outcome_ = TxnOutcome::kAborted;
+  ++rounds_rolled_back_;
+  if (obs_.metrics) obs_.metrics->counter("deploy.txn.aborted").add(1);
+  finish(false);
   return true;
 }
 
@@ -226,6 +275,9 @@ void DeployerComponent::send_prepare() {
   blob.raw(tail);
   const std::vector<std::uint8_t> plan_blob = blob.take();
 
+  if (obs_.metrics)
+    obs_.metrics->counter("deploy.txn.prepare_sent")
+        .add(round_.participants().size());
   for (const model::HostId host : round_.participants()) {
     Event prepare("__prepare");
     prepare.set_to(admin_name(host));

@@ -19,7 +19,9 @@
 
 #include <functional>
 #include <map>
+#include <optional>
 
+#include "check/plan_check.h"
 #include "obs/instruments.h"
 #include "prism/admin.h"
 #include "prism/txn_round.h"
@@ -77,6 +79,17 @@ class DeployerComponent final : public AdminComponent {
     /// Graceful degradation: keep the migrations that completed when the
     /// round rolls back (close as `partial`) instead of compensating them.
     bool allow_partial = false;
+    /// Static plan admission (check/plan_check.h) before any __prepare:
+    /// structurally defective plans — duplicate/conflicting tasks, custody
+    /// mismatches, targets outside the admin fleet, certain capacity
+    /// vetoes — close as `aborted` immediately instead of burning a
+    /// prepare round trip.
+    bool preflight_plans = true;
+    /// Per-host memory capacities for the preflight's capacity leg,
+    /// mirroring AdminComponent::Params::memory_capacity_kb. Hosts absent
+    /// from the map (the default) are unmodelled: only the structural
+    /// checks fire for plans touching them.
+    std::map<model::HostId, double> host_capacity_kb;
   };
 
   DeployerComponent(model::HostId host, DistributionConnector& connector,
@@ -145,6 +158,16 @@ class DeployerComponent final : public AdminComponent {
   [[nodiscard]] std::uint64_t rounds_rolled_back() const noexcept {
     return rounds_rolled_back_;
   }
+  /// Plans rejected by the static preflight before any __prepare was sent.
+  [[nodiscard]] std::uint64_t plans_rejected() const noexcept {
+    return plans_rejected_;
+  }
+  /// The most recent preflight verdict (nullopt before any preflighted
+  /// round). A rejected plan's report carries the error diagnostics.
+  [[nodiscard]] const std::optional<check::CheckReport>& last_preflight()
+      const noexcept {
+    return last_preflight_;
+  }
 
   void handle(const Event& event) override;
 
@@ -185,9 +208,19 @@ class DeployerComponent final : public AdminComponent {
   ReportHandler report_handler_;
   DeployerParams deployer_params_;
   TxnRound round_;
+  /// Rejects a statically-defective plan: closes the round as `aborted`
+  /// without sending a single __prepare. Returns true when rejected.
+  bool preflight_reject(const std::vector<MigrationTask>& plan,
+                        const std::map<std::string, model::HostId>& checkpoint);
+
   /// Component memory footprints gleaned from monitor reports; feeds the
   /// prepare plan so admins can reserve capacity for inbound components.
   std::map<std::string, double> component_memory_kb_;
+  /// Believed per-host used memory, from the same monitor reports; feeds
+  /// the plan preflight's capacity leg.
+  std::map<model::HostId, double> host_memory_kb_;
+  std::optional<check::CheckReport> last_preflight_;
+  std::uint64_t plans_rejected_ = 0;
   TargetDeployment current_target_;
   CompletionHandler completion_;
   std::vector<RoundRecord> history_;

@@ -36,6 +36,17 @@
 //       running any algorithm. Exit 0 when clean, 1 when defects were
 //       found (--strict also fails on warnings), 2 on usage errors.
 //
+//   difctl audit system.json [--placement] [--plan plan.json]
+//                [--resilience-k K] [--json] [--strict]
+//       Artifact audit: prove the description's *concrete* placement
+//       against its constraints (capacity, location, collocation,
+//       bandwidth), prove k-resilience (which components/interactions a
+//       k-host or whole-region failure loses, with witness host sets),
+//       and/or statically admission-check a migration plan before anything
+//       runs. With no selector, placement + resilience at k = 1 run.
+//       --json emits the "dif-audit-v1" report. Exit codes match `check`:
+//       0 clean, 1 errors (--strict also fails on warnings), 2 usage.
+//
 //   difctl simulate system.json [--duration-ms D] [--interval-ms I]
 //                   [--objective NAME] [--seed S] [--adaptive]
 //                   [--allow-partial]
@@ -66,7 +77,7 @@
 //       Control-plane protocol fuzzer: run centralized campaigns with a
 //       seeded message interceptor that drops, delays, duplicates, and
 //       reorders redeployment/custody protocol events, judged by the
-//       campaign's six dependability invariants. Failing seeds shrink to a
+//       campaign's seven dependability invariants. Failing seeds shrink to a
 //       minimal mutation trace. --json emits the "dif-fuzz-v1" report.
 //       Exit 0 when every round held all invariants, 1 on violations, 2 on
 //       usage errors.
@@ -82,6 +93,9 @@
 #include "algo/portfolio.h"
 #include "chaos/campaign.h"
 #include "chaos/fuzz.h"
+#include "check/audit.h"
+#include "check/plan_check.h"
+#include "check/resilience.h"
 #include "check/static_analyzer.h"
 #include "core/improvement_loop.h"
 #include "desi/algorithm_container.h"
@@ -100,7 +114,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: difctl <command> [args]\n"
                "  generate --hosts K --components N [--seed S] "
-               "[--constraints C]\n"
+               "[--constraints C] [--regions R]\n"
                "  evaluate <system.json>\n"
                "  improve  <system.json> [--algorithm NAME|all] "
                "[--objective availability|latency|comm-cost] [--seed S]\n"
@@ -112,6 +126,8 @@ int usage() {
                "[--max-evals N] [--algorithms a,b,c] [--objective NAME] "
                "[--seed S] [--metrics-json PATH] [--trace-json PATH]\n"
                "  check    <system.json> [--json] [--strict]\n"
+               "  audit    <system.json> [--placement] [--plan PLAN.json] "
+               "[--resilience-k K] [--json] [--strict]\n"
                "  simulate <system.json> [--duration-ms D] [--interval-ms I] "
                "[--objective NAME] [--seed S] [--adaptive] [--allow-partial] "
                "[--metrics-json PATH] [--trace-json PATH]\n"
@@ -193,6 +209,7 @@ int cmd_generate(const Flags& flags) {
   spec.location_constraints = constraints;
   spec.anti_colocation_pairs = constraints / 2;
   spec.colocation_pairs = constraints / 2;
+  spec.regions = flags.get_u64("regions", 1);
   const auto system =
       desi::Generator::generate(spec, flags.get_u64("seed", 1));
   std::printf("%s\n", desi::XadlLite::to_text(*system).c_str());
@@ -588,6 +605,104 @@ int cmd_check(const std::string& path, const Flags& flags) {
   return fail ? 1 : 0;
 }
 
+/// A `--plan` file host: a host name string or a numeric host id.
+model::HostId plan_host(const util::json::Value& value,
+                        const model::DeploymentModel& m) {
+  if (value.is_string()) return m.host_by_name(value.as_string());
+  return static_cast<model::HostId>(value.as_number());
+}
+
+/// Parses {"plan": [{"component": NAME, "to": HOST[, "from": HOST]}, ...]}.
+/// An omitted "from" defaults to the component's current placement.
+std::vector<check::PlanTask> parse_plan_file(
+    const std::string& path, const model::DeploymentModel& m,
+    const model::Deployment& current) {
+  const util::json::Value doc = util::json::parse(read_file(path));
+  const auto plan = doc.find("plan");
+  if (!plan || !plan->get().is_array())
+    throw std::runtime_error(path + ": expected {\"plan\": [...]}");
+  std::vector<check::PlanTask> tasks;
+  for (const util::json::Value& entry : plan->get().as_array()) {
+    check::PlanTask task;
+    task.component = entry.at("component").as_string();
+    task.to = plan_host(entry.at("to"), m);
+    if (const auto from = entry.find("from")) {
+      task.from = plan_host(from->get(), m);
+    } else {
+      try {
+        const model::ComponentId c = m.component_by_name(task.component);
+        if (current.is_assigned(c)) task.from = current.host_of(c);
+      } catch (const std::out_of_range&) {
+        // Unknown component: check_plan reports the dangling reference.
+      }
+    }
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+int cmd_audit(const std::string& path, const Flags& flags) {
+  const auto system = desi::XadlLite::from_text(read_file(path));
+  const model::DeploymentModel& m = system->model();
+
+  // Selectors compose; with none given, placement + k=1 resilience run.
+  bool run_placement = flags.has("placement");
+  bool run_resilience = flags.has("resilience-k");
+  const bool run_plan = flags.has("plan");
+  if (!run_placement && !run_resilience && !run_plan)
+    run_placement = run_resilience = true;
+  const std::size_t k = flags.get_u64("resilience-k", 1);
+
+  std::vector<std::pair<std::string, check::CheckReport>> sections;
+  if (run_placement) {
+    const check::AnalysisContext context(m, system->constraints());
+    sections.emplace_back(
+        "placement",
+        check::PlacementAuditor().audit(context, system->deployment()));
+  }
+  if (run_resilience) {
+    check::ResilienceOptions options;
+    options.max_failures = k;
+    sections.emplace_back("resilience", check::ResilienceProver(options).prove(
+                                            m, system->deployment()));
+  }
+  if (run_plan) {
+    const auto plan = parse_plan_file(flags.get("plan", ""), m,
+                                      system->deployment());
+    sections.emplace_back(
+        "plan", check::check_plan(m, system->constraints(),
+                                  system->deployment(), plan));
+  }
+
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  for (const auto& [name, report] : sections) {
+    errors += report.error_count();
+    warnings += report.warning_count();
+  }
+
+  if (flags.has("json")) {
+    util::json::Object doc;
+    doc["schema"] = util::json::Value(std::string("dif-audit-v1"));
+    for (const auto& [name, report] : sections)
+      doc[name] = report.to_json();
+    if (run_resilience)
+      doc["resilience_k"] = util::json::Value(static_cast<double>(k));
+    doc["errors"] = util::json::Value(static_cast<double>(errors));
+    doc["warnings"] = util::json::Value(static_cast<double>(warnings));
+    doc["ok"] = util::json::Value(errors == 0);
+    std::printf("%s\n", util::json::Value(std::move(doc)).dump(2).c_str());
+  } else {
+    for (const auto& [name, report] : sections)
+      std::printf("== %s ==\n%s", name.c_str(),
+                  report.clean() ? "clean\n" : report.render_text().c_str());
+    std::printf("audit: %zu error(s), %zu warning(s)\n", errors, warnings);
+  }
+  const bool fail =
+      errors > 0 || (flags.has("strict") && warnings > 0);
+  return fail ? 1 : 0;
+}
+
 int cmd_tables(const std::string& path) {
   const auto system = desi::XadlLite::from_text(read_file(path));
   std::printf("== hosts ==\n%s\n== components ==\n%s\n== links ==\n%s\n"
@@ -619,6 +734,7 @@ int main(int argc, char** argv) {
     if (command == "portfolio")
       return cmd_portfolio(path, Flags(argc, argv, 3));
     if (command == "check") return cmd_check(path, Flags(argc, argv, 3));
+    if (command == "audit") return cmd_audit(path, Flags(argc, argv, 3));
     if (command == "simulate")
       return cmd_simulate(path, Flags(argc, argv, 3));
     return usage();
