@@ -8,131 +8,73 @@
 // no slower" claim into an enforced invariant: the pinned
 // analyzer.runs_per_s metric may not regress by more than 10%.
 //
-//   bench_check [--hosts K] [--components N] [--iters I] [--json PATH]
-#include <sys/resource.h>
-
-#include <algorithm>
-#include <chrono>
-#include <cstdio>
-#include <cstring>
-#include <fstream>
-#include <string>
-#include <vector>
+//   bench_check [--hosts K] [--components N] [--iters I] [--seed S]
+//               [--json PATH]
+#include "bench_common.h"
 
 #include "check/audit.h"
 #include "check/plan_check.h"
 #include "check/resilience.h"
 #include "check/static_analyzer.h"
-#include "desi/generator.h"
 #include "util/json.h"
-#include "util/logging.h"
 
 namespace dif::bench {
 namespace {
 
-double now_ms() {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-/// Runs `body` `iters` times and returns per-iteration wall times (ms).
-template <typename F>
-std::vector<double> time_runs(std::size_t iters, F&& body) {
-  std::vector<double> samples;
-  samples.reserve(iters);
-  for (std::size_t i = 0; i < iters; ++i) {
-    const double start = now_ms();
-    body();
-    samples.push_back(now_ms() - start);
-  }
-  return samples;
-}
-
-double percentile(std::vector<double> xs, double p) {
-  if (xs.empty()) return 0.0;
-  std::sort(xs.begin(), xs.end());
-  const auto idx = static_cast<std::size_t>(
-      p * static_cast<double>(xs.size() - 1) + 0.5);
-  return xs[std::min(idx, xs.size() - 1)];
-}
-
-/// One metric entry: median-based throughput (robust to scheduler noise,
-/// which is what a CI regression gate needs) plus the latency spread.
-util::json::Value metric(const std::vector<double>& samples_ms,
-                         const char* unit) {
-  const double median_ms = percentile(samples_ms, 0.5);
-  util::json::Object m;
-  m["value"] = util::json::Value(
-      median_ms > 0.0 ? 1'000.0 / median_ms : 0.0);
-  m["unit"] = util::json::Value(std::string(unit));
-  m["p50_ms"] = util::json::Value(median_ms);
-  m["p99_ms"] = util::json::Value(percentile(samples_ms, 0.99));
-  m["samples"] = util::json::Value(
-      static_cast<double>(samples_ms.size()));
-  return util::json::Value(std::move(m));
-}
-
 int run(int argc, char** argv) {
-  std::size_t hosts = 1'000;
-  std::size_t components = 2'000;
-  std::size_t iters = 9;
-  std::string json_path;
-  for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--hosts") && i + 1 < argc)
-      hosts = std::stoul(argv[++i]);
-    else if (!std::strcmp(argv[i], "--components") && i + 1 < argc)
-      components = std::stoul(argv[++i]);
-    else if (!std::strcmp(argv[i], "--iters") && i + 1 < argc)
-      iters = std::stoul(argv[++i]);
-    else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
-      json_path = argv[++i];
-  }
+  BenchArgs defaults;
+  defaults.hosts = 1'000;
+  defaults.components = 2'000;
+  defaults.iters = 9;
+  defaults.seed = 42;
+  const BenchArgs args = BenchArgs::parse(argc, argv, defaults);
   util::Logger::instance().set_level(util::LogLevel::kError);
 
   // Sparse interactions and a sane constraint count keep a single pass in
   // the hundreds-of-milliseconds range at 1k hosts; the regression gate
   // needs repeatable medians, not a stress test.
   desi::GeneratorSpec spec;
-  spec.hosts = hosts;
-  spec.components = components;
+  spec.hosts = args.hosts;
+  spec.components = args.components;
   spec.regions = 4;
   spec.interaction_density = 0.01;
   spec.link_density = 0.01;
   spec.location_constraints = 64;
   spec.colocation_pairs = 32;
   spec.anti_colocation_pairs = 32;
-  std::fprintf(stderr, "generating %zu hosts x %zu components...\n", hosts,
-               components);
-  const auto system = desi::Generator::generate(spec, 42);
+  std::fprintf(stderr, "generating %zu hosts x %zu components...\n",
+               args.hosts, args.components);
+  const auto system = desi::Generator::generate(spec, args.seed);
   const model::DeploymentModel& m = system->model();
   const model::ConstraintSet& cs = system->constraints();
   const model::Deployment& d = system->deployment();
 
-  std::fprintf(stderr, "timing (%zu iterations per metric)...\n", iters);
+  std::fprintf(stderr, "timing (%zu iterations per metric)...\n", args.iters);
   const check::StaticAnalyzer analyzer;
   const auto t_context =
-      time_runs(iters, [&] { check::AnalysisContext context(m, cs); });
+      time_runs(args.iters, [&] { check::AnalysisContext context(m, cs); });
   // Cold analyze: context built per call (the difctl check path).
-  const auto t_analyze = time_runs(iters, [&] { (void)analyzer.analyze(m, cs); });
+  const auto t_analyze =
+      time_runs(args.iters, [&] { (void)analyzer.analyze(m, cs); });
   // Warm analyze: one shared context, many rule passes (the audit path).
   const check::AnalysisContext shared(m, cs);
   const auto t_reuse =
-      time_runs(iters, [&] { (void)analyzer.analyze(shared); });
+      time_runs(args.iters, [&] { (void)analyzer.analyze(shared); });
   const auto t_audit = time_runs(
-      iters, [&] { (void)check::PlacementAuditor().audit(shared, d); });
+      args.iters, [&] { (void)check::PlacementAuditor().audit(shared, d); });
   check::ResilienceOptions res;
   res.max_failures = 1;
   const auto t_resilience = time_runs(
-      iters, [&] { (void)check::ResilienceProver(res).prove(m, d); });
+      args.iters, [&] { (void)check::ResilienceProver(res).prove(m, d); });
   std::vector<check::PlanTask> plan;
-  for (std::size_t c = 0; c < components; c += 7) {
+  for (std::size_t c = 0; c < args.components; c += 7) {
     const auto id = static_cast<model::ComponentId>(c);
     plan.push_back({m.component(id).name, d.host_of(id),
-                    static_cast<model::HostId>((d.host_of(id) + 1) % hosts)});
+                    static_cast<model::HostId>((d.host_of(id) + 1) %
+                                               args.hosts)});
   }
   const auto t_plan = time_runs(
-      iters, [&] { (void)check::check_plan(m, cs, d, plan); });
+      args.iters, [&] { (void)check::check_plan(m, cs, d, plan); });
 
   util::json::Object metrics;
   metrics["context.builds_per_s"] = metric(t_context, "builds/s");
@@ -143,31 +85,14 @@ int run(int argc, char** argv) {
   metrics["plan.checks_per_s"] = metric(t_plan, "checks/s");
 
   util::json::Object config;
-  config["hosts"] = util::json::Value(static_cast<double>(hosts));
-  config["components"] = util::json::Value(static_cast<double>(components));
-  config["iters"] = util::json::Value(static_cast<double>(iters));
-  config["seed"] = util::json::Value(42.0);
+  config["hosts"] = util::json::Value(static_cast<double>(args.hosts));
+  config["components"] =
+      util::json::Value(static_cast<double>(args.components));
+  config["iters"] = util::json::Value(static_cast<double>(args.iters));
+  config["seed"] = util::json::Value(static_cast<double>(args.seed));
 
-  struct rusage usage {};
-  getrusage(RUSAGE_SELF, &usage);
-
-  util::json::Object doc;
-  doc["schema"] = util::json::Value(std::string("dif-bench-v1"));
-  doc["area"] = util::json::Value(std::string("check"));
-  doc["config"] = util::json::Value(std::move(config));
-  doc["metrics"] = util::json::Value(std::move(metrics));
-  util::json::Array pinned;
-  pinned.emplace_back(std::string("analyzer.runs_per_s"));
-  doc["pinned"] = util::json::Value(std::move(pinned));
-  doc["peak_rss_kb"] =
-      util::json::Value(static_cast<double>(usage.ru_maxrss));
-  const util::json::Value report{std::move(doc)};
-
-  std::printf("%s\n", report.dump(2).c_str());
-  if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    out << report.dump(2) << '\n';
-  }
+  emit_report("check", std::move(config), std::move(metrics),
+              {"analyzer.runs_per_s"}, args.json_path);
   return 0;
 }
 

@@ -2,16 +2,25 @@
 //
 // Each bench binary regenerates one paper experiment as a printed table;
 // DESIGN.md §4 maps experiments to binaries and EXPERIMENTS.md records the
-// paper-claim vs measured outcome.
+// paper-claim vs measured outcome. Binaries that feed a CI regression gate
+// (bench_check, bench_scalability) additionally emit a machine-readable
+// "dif-bench-v1" JSON report via the helpers below, so the gate script
+// compares like-for-like payloads regardless of which binary produced them.
 #pragma once
 
+#include <sys/resource.h>
+
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "algo/registry.h"
 #include "desi/generator.h"
+#include "util/json.h"
 #include "util/logging.h"
 #include "util/statistics.h"
 #include "util/table.h"
@@ -50,6 +59,152 @@ inline algo::AlgoResult run_algorithm(const algo::AlgorithmRegistry& registry,
 /// Mean of a sample vector (0 for empty).
 inline double mean(const std::vector<double>& xs) {
   return util::summarize(xs).mean;
+}
+
+// ---------------------------------------------------------------------------
+// Timing + dif-bench-v1 report plumbing (shared by the gated benches).
+
+inline double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Runs `body` `iters` times and returns per-iteration wall times (ms).
+template <typename F>
+std::vector<double> time_runs(std::size_t iters, F&& body) {
+  std::vector<double> samples;
+  samples.reserve(iters);
+  for (std::size_t i = 0; i < iters; ++i) {
+    const double start = now_ms();
+    body();
+    samples.push_back(now_ms() - start);
+  }
+  return samples;
+}
+
+inline double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(xs.size() - 1) + 0.5);
+  return xs[std::min(idx, xs.size() - 1)];
+}
+
+/// One metric entry: median-based throughput (robust to scheduler noise,
+/// which is what a CI regression gate needs) plus the latency spread.
+/// `ops_per_iter` scales the rate for bodies that do more than one unit of
+/// work per timed iteration (e.g. a 100k-event simulator drain).
+inline util::json::Value metric(const std::vector<double>& samples_ms,
+                                const char* unit,
+                                double ops_per_iter = 1.0) {
+  const double median_ms = percentile(samples_ms, 0.5);
+  util::json::Object m;
+  m["value"] = util::json::Value(
+      median_ms > 0.0 ? ops_per_iter * 1'000.0 / median_ms : 0.0);
+  m["unit"] = util::json::Value(std::string(unit));
+  m["p50_ms"] = util::json::Value(median_ms);
+  m["p99_ms"] = util::json::Value(percentile(samples_ms, 0.99));
+  m["samples"] = util::json::Value(
+      static_cast<double>(samples_ms.size()));
+  return util::json::Value(std::move(m));
+}
+
+/// A plain scalar metric (no timing distribution) — evaluation counts,
+/// speedup ratios, and other derived numbers the gate may want to compare.
+inline util::json::Value scalar_metric(double value, const char* unit) {
+  util::json::Object m;
+  m["value"] = util::json::Value(value);
+  m["unit"] = util::json::Value(std::string(unit));
+  return util::json::Value(std::move(m));
+}
+
+/// One sweep size: K hosts by N components.
+struct SizePoint {
+  std::size_t hosts = 0;
+  std::size_t components = 0;
+};
+
+/// Parses "16x192,64x640" into size points; malformed entries are skipped.
+inline std::vector<SizePoint> parse_sizes(const std::string& spec) {
+  std::vector<SizePoint> sizes;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    const std::size_t x = item.find('x');
+    if (x != std::string::npos && x > 0 && x + 1 < item.size()) {
+      try {
+        sizes.push_back({std::stoul(item.substr(0, x)),
+                         std::stoul(item.substr(x + 1))});
+      } catch (const std::exception&) {
+        // skip malformed entry
+      }
+    }
+    pos = comma + 1;
+  }
+  return sizes;
+}
+
+/// Common CLI surface of the gated benches:
+///   --hosts K --components N --iters I --seed S --json PATH
+///   --sizes KxN,KxN,...
+struct BenchArgs {
+  std::size_t hosts = 0;
+  std::size_t components = 0;
+  std::size_t iters = 0;
+  std::uint64_t seed = 0;
+  std::string json_path;
+  std::vector<SizePoint> sizes;
+
+  static BenchArgs parse(int argc, char** argv, BenchArgs defaults) {
+    BenchArgs args = std::move(defaults);
+    for (int i = 1; i < argc; ++i) {
+      if (!std::strcmp(argv[i], "--hosts") && i + 1 < argc)
+        args.hosts = std::stoul(argv[++i]);
+      else if (!std::strcmp(argv[i], "--components") && i + 1 < argc)
+        args.components = std::stoul(argv[++i]);
+      else if (!std::strcmp(argv[i], "--iters") && i + 1 < argc)
+        args.iters = std::stoul(argv[++i]);
+      else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc)
+        args.seed = std::stoull(argv[++i]);
+      else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+        args.json_path = argv[++i];
+      else if (!std::strcmp(argv[i], "--sizes") && i + 1 < argc)
+        args.sizes = parse_sizes(argv[++i]);
+    }
+    return args;
+  }
+};
+
+/// Assembles and emits a dif-bench-v1 report (docs/schemas.md): prints it to
+/// stdout and, when `json_path` is non-empty, writes it there too. Appends
+/// the process peak RSS so memory blow-ups show in committed baselines.
+inline void emit_report(const char* area, util::json::Object config,
+                        util::json::Object metrics,
+                        const std::vector<std::string>& pinned_names,
+                        const std::string& json_path) {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+
+  util::json::Object doc;
+  doc["schema"] = util::json::Value(std::string("dif-bench-v1"));
+  doc["area"] = util::json::Value(std::string(area));
+  doc["config"] = util::json::Value(std::move(config));
+  doc["metrics"] = util::json::Value(std::move(metrics));
+  util::json::Array pinned;
+  for (const std::string& name : pinned_names) pinned.emplace_back(name);
+  doc["pinned"] = util::json::Value(std::move(pinned));
+  doc["peak_rss_kb"] =
+      util::json::Value(static_cast<double>(usage.ru_maxrss));
+  const util::json::Value report{std::move(doc)};
+
+  std::printf("%s\n", report.dump(2).c_str());
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << report.dump(2) << '\n';
+  }
 }
 
 }  // namespace dif::bench

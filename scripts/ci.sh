@@ -263,6 +263,40 @@ else
   echo "python3 or BENCH_check.json missing; skipping bench gate"
 fi
 
+echo "== bench gate: fleet-scale scalability scorecard =="
+# BENCH_scalability.json is the committed baseline (bench/bench_scalability.cpp).
+# The smoke run covers the full sweep including the 1024x10240 frontier point;
+# the pinned hot-path metrics (SoA incremental moves, batched sim dispatch)
+# must stay within 10% of baseline, and warm re-optimization must still beat
+# the cold rerun on evaluations spent.
+if command -v python3 >/dev/null 2>&1 && [ -f "$ROOT/BENCH_scalability.json" ]; then
+  "$ROOT/build/bench/bench_scalability" --iters 3 \
+    --json "$ROOT/build/ci_bench_scalability.json" > /dev/null 2>&1
+  python3 - "$ROOT/BENCH_scalability.json" \
+    "$ROOT/build/ci_bench_scalability.json" <<'EOF'
+import json, sys
+baseline = json.load(open(sys.argv[1]))
+current = json.load(open(sys.argv[2]))
+assert current["schema"] == "dif-bench-v1", current.get("schema")
+failed = []
+for name in baseline["pinned"]:
+    old = baseline["metrics"][name]["value"]
+    new = current["metrics"][name]["value"]
+    print(f"{name}: baseline {old:.2f}, current {new:.2f} "
+          f"({100 * new / old:.0f}%)")
+    if new < 0.9 * old:
+        failed.append(name)
+assert not failed, f"throughput regressed >10% on: {failed}"
+warm = current["metrics"]["reopt.warm_evaluations"]["value"]
+cold = current["metrics"]["reopt.cold_evaluations"]["value"]
+print(f"reopt: warm {warm:.0f} evals vs cold {cold:.0f} evals")
+assert warm < cold, "warm re-optimization no cheaper than cold rerun"
+print("scalability gate OK")
+EOF
+else
+  echo "python3 or BENCH_scalability.json missing; skipping scalability gate"
+fi
+
 echo "== docs: relative-link check =="
 if command -v python3 >/dev/null 2>&1; then
   python3 "$ROOT/scripts/check_docs.py" "$ROOT"

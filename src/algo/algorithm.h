@@ -16,6 +16,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "model/constraints.h"
 #include "model/deployment.h"
@@ -69,6 +70,15 @@ struct AlgoOptions {
   /// Cooperative cancellation; may be flipped from another thread. Must
   /// outlive the run. nullptr = not cancellable.
   const CancelToken* cancel = nullptr;
+  /// Warm-started re-optimization: treat `initial` as a previously good
+  /// deployment and restrict the search to the neighbourhood of
+  /// `dirty_components` (the components whose model context changed since
+  /// `initial` was computed). With an empty dirty set the run degenerates to
+  /// a single evaluation of `initial`. Requires a usable `initial` — when it
+  /// is absent or infeasible, algorithms fall back to a cold run. Ignored
+  /// when false (`dirty_components` is then unused).
+  bool warm_start = false;
+  std::vector<model::ComponentId> dirty_components;
 };
 
 /// Outcome of one algorithm run — mirrors DeSi's AlgoResultData entry:

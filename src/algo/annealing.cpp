@@ -18,9 +18,11 @@ AlgoResult SimulatedAnnealingAlgorithm::run(
   util::Xoshiro256ss rng(options.seed);
 
   model::Deployment current(model.component_count());
+  bool from_initial = false;
   if (options.initial && options.initial->complete() &&
       checker.feasible(*options.initial)) {
     current = *options.initial;
+    from_initial = true;
   } else if (const auto d = build_random_feasible_retry(
                  model, checker, groups, rng, 32, options.cancel)) {
     current = *d;
@@ -36,6 +38,26 @@ AlgoResult SimulatedAnnealingAlgorithm::run(
   double current_score = objective.score(model, current);
   search.consider(current);
 
+  // Warm-started re-optimization: propose moves only for the groups whose
+  // components went dirty, and scale the epoch length to the dirty
+  // neighbourhood instead of the whole fleet.
+  const bool warm = options.warm_start && from_initial;
+  std::vector<std::uint32_t> proposal_groups;
+  std::size_t dirty_members = 0;
+  if (warm) {
+    if (options.dirty_components.empty())
+      return search.finish(std::string(name()), "warm-start: no delta");
+    const std::vector<char> dirty =
+        warm_dirty_groups(groups, options.dirty_components);
+    for (std::uint32_t g = 0; g < groups.group_count(); ++g)
+      if (dirty[g]) {
+        proposal_groups.push_back(g);
+        dirty_members += groups.members[g].size();
+      }
+    if (proposal_groups.empty())
+      return search.finish(std::string(name()), "warm-start: no delta");
+  }
+
   // Delta evaluation: a proposal re-scores in O(degree of the moved group)
   // instead of two full passes over the interaction list.
   std::optional<model::IncrementalEvaluator> inc =
@@ -46,7 +68,8 @@ AlgoResult SimulatedAnnealingAlgorithm::run(
   const std::size_t g_count = groups.group_count();
   const std::size_t moves_per_epoch =
       schedule_.moves_per_epoch_per_component *
-      std::max<std::size_t>(model.component_count(), 1);
+      std::max<std::size_t>(warm ? dirty_members : model.component_count(),
+                            1);
 
   std::size_t accepted = 0, attempted = 0;
   for (double t = schedule_.initial_temperature;
@@ -57,7 +80,9 @@ AlgoResult SimulatedAnnealingAlgorithm::run(
       ++attempted;
       // Propose: move a random group to a random other host (swap variants
       // are reachable as two moves; plain moves keep the proposal cheap).
-      const auto g = static_cast<std::uint32_t>(rng.index(g_count));
+      const std::uint32_t g =
+          warm ? proposal_groups[rng.index(proposal_groups.size())]
+               : static_cast<std::uint32_t>(rng.index(g_count));
       const model::HostId from = state.host_of_group(g);
       const auto to = static_cast<model::HostId>(rng.index(k));
       if (to == from) continue;
@@ -93,7 +118,8 @@ AlgoResult SimulatedAnnealingAlgorithm::run(
   }
 
   return search.finish(std::string(name()),
-                       "accepted=" + std::to_string(accepted) + "/" +
+                       std::string(warm ? "warm " : "") +
+                           "accepted=" + std::to_string(accepted) + "/" +
                            std::to_string(attempted));
 }
 

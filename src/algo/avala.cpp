@@ -1,7 +1,9 @@
 #include "algo/avala.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
+#include <tuple>
 
 #include "algo/random_feasible.h"
 
@@ -30,6 +32,86 @@ AlgoResult AvalaAlgorithm::run(const model::DeploymentModel& model,
 
   const std::size_t k = model.host_count();
   const std::size_t g_count = groups.group_count();
+
+  // --- warm-started repair -------------------------------------------------
+  // Keep every clean group where the initial deployment put it and re-place
+  // only the dirty groups, by interaction affinity to the (frozen) rest.
+  // Cost: O(interactions + dirty * k) instead of the cold greedy's
+  // O(groups^2 * hosts). Falls through to the cold path when repair fails.
+  if (options.warm_start && options.initial && options.initial->complete() &&
+      checker.feasible(*options.initial)) {
+    if (options.dirty_components.empty()) {
+      search.consider(*options.initial);
+      return search.finish(std::string(name()), "warm-start: no delta");
+    }
+    const std::vector<char> dirty =
+        warm_dirty_groups(groups, options.dirty_components);
+    PlacementState state(model, checker, groups);
+    std::vector<std::uint32_t> dirty_list;
+    std::vector<std::uint32_t> dirty_index(g_count,
+                                           std::numeric_limits<std::uint32_t>::max());
+    for (std::uint32_t g = 0; g < g_count; ++g) {
+      if (dirty[g]) {
+        dirty_index[g] = static_cast<std::uint32_t>(dirty_list.size());
+        dirty_list.push_back(g);
+      } else {
+        state.place(g, options.initial->host_of(groups.members[g].front()));
+      }
+    }
+    // Per-host interaction frequency of each dirty group toward the groups
+    // already pinned down; dirty-dirty pairs contribute as soon as the
+    // earlier-placed side lands.
+    std::vector<double> affinity(dirty_list.size() * k, 0.0);
+    std::vector<std::tuple<std::uint32_t, std::uint32_t, double>> dirty_pairs;
+    for (const model::Interaction& ix : model.interactions()) {
+      const std::uint32_t ga = groups.group_of[ix.a];
+      const std::uint32_t gb = groups.group_of[ix.b];
+      if (ga == gb) continue;
+      const bool da = dirty[ga] != 0, db = dirty[gb] != 0;
+      if (da && db) {
+        dirty_pairs.emplace_back(dirty_index[ga], dirty_index[gb],
+                                 ix.frequency);
+      } else if (da) {
+        affinity[dirty_index[ga] * k + state.host_of_group(gb)] +=
+            ix.frequency;
+      } else if (db) {
+        affinity[dirty_index[gb] * k + state.host_of_group(ga)] +=
+            ix.frequency;
+      }
+    }
+    bool repaired = true;
+    for (std::uint32_t di = 0; di < dirty_list.size() && repaired; ++di) {
+      const std::uint32_t g = dirty_list[di];
+      std::int64_t best_host = -1;
+      double best_affinity = 0.0;
+      for (std::size_t h = 0; h < k; ++h) {
+        const auto host = static_cast<model::HostId>(h);
+        if (!state.fits(g, host)) continue;
+        if (best_host < 0 || affinity[di * k + h] > best_affinity) {
+          best_host = static_cast<std::int64_t>(h);
+          best_affinity = affinity[di * k + h];
+        }
+      }
+      if (best_host < 0) {
+        repaired = false;
+        break;
+      }
+      const auto host = static_cast<model::HostId>(best_host);
+      state.place(g, host);
+      for (const auto& [i, j, freq] : dirty_pairs) {
+        if (i == di) affinity[j * k + host] += freq;
+        if (j == di) affinity[i * k + host] += freq;
+      }
+    }
+    if (repaired) {
+      // The repaired placement competes with simply keeping the initial;
+      // the incumbent picks whichever scores better.
+      search.consider(*options.initial);
+      const model::Deployment d = state.to_deployment();
+      if (checker.feasible(d)) search.consider(d);
+      return search.finish(std::string(name()), "warm repair");
+    }
+  }
 
   // --- host ranking: sum of reliabilities + normalized bandwidths to other
   // hosts, plus normalized memory capacity -------------------------------
@@ -64,15 +146,18 @@ AlgoResult AvalaAlgorithm::run(const model::DeploymentModel& model,
                    });
 
   // --- group ranking ingredients -----------------------------------------
-  // Pairwise interaction frequency between groups, global frequency sums.
-  std::vector<double> group_freq(g_count * g_count, 0.0);
+  // Sparse group-interaction adjacency plus global frequency sums. (This
+  // used to be a dense g^2 frequency matrix — hundreds of MB and an O(g^2)
+  // affinity rescan per placement at fleet scale.)
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> group_pairs(
+      g_count);
   std::vector<double> global_freq(g_count, 0.0);
   for (const model::Interaction& ix : model.interactions()) {
     const std::uint32_t ga = groups.group_of[ix.a];
     const std::uint32_t gb = groups.group_of[ix.b];
     if (ga == gb) continue;
-    group_freq[ga * g_count + gb] += ix.frequency;
-    group_freq[gb * g_count + ga] += ix.frequency;
+    group_pairs[ga].emplace_back(gb, ix.frequency);
+    group_pairs[gb].emplace_back(ga, ix.frequency);
     global_freq[ga] += ix.frequency;
     global_freq[gb] += ix.frequency;
   }
@@ -84,19 +169,21 @@ AlgoResult AvalaAlgorithm::run(const model::DeploymentModel& model,
   std::vector<bool> placed(g_count, false);
   std::size_t placed_count = 0;
 
+  // Affinity of each unplaced group toward the groups already on the host
+  // currently being filled, maintained incrementally: placing `b` streams
+  // b's pair frequencies to its partners in O(degree(b)) instead of an
+  // O(g^2) rescan per placement.
+  std::vector<double> affinity(g_count, 0.0);
+
   for (const model::HostId host : host_order) {
     if (placed_count == g_count || search.out_of_budget()) break;
+    std::fill(affinity.begin(), affinity.end(), 0.0);
     while (!search.out_of_budget()) {
-      // Affinity of each unplaced group to the groups already on this host.
       double best_rank = 0.0;
       std::int64_t best_group = -1;
       for (std::uint32_t g = 0; g < g_count; ++g) {
         if (placed[g] || !state.fits(g, host)) continue;
-        double affinity = 0.0;
-        for (std::uint32_t other = 0; other < g_count; ++other)
-          if (placed[other] && state.host_of_group(other) == host)
-            affinity += group_freq[g * g_count + other];
-        const double rank = affinity_weight_ * affinity / max_global_freq +
+        const double rank = affinity_weight_ * affinity[g] / max_global_freq +
                             global_freq[g] / max_global_freq +
                             (1.0 - groups.memory[g] / max_group_mem);
         if (best_group < 0 || rank > best_rank) {
@@ -105,9 +192,12 @@ AlgoResult AvalaAlgorithm::run(const model::DeploymentModel& model,
         }
       }
       if (best_group < 0) break;  // host full (or nothing allowed here)
-      state.place(static_cast<std::uint32_t>(best_group), host);
-      placed[static_cast<std::size_t>(best_group)] = true;
+      const auto bg = static_cast<std::uint32_t>(best_group);
+      state.place(bg, host);
+      placed[bg] = true;
       ++placed_count;
+      for (const auto& [other, freq] : group_pairs[bg])
+        affinity[other] += freq;
     }
   }
 

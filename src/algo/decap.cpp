@@ -106,9 +106,11 @@ AlgoResult DecApAlgorithm::run(const model::DeploymentModel& model,
   // construction (in a real decentralized system there is always a current
   // deployment; the constructor stands in for it in benchmarks).
   model::Deployment current(model.component_count());
+  bool from_initial = false;
   if (options.initial && options.initial->complete() &&
       checker.feasible(*options.initial)) {
     current = *options.initial;
+    from_initial = true;
   } else if (const auto d = build_random_feasible_retry(
                  model, checker, groups, rng, 32, options.cancel)) {
     current = *d;
@@ -120,6 +122,17 @@ AlgoResult DecApAlgorithm::run(const model::DeploymentModel& model,
   for (std::uint32_t g = 0; g < groups.group_count(); ++g)
     state.place(g, current.host_of(groups.members[g].front()));
   search.consider(current);
+
+  // Warm-started re-optimization: only dirty groups go to auction; clean
+  // placements are kept as-is. The protocol structure (rounds, busy rule)
+  // is unchanged, so decentralized-execution fidelity is preserved.
+  const bool warm = options.warm_start && from_initial;
+  std::vector<char> dirty_group;
+  if (warm) {
+    if (options.dirty_components.empty())
+      return search.finish(std::string(name()), "warm-start: no delta");
+    dirty_group = warm_dirty_groups(groups, options.dirty_components);
+  }
 
   // Index interactions by group pair for bid computation.
   const auto interactions = model.interactions();
@@ -179,10 +192,13 @@ AlgoResult DecApAlgorithm::run(const model::DeploymentModel& model,
       if (bidders.empty()) continue;
       bool conducted = false;
 
-      // Snapshot of the groups currently on this host.
+      // Snapshot of the groups currently on this host (auctionable ones
+      // only: a warm run never re-auctions clean groups).
       std::vector<std::uint32_t> local_groups;
       for (std::uint32_t g = 0; g < g_count; ++g)
-        if (state.host_of_group(g) == auctioneer) local_groups.push_back(g);
+        if (state.host_of_group(g) == auctioneer &&
+            (!warm || dirty_group[g]))
+          local_groups.push_back(g);
 
       for (const std::uint32_t g : local_groups) {
         if (search.out_of_budget()) break;
@@ -226,7 +242,8 @@ AlgoResult DecApAlgorithm::run(const model::DeploymentModel& model,
 
   AlgoResult result = search.finish(
       std::string(name()),
-      "rounds=" + std::to_string(stats_.rounds) +
+      std::string(warm ? "warm " : "") +
+          "rounds=" + std::to_string(stats_.rounds) +
           " auctions=" + std::to_string(stats_.auctions) +
           " messages=" + std::to_string(stats_.messages) +
           " moves=" + std::to_string(stats_.migrations));

@@ -39,9 +39,11 @@ AlgoResult HillClimbAlgorithm::run(const model::DeploymentModel& model,
 
   // Start from the supplied deployment when it is usable, else construct.
   model::Deployment current(model.component_count());
+  bool from_initial = false;
   if (options.initial && options.initial->complete() &&
       checker.feasible(*options.initial)) {
     current = *options.initial;
+    from_initial = true;
   } else if (const auto d = build_random_feasible_retry(
                  model, checker, groups, rng, 32, options.cancel)) {
     current = *d;
@@ -53,6 +55,14 @@ AlgoResult HillClimbAlgorithm::run(const model::DeploymentModel& model,
   if (!load_state(state, groups, current))
     return search.finish(std::string(name()), "incomplete start");
   double current_value = search.consider(current);
+
+  // Warm-started re-optimization: only the groups touching a dirty
+  // component are candidates for moves, plus (transitively) their
+  // interaction partners once something actually moves. An unusable initial
+  // falls back to the cold full-neighbourhood search.
+  const bool warm = options.warm_start && from_initial;
+  if (warm && options.dirty_components.empty())
+    return search.finish(std::string(name()), "warm-start: no delta");
 
   // Delta evaluation: probing a move costs O(degree) instead of a full
   // O(interactions) re-score whenever the objective decomposes pairwise.
@@ -86,11 +96,55 @@ AlgoResult HillClimbAlgorithm::run(const model::DeploymentModel& model,
   const std::size_t g_count = groups.group_count();
   std::size_t passes = 0;
 
+  // Move candidates for the current pass: every group when cold, the dirty
+  // neighbourhood when warm.
+  std::vector<std::uint32_t> order;
+  std::vector<std::vector<std::uint32_t>> partners;  // warm only
+  std::vector<char> allowed;                         // warm only
+  if (warm) {
+    const std::vector<char> dirty =
+        warm_dirty_groups(groups, options.dirty_components);
+    for (std::uint32_t g = 0; g < g_count; ++g)
+      if (dirty[g]) order.push_back(g);
+    partners.resize(g_count);
+    for (const model::Interaction& ix : model.interactions()) {
+      const std::uint32_t ga = groups.group_of[ix.a];
+      const std::uint32_t gb = groups.group_of[ix.b];
+      if (ga != gb) {
+        partners[ga].push_back(gb);
+        partners[gb].push_back(ga);
+      }
+    }
+    // Candidate set: the dirty groups plus their direct interaction
+    // partners, fixed up front. Without this bound the worklist grows
+    // transitively — when the wider placement is not yet a local optimum,
+    // every move wakes its neighbours and the "warm" pass degenerates into
+    // a cold sweep wearing a warm label. Bounding to the 1-hop closure
+    // keeps the cost proportional to the delta.
+    allowed.assign(g_count, 0);
+    for (const std::uint32_t g : order) {
+      allowed[g] = 1;
+      for (const std::uint32_t p : partners[g]) allowed[p] = 1;
+    }
+  } else {
+    order.resize(g_count);
+    for (std::uint32_t g = 0; g < g_count; ++g) order[g] = g;
+  }
+
   for (; passes < max_passes_; ++passes) {
     bool improved = false;
+    std::vector<std::uint32_t> next_order;
+    std::vector<char> queued(warm ? g_count : 0, 0);
+    const auto enqueue = [&](std::uint32_t g) {
+      if (allowed[g] && !queued[g]) {
+        queued[g] = 1;
+        next_order.push_back(g);
+      }
+    };
 
     // Best single-group move.
-    for (std::uint32_t g = 0; g < g_count && !search.out_of_budget(); ++g) {
+    for (const std::uint32_t g : order) {
+      if (search.out_of_budget()) break;
       const model::HostId from = state.host_of_group(g);
       state.remove(g);
       model::HostId best_host = from;
@@ -110,12 +164,21 @@ AlgoResult HillClimbAlgorithm::run(const model::DeploymentModel& model,
         if (inc) move_group(*inc, groups, g, best_host);
         current_value = best_value;
         improved = true;
+        if (warm) {
+          // The moved group and everything it interacts with may improve
+          // further now — that is the whole next pass.
+          enqueue(g);
+          for (const std::uint32_t p : partners[g]) enqueue(p);
+        }
       }
     }
+    if (warm) order = std::move(next_order);
 
     // Pairwise swaps (only attempted when moves alone made no progress;
     // swaps escape "both hosts full" local optima that moves cannot).
-    if (use_swaps_ && !improved) {
+    // Skipped when warm: the O(groups^2) sweep is exactly the fleet-scale
+    // cost a delta-bounded re-optimization must avoid.
+    if (use_swaps_ && !improved && !warm) {
       for (std::uint32_t a = 0; a < g_count && !improved; ++a) {
         for (std::uint32_t b = a + 1; b < g_count && !improved; ++b) {
           if (search.out_of_budget()) break;
@@ -162,7 +225,8 @@ AlgoResult HillClimbAlgorithm::run(const model::DeploymentModel& model,
   }
 
   return search.finish(std::string(name()),
-                       "passes=" + std::to_string(passes + 1));
+                       std::string(warm ? "warm " : "") +
+                           "passes=" + std::to_string(passes + 1));
 }
 
 }  // namespace dif::algo

@@ -75,6 +75,8 @@ PortfolioResult PortfolioRunner::run(const model::DeploymentModel& model,
       opts.seed = options_.seed;
       opts.max_evaluations = options_.max_evaluations;
       opts.cancel = &stop;
+      opts.warm_start = options_.warm_start;
+      opts.dirty_components = options_.dirty_components;
       if (options_.deadline_seconds > 0.0) {
         // Late-claimed jobs get only what is left of the common deadline.
         const double elapsed =
@@ -201,6 +203,8 @@ AlgoResult PortfolioAlgorithm::run(const model::DeploymentModel& model,
   popts.seed = options.seed;
   popts.initial = options.initial;
   popts.cancel = options.cancel;
+  popts.warm_start = options.warm_start;
+  popts.dirty_components = options.dirty_components;
 
   PortfolioRunner runner(popts);
   runner.add_from_registry(registry_, names_);

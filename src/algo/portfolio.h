@@ -40,6 +40,10 @@ struct PortfolioOptions {
   std::optional<model::Deployment> initial;
   /// External cancellation; chained into the runner's internal token.
   const CancelToken* cancel = nullptr;
+  /// Warm-started re-optimization, forwarded to every entry (see
+  /// AlgoOptions::warm_start / dirty_components).
+  bool warm_start = false;
+  std::vector<model::ComponentId> dirty_components;
   /// Observability sinks. Recorded after the worker pool joins (never from
   /// worker threads): one "portfolio.run" span per entry with its runtime
   /// and result quality, plus "portfolio.*" metrics.

@@ -174,6 +174,15 @@ std::optional<model::Deployment> build_random_feasible(
   return state.to_deployment();
 }
 
+std::vector<char> warm_dirty_groups(
+    const ColocationGroups& groups,
+    const std::vector<model::ComponentId>& dirty_components) {
+  std::vector<char> dirty(groups.group_count(), 0);
+  for (const model::ComponentId c : dirty_components)
+    if (c < groups.group_of.size()) dirty[groups.group_of[c]] = 1;
+  return dirty;
+}
+
 std::optional<model::Deployment> build_scattered_feasible(
     const model::DeploymentModel& model,
     const model::ConstraintChecker& checker, const ColocationGroups& groups,

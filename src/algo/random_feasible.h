@@ -103,6 +103,13 @@ class PlacementState {
     util::Xoshiro256ss& rng, int attempts,
     const CancelToken* cancel = nullptr);
 
+/// Lifts AlgoOptions::dirty_components to group granularity: flags[g] != 0
+/// when any member of group `g` is dirty. Warm-started algorithms use this
+/// to freeze clean groups and search only the changed neighbourhood.
+[[nodiscard]] std::vector<char> warm_dirty_groups(
+    const ColocationGroups& groups,
+    const std::vector<model::ComponentId>& dirty_components);
+
 /// Scattered construction: each group (in random order) goes to a host
 /// chosen uniformly among all hosts it currently fits on. Unlike the
 /// pack-first Stochastic construction this spreads components across the

@@ -22,12 +22,11 @@ std::string CentralizedAnalyzer::select_algorithm(
   return policy_.unstable_algorithm;
 }
 
-Decision CentralizedAnalyzer::analyze(const model::DeploymentModel& m,
-                                      const model::Objective& objective,
-                                      const model::ConstraintChecker& checker,
-                                      const model::Deployment& current,
-                                      ExecutionProfile& profile,
-                                      std::uint64_t seed) const {
+Decision CentralizedAnalyzer::analyze(
+    const model::DeploymentModel& m, const model::Objective& objective,
+    const model::ConstraintChecker& checker, const model::Deployment& current,
+    ExecutionProfile& profile, std::uint64_t seed,
+    const std::vector<model::ComponentId>* dirty) const {
   Decision decision;
   decision.value_before = objective.evaluate(m, current);
   decision.algorithm = select_algorithm(m, profile);
@@ -60,6 +59,11 @@ Decision CentralizedAnalyzer::analyze(const model::DeploymentModel& m,
   options.initial = current;
   options.seed = seed;
   options.max_evaluations = policy_.max_evaluations;
+  if (policy_.warm_start && dirty != nullptr) {
+    options.warm_start = true;
+    options.dirty_components = *dirty;
+    if (obs_.metrics) obs_.metrics->counter("analyzer.warm_analyses").add(1);
+  }
   std::unique_ptr<algo::Algorithm> algorithm;
   if (decision.algorithm == "portfolio" && !registry_.contains("portfolio")) {
     // Not a registry entry (the default registry stays portfolio-free so

@@ -70,6 +70,11 @@ class CentralizedAnalyzer {
     std::vector<std::string> portfolio_lineup;
     std::size_t portfolio_threads = 0;
     double portfolio_deadline_seconds = 0.0;
+    /// Warm-start the algorithm run when the caller supplies a dirty set:
+    /// the search then only revisits the neighbourhood of the changed
+    /// components (AlgoOptions::warm_start). Without a dirty set the run is
+    /// cold regardless of this flag.
+    bool warm_start = false;
   };
 
   /// The registry must outlive the analyzer.
@@ -82,12 +87,16 @@ class CentralizedAnalyzer {
 
   /// Runs the selected algorithm and applies the improvement gate and
   /// latency guard. `current` must be the system's present deployment.
-  [[nodiscard]] Decision analyze(const model::DeploymentModel& m,
-                                 const model::Objective& objective,
-                                 const model::ConstraintChecker& checker,
-                                 const model::Deployment& current,
-                                 ExecutionProfile& profile,
-                                 std::uint64_t seed = 1) const;
+  /// `dirty` (optional) lists the components whose model context changed
+  /// since `current` was chosen; with Policy::warm_start set, the algorithm
+  /// then re-optimizes only that neighbourhood (an empty list degenerates
+  /// to "evaluate current once").
+  [[nodiscard]] Decision analyze(
+      const model::DeploymentModel& m, const model::Objective& objective,
+      const model::ConstraintChecker& checker,
+      const model::Deployment& current, ExecutionProfile& profile,
+      std::uint64_t seed = 1,
+      const std::vector<model::ComponentId>* dirty = nullptr) const;
 
   [[nodiscard]] const Policy& policy() const noexcept { return policy_; }
 

@@ -6,6 +6,18 @@
 
 namespace dif::core {
 
+namespace {
+
+/// The loop-level warm_start switch implies the analyzer-level one.
+analyzer::CentralizedAnalyzer::Policy effective_policy(
+    const ImprovementLoop::Config& config) {
+  analyzer::CentralizedAnalyzer::Policy policy = config.policy;
+  policy.warm_start = policy.warm_start || config.warm_start;
+  return policy;
+}
+
+}  // namespace
+
 ImprovementLoop::ImprovementLoop(CentralizedInstantiation& instantiation,
                                  const model::Objective& objective,
                                  Config config)
@@ -13,9 +25,68 @@ ImprovementLoop::ImprovementLoop(CentralizedInstantiation& instantiation,
       objective_(objective),
       config_(config),
       registry_(algo::AlgorithmRegistry::with_defaults()),
-      analyzer_(registry_, config.policy),
+      analyzer_(registry_, effective_policy(config)),
       escalation_(config.escalation),
-      current_interval_ms_(config.interval_ms) {}
+      current_interval_ms_(config.interval_ms) {
+  if (config_.warm_start) {
+    detail_listener_id_ =
+        instantiation_.system().model().add_detail_listener(
+            [this](const model::ModelChange& change) {
+              on_model_change(change);
+            });
+    has_detail_listener_ = true;
+  }
+}
+
+ImprovementLoop::~ImprovementLoop() {
+  if (has_detail_listener_)
+    instantiation_.system().model().remove_detail_listener(
+        detail_listener_id_);
+}
+
+void ImprovementLoop::mark_host_dirty(model::HostId host) {
+  const model::Deployment& d = instantiation_.system().deployment();
+  for (std::size_t c = 0; c < d.size(); ++c)
+    if (d.host_of(static_cast<model::ComponentId>(c)) == host)
+      dirty_.push_back(static_cast<model::ComponentId>(c));
+}
+
+void ImprovementLoop::on_model_change(const model::ModelChange& change) {
+  switch (change.event) {
+    case model::ModelEvent::kTopologyChanged:
+      // A new host/component invalidates the previous optimization wholesale.
+      all_dirty_ = true;
+      break;
+    case model::ModelEvent::kPhysicalLinkChanged:
+      if (change.host_a == model::kNoHost || change.host_b == model::kNoHost) {
+        all_dirty_ = true;
+      } else {
+        // A fluctuated link affects every component placed on either end.
+        mark_host_dirty(change.host_a);
+        mark_host_dirty(change.host_b);
+      }
+      break;
+    case model::ModelEvent::kLogicalLinkChanged:
+      if (change.component_a == model::kNoComponent ||
+          change.component_b == model::kNoComponent) {
+        all_dirty_ = true;
+      } else {
+        dirty_.push_back(change.component_a);
+        dirty_.push_back(change.component_b);
+      }
+      break;
+    case model::ModelEvent::kEntityParamChanged:
+      if (change.component_a != model::kNoComponent) {
+        dirty_.push_back(change.component_a);
+      } else if (change.host_a != model::kNoHost) {
+        mark_host_dirty(change.host_a);
+      } else {
+        // Anonymous notify_entity_changed(): not attributable.
+        all_dirty_ = true;
+      }
+      break;
+  }
+}
 
 void ImprovementLoop::start() {
   if (running_) return;
@@ -60,9 +131,26 @@ analyzer::Decision ImprovementLoop::tick() {
   } else {
     if (config_.enable_escalation)
       analyzer_.set_stable_algorithm(escalation_.current());
+    // Warm analysis: hand over the deduped delta accumulated since the
+    // last analysis. First tick and un-attributable changes stay cold.
+    std::vector<model::ComponentId> dirty_now;
+    const std::vector<model::ComponentId>* dirty_ptr = nullptr;
+    if (config_.warm_start && warm_primed_ && !all_dirty_) {
+      dirty_now = dirty_;
+      std::sort(dirty_now.begin(), dirty_now.end());
+      dirty_now.erase(std::unique(dirty_now.begin(), dirty_now.end()),
+                      dirty_now.end());
+      dirty_ptr = &dirty_now;
+    }
     decision = analyzer_.analyze(system.model(), objective_, checker,
                                  system.deployment(), profile_,
-                                 config_.seed + tick_count_);
+                                 config_.seed + tick_count_, dirty_ptr);
+    if (config_.warm_start) {
+      // This analysis consumed the delta (cold runs consume everything).
+      dirty_.clear();
+      all_dirty_ = false;
+      warm_primed_ = true;
+    }
     if (config_.enable_escalation) escalation_.observe(decision);
     if (decision.action == analyzer::Decision::Action::kRedeploy) {
       effect_outstanding_ = true;

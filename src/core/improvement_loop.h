@@ -32,6 +32,13 @@ class ImprovementLoop {
     bool adaptive_interval = false;
     double backoff_factor = 1.5;
     double max_interval_ms = 60'000.0;
+    /// Warm-started re-optimization (paper §4.3's incremental re-analysis
+    /// at fleet scale): the loop listens for fine-grained model changes,
+    /// accumulates the affected components between ticks, and hands the
+    /// analyzer that dirty set so the search cost scales with the delta.
+    /// Un-attributable changes (topology edits, anonymous entity updates)
+    /// fall back to a cold analysis. The first tick is always cold.
+    bool warm_start = false;
     std::uint64_t seed = 1;
   };
 
@@ -51,6 +58,7 @@ class ImprovementLoop {
   /// All references must outlive the loop.
   ImprovementLoop(CentralizedInstantiation& instantiation,
                   const model::Objective& objective, Config config);
+  ~ImprovementLoop();
 
   /// Schedules periodic analyzer ticks on the instantiation's simulator.
   void start();
@@ -86,8 +94,20 @@ class ImprovementLoop {
     return current_interval_ms_;
   }
 
+  /// Components accumulated as dirty since the last analysis (warm_start
+  /// only; exposed for tests and diagnostics). Unordered, may contain
+  /// duplicates until the next tick dedupes it.
+  [[nodiscard]] const std::vector<model::ComponentId>& dirty_components()
+      const noexcept {
+    return dirty_;
+  }
+  /// True when an un-attributable change forces the next tick cold.
+  [[nodiscard]] bool all_dirty() const noexcept { return all_dirty_; }
+
  private:
   void schedule_next();
+  void on_model_change(const model::ModelChange& change);
+  void mark_host_dirty(model::HostId host);
 
   CentralizedInstantiation& instantiation_;
   const model::Objective& objective_;
@@ -109,6 +129,12 @@ class ImprovementLoop {
   /// redeployment started by someone else surfaces as an explicit effector
   /// rejection instead of silently suppressing analysis.
   bool effect_outstanding_ = false;
+  /// Warm-start bookkeeping (see Config::warm_start).
+  std::vector<model::ComponentId> dirty_;
+  bool all_dirty_ = false;
+  bool warm_primed_ = false;  // one cold analysis has happened
+  std::size_t detail_listener_id_ = 0;
+  bool has_detail_listener_ = false;
   obs::Instruments obs_;
 };
 

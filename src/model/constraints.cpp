@@ -70,15 +70,30 @@ ConstraintChecker::ConstraintChecker(const DeploymentModel& model,
   const std::size_t n = model.component_count();
   const std::size_t k = model.host_count();
   if (k == 0) throw std::invalid_argument("ConstraintChecker: no hosts");
-  allowed_masks_.assign(n * words_per_row_, 0);
-  for (std::size_t c = 0; c < n; ++c) {
-    for (std::size_t h = 0; h < k; ++h) {
-      if (set.host_allowed(static_cast<ComponentId>(c),
-                           static_cast<HostId>(h))) {
-        allowed_masks_[c * words_per_row_ + h / 64] |= 1ULL << (h % 64);
-      }
-    }
+  // Default-allow fill, then direct rule application: O(n * k / 64 + rules)
+  // instead of n * k calls into the O(rules) ConstraintSet::host_allowed —
+  // the difference between milliseconds and minutes at fleet scale
+  // (10k components x 1k hosts x dozens of location rules).
+  allowed_masks_.assign(n * words_per_row_, ~0ULL);
+  if (k % 64 != 0) {
+    // Mask off the bits past the last host so popcount-style consumers and
+    // host_allowed(h >= k) queries see "not allowed".
+    const std::uint64_t last_word = (1ULL << (k % 64)) - 1;
+    for (std::size_t c = 0; c < n; ++c)
+      allowed_masks_[c * words_per_row_ + words_per_row_ - 1] = last_word;
   }
+  for (const auto& [c, hosts] : set.allowed_) {
+    if (c >= n) continue;
+    std::fill_n(allowed_masks_.begin() +
+                    static_cast<std::ptrdiff_t>(c * words_per_row_),
+                words_per_row_, 0ULL);
+    for (const HostId h : hosts)
+      if (h < k) allowed_masks_[c * words_per_row_ + h / 64] |= 1ULL << (h % 64);
+  }
+  // Forbidden pairs win over allow-lists, matching ConstraintSet semantics.
+  for (const auto& [c, h] : set.forbidden_)
+    if (c < n && h < k)
+      allowed_masks_[c * words_per_row_ + h / 64] &= ~(1ULL << (h % 64));
 }
 
 double ConstraintChecker::host_free_memory(const Deployment& d,

@@ -29,19 +29,6 @@ const LogicalLink& no_interaction() {
   return link;
 }
 
-/// Grows a square canonical-pair matrix from old_dim to new_dim.
-template <typename T>
-void grow_square(std::vector<T>& matrix, std::size_t old_dim,
-                 std::size_t new_dim) {
-  std::vector<T> grown(new_dim * new_dim);
-  for (std::size_t i = 0; i < old_dim; ++i)
-    for (std::size_t j = 0; j < old_dim; ++j)
-      grown[i * new_dim + j] = std::move(matrix[i * old_dim + j]);
-  matrix = std::move(grown);
-  DIF_ASSERT(matrix.size() == new_dim * new_dim,
-             "link matrix must stay sized to the entity count");
-}
-
 }  // namespace
 
 HostId DeploymentModel::add_host(Host host) {
@@ -53,8 +40,22 @@ HostId DeploymentModel::add_host(Host host) {
                                   host.name + "'");
   const auto id = static_cast<HostId>(hosts_.size());
   hosts_.push_back(std::move(host));
-  grow_square(physical_, hosts_.size() - 1, hosts_.size());
-  notify(ModelEvent::kTopologyChanged);
+  if (hosts_.size() > phys_dim_) {
+    // Geometric regrowth keeps one-host-at-a-time construction amortized
+    // O(k^2) over the whole build instead of O(k^3).
+    const std::size_t new_dim = std::max<std::size_t>(hosts_.size(),
+                                                      phys_dim_ * 2);
+    std::vector<PhysicalLink> grown(new_dim * new_dim);
+    for (std::size_t i = 0; i < phys_dim_; ++i)
+      for (std::size_t j = i + 1; j < phys_dim_; ++j)
+        grown[i * new_dim + j] = std::move(physical_[i * phys_dim_ + j]);
+    physical_ = std::move(grown);
+    phys_dim_ = new_dim;
+  }
+  DIF_ASSERT(physical_.size() == phys_dim_ * phys_dim_ &&
+                 phys_dim_ >= hosts_.size(),
+             "link matrix must cover the host count");
+  notify({.event = ModelEvent::kTopologyChanged, .host_a = id});
   return id;
 }
 
@@ -66,9 +67,8 @@ ComponentId DeploymentModel::add_component(SoftwareComponent component) {
           "'");
   const auto id = static_cast<ComponentId>(components_.size());
   components_.push_back(std::move(component));
-  grow_square(logical_, components_.size() - 1, components_.size());
   interactions_dirty_ = true;
-  notify(ModelEvent::kTopologyChanged);
+  notify({.event = ModelEvent::kTopologyChanged, .component_a = id});
   return id;
 }
 
@@ -94,7 +94,7 @@ ComponentId DeploymentModel::component_by_name(std::string_view name) const {
 void DeploymentModel::set_host_region(HostId id, std::size_t region) {
   check_host(id);
   hosts_[id].properties.set(kRegionProperty, static_cast<double>(region));
-  notify(ModelEvent::kEntityParamChanged);
+  notify({.event = ModelEvent::kEntityParamChanged, .host_a = id});
 }
 
 std::size_t DeploymentModel::host_region(HostId id) const {
@@ -133,21 +133,15 @@ std::size_t DeploymentModel::phys_index(HostId a, HostId b) const {
   check_host(a);
   check_host(b);
   const auto [lo, hi] = std::minmax(a, b);
-  const std::size_t index = static_cast<std::size_t>(lo) * hosts_.size() + hi;
+  const std::size_t index = static_cast<std::size_t>(lo) * phys_dim_ + hi;
   DIF_ASSERT(index < physical_.size(),
              "canonical host pair must index into the physical matrix");
   return index;
 }
 
-std::size_t DeploymentModel::logi_index(ComponentId a, ComponentId b) const {
-  check_component(a);
-  check_component(b);
+std::uint64_t DeploymentModel::logi_key(ComponentId a, ComponentId b) {
   const auto [lo, hi] = std::minmax(a, b);
-  const std::size_t index =
-      static_cast<std::size_t>(lo) * components_.size() + hi;
-  DIF_ASSERT(index < logical_.size(),
-             "canonical component pair must index into the logical matrix");
-  return index;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
 }
 
 void DeploymentModel::set_physical_link(HostId a, HostId b,
@@ -155,13 +149,15 @@ void DeploymentModel::set_physical_link(HostId a, HostId b,
   if (a == b)
     throw std::invalid_argument("DeploymentModel: self physical link");
   physical_[phys_index(a, b)] = std::move(link);
-  notify(ModelEvent::kPhysicalLinkChanged);
+  notify({.event = ModelEvent::kPhysicalLinkChanged, .host_a = a,
+          .host_b = b});
 }
 
 void DeploymentModel::clear_physical_link(HostId a, HostId b) {
   if (a == b) return;
   physical_[phys_index(a, b)] = PhysicalLink{};
-  notify(ModelEvent::kPhysicalLinkChanged);
+  notify({.event = ModelEvent::kPhysicalLinkChanged, .host_a = a,
+          .host_b = b});
 }
 
 const PhysicalLink& DeploymentModel::physical_link(HostId a, HostId b) const {
@@ -188,34 +184,43 @@ PhysicalLink& DeploymentModel::phys_ref(HostId a, HostId b) {
 void DeploymentModel::set_link_reliability(HostId a, HostId b,
                                            double reliability) {
   phys_ref(a, b).reliability = reliability;
-  notify(ModelEvent::kPhysicalLinkChanged);
+  notify({.event = ModelEvent::kPhysicalLinkChanged, .host_a = a,
+          .host_b = b});
 }
 
 void DeploymentModel::set_link_bandwidth(HostId a, HostId b,
                                          double bandwidth) {
   phys_ref(a, b).bandwidth = bandwidth;
-  notify(ModelEvent::kPhysicalLinkChanged);
+  notify({.event = ModelEvent::kPhysicalLinkChanged, .host_a = a,
+          .host_b = b});
 }
 
 void DeploymentModel::set_link_delay(HostId a, HostId b, double delay_ms) {
   phys_ref(a, b).delay_ms = delay_ms;
-  notify(ModelEvent::kPhysicalLinkChanged);
+  notify({.event = ModelEvent::kPhysicalLinkChanged, .host_a = a,
+          .host_b = b});
 }
 
 void DeploymentModel::set_logical_link(ComponentId a, ComponentId b,
                                        LogicalLink link) {
   if (a == b)
     throw std::invalid_argument("DeploymentModel: self logical link");
-  logical_[logi_index(a, b)] = std::move(link);
+  check_component(a);
+  check_component(b);
+  logical_[logi_key(a, b)] = std::move(link);
   interactions_dirty_ = true;
-  notify(ModelEvent::kLogicalLinkChanged);
+  notify({.event = ModelEvent::kLogicalLinkChanged, .component_a = a,
+          .component_b = b});
 }
 
 void DeploymentModel::clear_logical_link(ComponentId a, ComponentId b) {
   if (a == b) return;
-  logical_[logi_index(a, b)] = LogicalLink{};
+  check_component(a);
+  check_component(b);
+  logical_.erase(logi_key(a, b));
   interactions_dirty_ = true;
-  notify(ModelEvent::kLogicalLinkChanged);
+  notify({.event = ModelEvent::kLogicalLinkChanged, .component_a = a,
+          .component_b = b});
 }
 
 const LogicalLink& DeploymentModel::logical_link(ComponentId a,
@@ -223,28 +228,33 @@ const LogicalLink& DeploymentModel::logical_link(ComponentId a,
   check_component(a);
   check_component(b);
   if (a == b) return no_interaction();
-  return logical_[logi_index(a, b)];
+  const auto it = logical_.find(logi_key(a, b));
+  return it == logical_.end() ? no_interaction() : it->second;
 }
 
 std::span<const Interaction> DeploymentModel::interactions() const {
   if (interactions_dirty_) {
     interactions_cache_.clear();
-    const std::size_t n = components_.size();
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
-        const LogicalLink& link = logical_[i * n + j];
-        if (link.frequency > 0.0) {
-          interactions_cache_.push_back(
-              {static_cast<ComponentId>(i), static_cast<ComponentId>(j),
-               link.frequency, link.avg_event_size});
-        }
+    interactions_cache_.reserve(logical_.size());
+    for (const auto& [key, link] : logical_) {
+      if (link.frequency > 0.0) {
+        interactions_cache_.push_back(
+            {static_cast<ComponentId>(key >> 32),
+             static_cast<ComponentId>(key & 0xffffffffu), link.frequency,
+             link.avg_event_size});
       }
     }
+    // Canonical (a, b) order: the sparse map iterates in hash order, but
+    // every consumer (incremental adjacency, xADL serialization, DecAp's
+    // auction indexing) relies on a deterministic interaction sequence.
+    std::sort(interactions_cache_.begin(), interactions_cache_.end(),
+              [](const Interaction& x, const Interaction& y) {
+                return x.a != y.a ? x.a < y.a : x.b < y.b;
+              });
     interactions_dirty_ = false;
   }
-  DIF_ASSERT(interactions_cache_.size() <=
-                 components_.size() * (components_.size() + 1) / 2,
-             "interaction cache cannot exceed the component pair count");
+  DIF_ASSERT(interactions_cache_.size() <= logical_.size(),
+             "interaction cache cannot exceed the stored link count");
   return interactions_cache_;
 }
 
@@ -264,12 +274,24 @@ void DeploymentModel::remove_listener(std::size_t id) {
   std::erase_if(listeners_, [id](const auto& p) { return p.first == id; });
 }
 
-void DeploymentModel::notify_entity_changed() {
-  notify(ModelEvent::kEntityParamChanged);
+std::size_t DeploymentModel::add_detail_listener(DetailListener listener) {
+  const std::size_t id = next_listener_id_++;
+  detail_listeners_.emplace_back(id, std::move(listener));
+  return id;
 }
 
-void DeploymentModel::notify(ModelEvent event) {
-  for (const auto& [id, listener] : listeners_) listener(event);
+void DeploymentModel::remove_detail_listener(std::size_t id) {
+  std::erase_if(detail_listeners_,
+                [id](const auto& p) { return p.first == id; });
+}
+
+void DeploymentModel::notify_entity_changed() {
+  notify({.event = ModelEvent::kEntityParamChanged});
+}
+
+void DeploymentModel::notify(const ModelChange& change) {
+  for (const auto& [id, listener] : listeners_) listener(change.event);
+  for (const auto& [id, listener] : detail_listeners_) listener(change);
 }
 
 void DeploymentModel::validate() const {
@@ -286,7 +308,7 @@ void DeploymentModel::validate() const {
   const std::size_t k = hosts_.size();
   for (std::size_t a = 0; a < k; ++a) {
     for (std::size_t b = a + 1; b < k; ++b) {
-      const PhysicalLink& link = physical_[a * k + b];
+      const PhysicalLink& link = physical_[a * phys_dim_ + b];
       if (link.reliability < 0.0 || link.reliability > 1.0)
         throw std::invalid_argument(
             "DeploymentModel: link reliability outside [0,1]");
@@ -295,14 +317,10 @@ void DeploymentModel::validate() const {
             "DeploymentModel: negative link bandwidth/delay");
     }
   }
-  const std::size_t n = components_.size();
-  for (std::size_t a = 0; a < n; ++a) {
-    for (std::size_t b = a + 1; b < n; ++b) {
-      const LogicalLink& link = logical_[a * n + b];
-      if (link.frequency < 0.0 || link.avg_event_size < 0.0)
-        throw std::invalid_argument(
-            "DeploymentModel: negative logical link parameter");
-    }
+  for (const auto& [key, link] : logical_) {
+    if (link.frequency < 0.0 || link.avg_event_size < 0.0)
+      throw std::invalid_argument(
+          "DeploymentModel: negative logical link parameter");
   }
 }
 

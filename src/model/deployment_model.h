@@ -8,9 +8,11 @@
 // scenario (Section 5.1); everything else goes in per-entity PropertyMaps.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "model/ids.h"
@@ -80,13 +82,45 @@ enum class ModelEvent {
   kEntityParamChanged,    // host/component field or property updated
 };
 
+/// Fine-grained change notification: the coarse event plus the entities it
+/// touched, when known. Warm-started re-optimization keys on this — the
+/// ImprovementLoop turns "link (a,b) changed" into a dirty-component set so
+/// the next analysis scales with the delta, not the fleet. Sentinel ids
+/// (kNoHost / kNoComponent) mean "not attributable to specific entities";
+/// consumers must then treat the whole model as dirty.
+struct ModelChange {
+  ModelEvent event = ModelEvent::kEntityParamChanged;
+  HostId host_a = kNoHost;
+  HostId host_b = kNoHost;
+  ComponentId component_a = kNoComponent;
+  ComponentId component_b = kNoComponent;
+};
+
+/// Read-only view of the dense physical-link matrix for hot loops (the
+/// incremental evaluator's per-move term updates). `at(a, b)` matches
+/// physical_link(a, b) for a != b without the range checks or the
+/// disconnected-link canonicalization (absent links are stored all-zero, so
+/// reliability/bandwidth/delay read the same either way). Invalidated by
+/// add_host; callers hold it only across a model-stable hot section.
+struct PhysicalLinkTable {
+  const PhysicalLink* data = nullptr;
+  std::size_t dim = 0;  // row stride (matrix capacity, >= host count)
+
+  [[nodiscard]] const PhysicalLink& at(HostId a, HostId b) const {
+    const auto lo = a < b ? a : b;
+    const auto hi = a < b ? b : a;
+    return data[static_cast<std::size_t>(lo) * dim + hi];
+  }
+};
+
 /// The deployment-architecture model.
 ///
 /// Invariants:
 ///  * physical and logical links are symmetric (stored canonically, a <= b);
 ///  * self links are rejected (a local interaction needs no link; a host
 ///    is always perfectly connected to itself);
-///  * all matrices are kept sized to the current host/component counts.
+///  * the physical matrix is kept sized to the current host count (with
+///    geometric spare capacity); logical links are stored sparsely.
 ///
 /// Not thread-safe; the framework owns it from a single (simulated) thread.
 class DeploymentModel {
@@ -149,6 +183,11 @@ class DeploymentModel {
   /// True when a != b and a physical link with bandwidth > 0 exists.
   [[nodiscard]] bool connected(HostId a, HostId b) const;
 
+  /// Raw dense-matrix view for hot loops; see PhysicalLinkTable.
+  [[nodiscard]] PhysicalLinkTable physical_link_table() const noexcept {
+    return {physical_.data(), phys_dim_};
+  }
+
   /// Mutates a single field of an existing link (monitor update path).
   void set_link_reliability(HostId a, HostId b, double reliability);
   void set_link_bandwidth(HostId a, HostId b, double bandwidth);
@@ -181,6 +220,14 @@ class DeploymentModel {
   std::size_t add_listener(Listener listener);
   void remove_listener(std::size_t id);
 
+  /// Registers a fine-grained change listener (see ModelChange). Coarse and
+  /// detail listeners fire on the same notifications; detail listeners
+  /// additionally learn which entities changed. Same lifetime rules as
+  /// add_listener.
+  using DetailListener = std::function<void(const ModelChange&)>;
+  std::size_t add_detail_listener(DetailListener listener);
+  void remove_detail_listener(std::size_t id);
+
   /// Notifies listeners that an entity field/property was edited directly
   /// (Host/SoftwareComponent references are mutable for Modifier's benefit).
   void notify_entity_changed();
@@ -193,23 +240,31 @@ class DeploymentModel {
 
  private:
   [[nodiscard]] std::size_t phys_index(HostId a, HostId b) const;
-  [[nodiscard]] std::size_t logi_index(ComponentId a, ComponentId b) const;
+  [[nodiscard]] static std::uint64_t logi_key(ComponentId a, ComponentId b);
   void check_host(HostId id) const;
   void check_component(ComponentId id) const;
-  void notify(ModelEvent event);
+  void notify(const ModelChange& change);
   PhysicalLink& phys_ref(HostId a, HostId b);
 
   std::vector<Host> hosts_;
   std::vector<SoftwareComponent> components_;
-  /// Upper-triangular (a < b) dense storage, row-major over host pairs.
+  /// Dense canonical-pair (a < b) storage, row-major with stride phys_dim_.
+  /// The capacity dimension grows geometrically so that adding k hosts one
+  /// by one costs amortized O(k^2) total, not O(k^3).
   std::vector<PhysicalLink> physical_;
-  std::vector<LogicalLink> logical_;
+  std::size_t phys_dim_ = 0;
+  /// Sparse logical links keyed by canonical pair (lo << 32 | hi). Dense
+  /// n-by-n storage was quadratic in components — multiple GB at the 10k+
+  /// component fleet sizes bench_scalability sweeps — while real interaction
+  /// graphs are sparse.
+  std::unordered_map<std::uint64_t, LogicalLink> logical_;
   PropertyMap properties_;
 
   mutable std::vector<Interaction> interactions_cache_;
   mutable bool interactions_dirty_ = true;
 
   std::vector<std::pair<std::size_t, Listener>> listeners_;
+  std::vector<std::pair<std::size_t, DetailListener>> detail_listeners_;
   std::size_t next_listener_id_ = 0;
 };
 

@@ -15,4 +15,8 @@ using ComponentId = std::uint32_t;
 /// Sentinel meaning "component not (yet) assigned to any host".
 inline constexpr HostId kNoHost = std::numeric_limits<HostId>::max();
 
+/// Sentinel meaning "no component" (absent field of a change notification).
+inline constexpr ComponentId kNoComponent =
+    std::numeric_limits<ComponentId>::max();
+
 }  // namespace dif::model

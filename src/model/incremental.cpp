@@ -96,25 +96,105 @@ IncrementalEvaluator::IncrementalEvaluator(PairwiseDecomposition decomposition,
                                            const DeploymentModel& m)
     : decomposition_(decomposition),
       model_(&m),
-      interactions_(m.interactions()),
-      adjacency_(m.component_count()),
-      assignment_(m.component_count(), kNoHost),
-      term_(interactions_.size(), 0.0) {
-  for (std::uint32_t index = 0; index < interactions_.size(); ++index) {
-    adjacency_[interactions_[index].a].push_back(index);
-    adjacency_[interactions_[index].b].push_back(index);
+      links_(m.physical_link_table()),
+      assignment_(m.component_count(), kNoHost) {
+  const std::span<const Interaction> interactions = m.interactions();
+  const auto ix_count = static_cast<std::uint32_t>(interactions.size());
+  ix_a_.resize(ix_count);
+  ix_b_.resize(ix_count);
+  ix_freq_.resize(ix_count);
+  ix_size_.resize(ix_count);
+  term_.assign(ix_count, 0.0);
+  for (std::uint32_t index = 0; index < ix_count; ++index) {
+    ix_a_[index] = interactions[index].a;
+    ix_b_[index] = interactions[index].b;
+    ix_freq_[index] = interactions[index].frequency;
+    ix_size_[index] = interactions[index].avg_event_size;
+  }
+
+  // CSR adjacency build: counting pass, prefix sums, fill pass. Rows end up
+  // sorted by interaction index (the order the old per-component vectors
+  // had), keeping apply()'s floating-point summation order unchanged.
+  const std::size_t n = m.component_count();
+  adj_offsets_.assign(n + 1, 0);
+  for (std::uint32_t index = 0; index < ix_count; ++index) {
+    ++adj_offsets_[ix_a_[index] + 1];
+    ++adj_offsets_[ix_b_[index] + 1];
+  }
+  for (std::size_t c = 0; c < n; ++c) adj_offsets_[c + 1] += adj_offsets_[c];
+  adj_ix_.resize(adj_offsets_[n]);
+  adj_other_.resize(adj_offsets_[n]);
+  std::vector<std::uint32_t> cursor(adj_offsets_.begin(),
+                                    adj_offsets_.end() - 1);
+  for (std::uint32_t index = 0; index < ix_count; ++index) {
+    const ComponentId a = ix_a_[index], b = ix_b_[index];
+    adj_ix_[cursor[a]] = index;
+    adj_other_[cursor[a]++] = b;
+    adj_ix_[cursor[b]] = index;
+    adj_other_[cursor[b]++] = a;
+  }
+}
+
+template <PairwiseDecomposition::Kind kKind>
+double IncrementalEvaluator::term_of(std::uint32_t index, HostId ha,
+                                     HostId hb) const {
+  const bool unassigned = ha == kNoHost || hb == kNoHost;
+  if constexpr (kKind == PairwiseDecomposition::Kind::kAvailability) {
+    if (unassigned) return 0.0;
+    if (ha == hb) return ix_freq_[index];  // local: reliability 1
+    return ix_freq_[index] * links_.at(ha, hb).reliability;
+  } else if constexpr (kKind == PairwiseDecomposition::Kind::kLatency) {
+    if (unassigned) return ix_freq_[index] * decomposition_.penalty_ms_;
+    if (ha == hb) return 0.0;
+    const PhysicalLink& link = links_.at(ha, hb);
+    if (link.bandwidth <= 0.0)
+      return ix_freq_[index] * decomposition_.penalty_ms_;
+    return ix_freq_[index] *
+           (link.delay_ms + 1000.0 * ix_size_[index] / link.bandwidth);
+  } else {
+    return (unassigned || ha != hb) ? ix_freq_[index] * ix_size_[index] : 0.0;
+  }
+}
+
+template <PairwiseDecomposition::Kind kKind>
+void IncrementalEvaluator::reset_terms() {
+  sum_ = 0.0;
+  for (std::uint32_t index = 0; index < term_.size(); ++index) {
+    term_[index] =
+        term_of<kKind>(index, assignment_[ix_a_[index]],
+                       assignment_[ix_b_[index]]);
+    sum_ += term_[index];
+  }
+}
+
+template <PairwiseDecomposition::Kind kKind>
+void IncrementalEvaluator::apply_terms(ComponentId c, HostId h) {
+  const std::uint32_t begin = adj_offsets_[c];
+  const std::uint32_t end = adj_offsets_[c + 1];
+  for (std::uint32_t j = begin; j < end; ++j) {
+    const std::uint32_t index = adj_ix_[j];
+    const double updated = term_of<kKind>(index, h, assignment_[adj_other_[j]]);
+    sum_ += updated - term_[index];
+    term_[index] = updated;
   }
 }
 
 void IncrementalEvaluator::reset(const Deployment& d) {
   for (ComponentId c = 0; c < assignment_.size(); ++c)
     assignment_[c] = c < d.size() ? d.host_of(c) : kNoHost;
-  sum_ = 0.0;
-  for (std::size_t index = 0; index < interactions_.size(); ++index) {
-    const Interaction& ix = interactions_[index];
-    term_[index] =
-        decomposition_.pair_term(ix, assignment_[ix.a], assignment_[ix.b]);
-    sum_ += term_[index];
+  // Refresh the link table: reset() is the documented re-sync point after
+  // model changes (add_host invalidates the previous view).
+  links_ = model_->physical_link_table();
+  switch (decomposition_.kind_) {
+    case PairwiseDecomposition::Kind::kAvailability:
+      reset_terms<PairwiseDecomposition::Kind::kAvailability>();
+      break;
+    case PairwiseDecomposition::Kind::kLatency:
+      reset_terms<PairwiseDecomposition::Kind::kLatency>();
+      break;
+    case PairwiseDecomposition::Kind::kCommCost:
+      reset_terms<PairwiseDecomposition::Kind::kCommCost>();
+      break;
   }
 }
 
@@ -122,12 +202,16 @@ void IncrementalEvaluator::apply(ComponentId c, HostId h) {
   if (assignment_.at(c) == h) return;
   assignment_[c] = h;
   ++moves_;
-  for (const std::uint32_t index : adjacency_[c]) {
-    const Interaction& ix = interactions_[index];
-    const double updated =
-        decomposition_.pair_term(ix, assignment_[ix.a], assignment_[ix.b]);
-    sum_ += updated - term_[index];
-    term_[index] = updated;
+  switch (decomposition_.kind_) {
+    case PairwiseDecomposition::Kind::kAvailability:
+      apply_terms<PairwiseDecomposition::Kind::kAvailability>(c, h);
+      break;
+    case PairwiseDecomposition::Kind::kLatency:
+      apply_terms<PairwiseDecomposition::Kind::kLatency>(c, h);
+      break;
+    case PairwiseDecomposition::Kind::kCommCost:
+      apply_terms<PairwiseDecomposition::Kind::kCommCost>(c, h);
+      break;
   }
 }
 

@@ -54,6 +54,8 @@ class PairwiseDecomposition {
   [[nodiscard]] double score_of(double raw_value) const;
 
  private:
+  friend class IncrementalEvaluator;  // hoists the kind switch out of loops
+
   enum class Kind { kAvailability, kLatency, kCommCost };
 
   PairwiseDecomposition(Kind kind, const DeploymentModel& m,
@@ -68,7 +70,10 @@ class PairwiseDecomposition {
 };
 
 /// Maintains a deployment assignment plus the objective's term sum, updating
-/// both in O(degree) per single-component move.
+/// both in O(degree) per single-component move. Internally structure-of-
+/// arrays: flat component->host assignment, CSR interaction adjacency, and
+/// per-interaction parameter columns, so a move streams through contiguous
+/// arrays with the objective-kind dispatch hoisted out of the loop.
 ///
 /// Contract: the model's topology and link/interaction parameters must not
 /// change between reset() and the last apply()/value() call (the evaluator
@@ -118,11 +123,31 @@ class IncrementalEvaluator {
   IncrementalEvaluator(PairwiseDecomposition decomposition,
                        const DeploymentModel& m);
 
+  /// Recomputes the term of interaction `index` given both endpoints'
+  /// current hosts; the kind switch is hoisted to the call sites' loops.
+  template <PairwiseDecomposition::Kind kKind>
+  [[nodiscard]] double term_of(std::uint32_t index, HostId ha,
+                               HostId hb) const;
+  template <PairwiseDecomposition::Kind kKind>
+  void apply_terms(ComponentId c, HostId h);
+  template <PairwiseDecomposition::Kind kKind>
+  void reset_terms();
+
   PairwiseDecomposition decomposition_;
   const DeploymentModel* model_;
-  std::span<const Interaction> interactions_;
-  /// component -> indices into interactions_ that touch it.
-  std::vector<std::vector<std::uint32_t>> adjacency_;
+  PhysicalLinkTable links_;
+  /// Structure-of-arrays copy of the interaction list: endpoint, frequency,
+  /// and size columns stay in separate flat arrays so the hot loops stream
+  /// through contiguous memory instead of chasing per-component vectors.
+  std::vector<ComponentId> ix_a_, ix_b_;
+  std::vector<double> ix_freq_, ix_size_;
+  /// CSR interaction adjacency: interactions touching component c are
+  /// adj_ix_[adj_offsets_[c] .. adj_offsets_[c + 1]); adj_other_ carries the
+  /// opposite endpoint so a move never re-derives it from the pair.
+  std::vector<std::uint32_t> adj_offsets_;
+  std::vector<std::uint32_t> adj_ix_;
+  std::vector<ComponentId> adj_other_;
+  /// Flat component -> host assignment (the deployment's hot mirror).
   std::vector<HostId> assignment_;
   std::vector<double> term_;
   double sum_ = 0.0;

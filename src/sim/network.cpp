@@ -108,12 +108,43 @@ void SimNetwork::set_receiver(model::HostId host, Receiver receiver) {
   receivers_[host] = std::move(receiver);
 }
 
+void SimNetwork::set_instruments(obs::Instruments instruments) {
+  obs_ = instruments;
+  metric_ = CachedMetrics{};
+  link_queue_ms_.assign(obs_.metrics ? k_ * k_ : 0, nullptr);
+  if (!obs_.metrics) return;
+  obs::Registry& r = *obs_.metrics;
+  metric_.sent = &r.counter("net.sent");
+  metric_.delivered = &r.counter("net.delivered");
+  metric_.dropped = &r.counter("net.dropped");
+  metric_.unroutable = &r.counter("net.unroutable");
+  metric_.fuzz_duplicated = &r.counter("net.fuzz.duplicated");
+  metric_.fuzz_dropped = &r.counter("net.fuzz.dropped");
+  metric_.fuzz_delayed = &r.counter("net.fuzz.delayed");
+  metric_.kb_sent = &r.gauge("net.kb_sent");
+  metric_.kb_delivered = &r.gauge("net.kb_delivered");
+  metric_.queue_ms = &r.histogram("net.queue_ms");
+}
+
+obs::Histogram* SimNetwork::link_queue_histogram(std::size_t li,
+                                                model::HostId from,
+                                                model::HostId to) {
+  if (!obs_.metrics) return nullptr;
+  if (!link_queue_ms_[li]) {
+    const auto [lo, hi] = std::minmax(from, to);
+    link_queue_ms_[li] =
+        &obs_.metrics->histogram("net.link." + std::to_string(lo) + "-" +
+                                 std::to_string(hi) + ".queue_ms");
+  }
+  return link_queue_ms_[li];
+}
+
 bool SimNetwork::send(NetMessage msg) {
   ++stats_.sent;
   stats_.kb_sent += msg.size_kb;
-  if (obs_.metrics) {
-    obs_.metrics->counter("net.sent").add(1);
-    obs_.metrics->gauge("net.kb_sent").add(msg.size_kb);
+  if (metric_.sent) {
+    metric_.sent->add(1);
+    metric_.kb_sent->add(msg.size_kb);
   }
 
   const auto deliver = [this](NetMessage m, double delay_ms) {
@@ -123,14 +154,14 @@ bool SimNetwork::send(NetMessage msg) {
       if (!host_up_[m.to]) {
         ++stats_.dropped;
         if (m.from != m.to) ++link_dropped_[index(m.from, m.to)];
-        if (obs_.metrics) obs_.metrics->counter("net.dropped").add(1);
+        if (metric_.dropped) metric_.dropped->add(1);
         return;
       }
       ++stats_.delivered;
       stats_.kb_delivered += m.size_kb;
-      if (obs_.metrics) {
-        obs_.metrics->counter("net.delivered").add(1);
-        obs_.metrics->gauge("net.kb_delivered").add(m.size_kb);
+      if (metric_.delivered) {
+        metric_.delivered->add(1);
+        metric_.kb_delivered->add(m.size_kb);
       }
       if (receivers_[m.to]) receivers_[m.to](m);
     });
@@ -140,7 +171,7 @@ bool SimNetwork::send(NetMessage msg) {
     throw std::out_of_range("SimNetwork: bad host id");
   if (!host_up_[msg.from] || !host_up_[msg.to]) {
     ++stats_.unroutable;
-    if (obs_.metrics) obs_.metrics->counter("net.unroutable").add(1);
+    if (metric_.unroutable) metric_.unroutable->add(1);
     return false;
   }
   if (msg.from == msg.to) {
@@ -152,7 +183,7 @@ bool SimNetwork::send(NetMessage msg) {
   const LinkState& link = links_[li];
   if (link.severed || link.bandwidth <= 0.0) {
     ++stats_.unroutable;
-    if (obs_.metrics) obs_.metrics->counter("net.unroutable").add(1);
+    if (metric_.unroutable) metric_.unroutable->add(1);
     return false;
   }
   double fuzz_delay_ms = 0.0;
@@ -167,26 +198,26 @@ bool SimNetwork::send(NetMessage msg) {
               send(std::move(dup));
               fuzz_replay_ = false;
             });
-        if (obs_.metrics) obs_.metrics->counter("net.fuzz.duplicated").add(1);
+        if (metric_.fuzz_duplicated) metric_.fuzz_duplicated->add(1);
       }
       if (fuzz->drop) {
         ++stats_.dropped;
         ++link_dropped_[li];
-        if (obs_.metrics) {
-          obs_.metrics->counter("net.dropped").add(1);
-          obs_.metrics->counter("net.fuzz.dropped").add(1);
+        if (metric_.dropped) {
+          metric_.dropped->add(1);
+          metric_.fuzz_dropped->add(1);
         }
         return true;
       }
       fuzz_delay_ms = std::max(fuzz->delay_ms, 0.0);
-      if (fuzz_delay_ms > 0.0 && obs_.metrics)
-        obs_.metrics->counter("net.fuzz.delayed").add(1);
+      if (fuzz_delay_ms > 0.0 && metric_.fuzz_delayed)
+        metric_.fuzz_delayed->add(1);
     }
   }
   if (!rng_.chance(link.reliability)) {
     ++stats_.dropped;
     ++link_dropped_[li];
-    if (obs_.metrics) obs_.metrics->counter("net.dropped").add(1);
+    if (metric_.dropped) metric_.dropped->add(1);
     // The sender does not learn about the loss (fire-and-forget events);
     // reliability protocols are layered above when needed.
     return true;
@@ -199,13 +230,9 @@ bool SimNetwork::send(NetMessage msg) {
       1000.0 * std::max(msg.size_kb, 0.0) / link.bandwidth;
   link_free_[li] = start + transfer_ms;
   const double queue_ms = start - sim_.now();
-  if (obs_.metrics) {
-    obs_.metrics->histogram("net.queue_ms").observe(queue_ms);
-    const auto [lo, hi] = std::minmax(msg.from, msg.to);
-    obs_.metrics
-        ->histogram("net.link." + std::to_string(lo) + "-" +
-                    std::to_string(hi) + ".queue_ms")
-        .observe(queue_ms);
+  if (metric_.queue_ms) {
+    metric_.queue_ms->observe(queue_ms);
+    link_queue_histogram(li, msg.from, msg.to)->observe(queue_ms);
   }
   const double total_delay =
       queue_ms + transfer_ms + link.delay_ms + fuzz_delay_ms;

@@ -145,15 +145,35 @@ class SimNetwork {
   /// Attaches observability sinks. Counters mirror MessageStats under
   /// "net.*"; each link additionally feeds a queueing-delay histogram
   /// ("net.link.<lo>-<hi>.queue_ms": time a message waited for the link's
-  /// serialized transfer slot, excluding propagation delay).
-  void set_instruments(obs::Instruments instruments) noexcept {
-    obs_ = instruments;
-  }
+  /// serialized transfer slot, excluding propagation delay). Metric handles
+  /// are resolved here once — the send path must not rebuild metric names
+  /// per message (registry references are allocation-stable).
+  void set_instruments(obs::Instruments instruments);
 
   [[nodiscard]] Simulator& simulator() noexcept { return sim_; }
 
  private:
+  /// Pre-resolved "net.*" metric handles; null when observability is off.
+  struct CachedMetrics {
+    obs::Counter* sent = nullptr;
+    obs::Counter* delivered = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Counter* unroutable = nullptr;
+    obs::Counter* fuzz_duplicated = nullptr;
+    obs::Counter* fuzz_dropped = nullptr;
+    obs::Counter* fuzz_delayed = nullptr;
+    obs::Gauge* kb_sent = nullptr;
+    obs::Gauge* kb_delivered = nullptr;
+    obs::Histogram* queue_ms = nullptr;
+  };
+
   [[nodiscard]] std::size_t index(model::HostId a, model::HostId b) const;
+  /// The (lazily created) per-link queue-delay histogram, or null when
+  /// metrics are off. Lazy because only links that actually carry traffic
+  /// should appear in the registry (k^2 histograms would swamp it).
+  [[nodiscard]] obs::Histogram* link_queue_histogram(std::size_t li,
+                                                     model::HostId from,
+                                                     model::HostId to);
 
   Simulator& sim_;
   std::size_t k_;
@@ -165,6 +185,8 @@ class SimNetwork {
   util::Xoshiro256ss rng_;
   MessageStats stats_;
   obs::Instruments obs_;
+  CachedMetrics metric_;
+  std::vector<obs::Histogram*> link_queue_ms_;  // lazy per-link handles
   FuzzHook fuzz_hook_;
   bool fuzz_replay_ = false;  // true while re-sending an injected duplicate
 };

@@ -174,5 +174,138 @@ TEST(PortfolioDeterminism, ParallelMatchesOneThreadUnderEvaluationCap) {
   EXPECT_EQ(one.best.deployment, four.best.deployment);
 }
 
+// --- warm-started re-optimization ------------------------------------------
+
+std::vector<model::ComponentId> components_on_host(const model::Deployment& d,
+                                                   model::HostId host) {
+  std::vector<model::ComponentId> out;
+  for (std::size_t c = 0; c < d.size(); ++c)
+    if (d.host_of(static_cast<model::ComponentId>(c)) == host)
+      out.push_back(static_cast<model::ComponentId>(c));
+  return out;
+}
+
+/// Picks a host that actually carries components and halves the reliability
+/// of every link incident to it — the single-host fluctuation a warm
+/// re-optimization is built for. Returns the dirty component set.
+std::vector<model::ComponentId> fluctuate_one_host(Instance& inst) {
+  model::DeploymentModel& m = inst.system->model();
+  const model::Deployment& d = inst.system->deployment();
+  model::HostId host = 0;
+  std::vector<model::ComponentId> dirty;
+  for (std::size_t h = 0; h < m.host_count(); ++h) {
+    dirty = components_on_host(d, static_cast<model::HostId>(h));
+    if (!dirty.empty() && dirty.size() < d.size()) {
+      host = static_cast<model::HostId>(h);
+      break;
+    }
+  }
+  const auto links = m.physical_link_table();
+  for (std::size_t h = 0; h < m.host_count(); ++h) {
+    if (h == host) continue;
+    const model::PhysicalLink& link =
+        links.at(host, static_cast<model::HostId>(h));
+    if (link.reliability > 0.0)
+      m.set_link_reliability(host, static_cast<model::HostId>(h),
+                             link.reliability * 0.5);
+  }
+  return dirty;
+}
+
+/// Algorithms that accept AlgoOptions::warm_start.
+class WarmStartTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WarmStartTest, EmptyDirtySetReturnsInitialAfterOneEvaluation) {
+  const auto registry = AlgorithmRegistry::with_defaults();
+  Instance inst = make_instance(21, /*hosts=*/6, /*components=*/18);
+  AlgoOptions options;
+  options.seed = 17;
+  options.initial = inst.system->deployment();
+  options.warm_start = true;  // dirty_components left empty: nothing changed
+  const AlgoResult result = registry.create(GetParam())->run(
+      inst.system->model(), inst.objective, *inst.checker, options);
+  ASSERT_TRUE(result.feasible) << result.notes;
+  EXPECT_EQ(result.deployment, *options.initial);
+  EXPECT_EQ(result.evaluations, 1u) << result.notes;
+  EXPECT_EQ(result.migrations, 0u);
+}
+
+TEST_P(WarmStartTest, RepeatedWarmRunsBitIdentical) {
+  const auto registry = AlgorithmRegistry::with_defaults();
+  Instance inst = make_instance(22, /*hosts=*/6, /*components=*/18);
+  const std::vector<model::ComponentId> dirty = fluctuate_one_host(inst);
+  ASSERT_FALSE(dirty.empty());
+  AlgoOptions options;
+  options.seed = 29;
+  options.initial = inst.system->deployment();
+  options.warm_start = true;
+  options.dirty_components = dirty;
+  const AlgoResult a = registry.create(GetParam())->run(
+      inst.system->model(), inst.objective, *inst.checker, options);
+  const AlgoResult b = registry.create(GetParam())->run(
+      inst.system->model(), inst.objective, *inst.checker, options);
+  expect_identical(a, b, GetParam() + "/warm");
+}
+
+TEST_P(WarmStartTest, WarmResultNoWorseThanKeepingCurrent) {
+  const auto registry = AlgorithmRegistry::with_defaults();
+  Instance inst = make_instance(23, /*hosts=*/6, /*components=*/18);
+  const std::vector<model::ComponentId> dirty = fluctuate_one_host(inst);
+  ASSERT_FALSE(dirty.empty());
+  const model::Deployment initial = inst.system->deployment();
+  const double keep_value =
+      inst.objective.evaluate(inst.system->model(), initial);
+  AlgoOptions options;
+  options.seed = 31;
+  options.initial = initial;
+  options.warm_start = true;
+  options.dirty_components = dirty;
+  const AlgoResult result = registry.create(GetParam())->run(
+      inst.system->model(), inst.objective, *inst.checker, options);
+  ASSERT_TRUE(result.feasible) << result.notes;
+  EXPECT_TRUE(inst.checker->feasible(result.deployment));
+  // Every warm path considers the initial placement first, so the result
+  // can never be worse than keeping the current deployment.
+  EXPECT_GE(result.value, keep_value - 1e-12) << result.notes;
+}
+
+INSTANTIATE_TEST_SUITE_P(WarmAlgorithms, WarmStartTest,
+                         ::testing::Values("hillclimb", "annealing", "avala",
+                                           "decap"));
+
+/// For the search algorithms whose evaluation count tracks the explored
+/// neighbourhood, a warm run over a single host's components must cost
+/// strictly fewer evaluations than a cold rerun (constructive algorithms
+/// like avala count evaluations per candidate, not per probe, so they are
+/// scored by wall-time in bench_scalability instead).
+class WarmBudgetTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WarmBudgetTest, WarmUsesStrictlyFewerEvaluationsThanCold) {
+  const auto registry = AlgorithmRegistry::with_defaults();
+  Instance inst = make_instance(24, /*hosts=*/6, /*components=*/18);
+  const std::vector<model::ComponentId> dirty = fluctuate_one_host(inst);
+  ASSERT_FALSE(dirty.empty());
+  AlgoOptions cold;
+  cold.seed = 37;
+  cold.initial = inst.system->deployment();
+  const AlgoResult cold_result = registry.create(GetParam())->run(
+      inst.system->model(), inst.objective, *inst.checker, cold);
+
+  AlgoOptions warm = cold;
+  warm.warm_start = true;
+  warm.dirty_components = dirty;
+  const AlgoResult warm_result = registry.create(GetParam())->run(
+      inst.system->model(), inst.objective, *inst.checker, warm);
+
+  ASSERT_TRUE(cold_result.feasible);
+  ASSERT_TRUE(warm_result.feasible);
+  EXPECT_LT(warm_result.evaluations, cold_result.evaluations)
+      << GetParam() << ": warm " << warm_result.evaluations << " vs cold "
+      << cold_result.evaluations;
+}
+
+INSTANTIATE_TEST_SUITE_P(SearchAlgorithms, WarmBudgetTest,
+                         ::testing::Values("hillclimb", "annealing"));
+
 }  // namespace
 }  // namespace dif::algo

@@ -154,6 +154,50 @@ TEST(IncrementalEvaluator, NoOpMoveLeavesValueBitIdentical) {
   EXPECT_EQ(inc->value(), before);  // skipped, not recomputed
 }
 
+TEST(IncrementalEvaluator, DegreeZeroComponentsMatchFullEvaluate) {
+  // A hand-built model where half the components never interact (the
+  // generator refuses to produce isolated components): their CSR adjacency
+  // rows are empty, so apply() must degenerate to a pure assignment update
+  // and still agree with the from-scratch evaluation at every step.
+  DeploymentModel m;
+  for (int h = 0; h < 4; ++h)
+    m.add_host({.name = "h" + std::to_string(h), .memory_capacity = 100.0});
+  for (int c = 0; c < 10; ++c)
+    m.add_component({.name = "c" + std::to_string(c), .memory_size = 1.0});
+  for (HostId a = 0; a < 4; ++a)
+    for (HostId b = a + 1; b < 4; ++b)
+      m.set_physical_link(a, b,
+                          {.reliability = 0.9, .bandwidth = 50.0,
+                           .delay_ms = 3.0});
+  // Components 0..4 form a chain; 5..9 stay isolated (degree 0).
+  for (ComponentId c = 0; c < 4; ++c)
+    m.set_logical_link(c, c + 1,
+                       {.frequency = 2.0, .avg_event_size = 0.5});
+
+  const AvailabilityObjective availability;
+  const LatencyObjective latency;
+  const CommunicationCostObjective comm_cost;
+  const Objective* objectives[] = {&availability, &latency, &comm_cost};
+  util::Xoshiro256ss rng(8);
+  for (const Objective* objective : objectives) {
+    auto inc = IncrementalEvaluator::try_create(*objective, m);
+    ASSERT_TRUE(inc.has_value()) << objective->name();
+    Deployment mirror(m.component_count());
+    for (std::size_t c = 0; c < m.component_count(); ++c)
+      mirror.assign(static_cast<ComponentId>(c),
+                    static_cast<HostId>(c % m.host_count()));
+    inc->reset(mirror);
+    for (std::size_t step = 1; step <= 50; ++step) {
+      const auto c = static_cast<ComponentId>(rng.index(m.component_count()));
+      const auto h = static_cast<HostId>(rng.index(m.host_count()));
+      mirror.assign(c, h);
+      inc->apply(c, h);
+      expect_close(inc->value(), objective->evaluate(m, mirror),
+                   std::string(objective->name()).c_str(), step);
+    }
+  }
+}
+
 TEST(IncrementalEvaluator, RejectsNonDecomposableObjectives) {
   const auto system = make_system(7);
   const DeploymentModel& m = system->model();

@@ -116,5 +116,78 @@ TEST(Simulator, CountsProcessedEvents) {
   EXPECT_EQ(sim.events_processed(), 7u);
 }
 
+// --- batched same-timestamp dispatch ---------------------------------------
+
+TEST(Simulator, BatchesDispatchedCountsTimestampRuns) {
+  Simulator sim;
+  for (int i = 0; i < 3; ++i) sim.schedule_at(1.0, [] {});
+  for (int i = 0; i < 2; ++i) sim.schedule_at(2.0, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 5u);
+  // One heap drain per distinct timestamp, not per event.
+  EXPECT_EQ(sim.batches_dispatched(), 2u);
+}
+
+TEST(Simulator, SameTimeCascadeKeepsSchedulingOrder) {
+  // An event scheduled *during* a same-timestamp batch carries a larger
+  // sequence number, so it must fire after everything already queued at that
+  // time — batching may not let it jump the line.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(5.0, [&] {
+    order.push_back(0);
+    sim.schedule_at(5.0, [&] { order.push_back(2); });
+  });
+  sim.schedule_at(5.0, [&] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, EventCapSplitsSameTimestampBatch) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule_at(3.0, [&order, i] { order.push_back(i); });
+  EXPECT_EQ(sim.run(3), 3u);
+  EXPECT_EQ(sim.pending(), 2u);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ClearInsideHandlerDropsRestOfBatch) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] {
+    ++fired;
+    sim.clear();
+  });
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, BatchedDispatchIsDeterministic) {
+  // Two identical schedules — including mid-batch cascades — must replay in
+  // exactly the same order.
+  const auto record = [] {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 4; ++i)
+      sim.schedule_at(1.0, [&sim, &order, i] {
+        order.push_back(i);
+        if (i % 2 == 0)
+          sim.schedule_at(1.0, [&order, i] { order.push_back(100 + i); });
+        sim.schedule_after(1.0, [&order, i] { order.push_back(200 + i); });
+      });
+    sim.run();
+    return order;
+  };
+  EXPECT_EQ(record(), record());
+}
+
 }  // namespace
 }  // namespace dif::sim
