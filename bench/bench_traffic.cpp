@@ -1,0 +1,110 @@
+// Live-traffic engine benchmark (satellite of the Ratekeeper work, see
+// docs/traffic.md).
+//
+// Two halves:
+//
+//   * Throughput: wall-clock requests/s of one full seeded traffic session
+//     (flash-crowd shape, forced mid-run redeployments, ratekeeper on) —
+//     the committed BENCH_traffic.json baseline plus ci.sh's regression
+//     gate pin this within 10%.
+//
+//   * Availability under redeployment: the same session replayed with the
+//     ratekeeper disabled. Both replays are sim-deterministic, so the
+//     emitted SLO-violation / availability / goodput numbers are exact;
+//     ci.sh additionally asserts violation_on <= violation_off — the
+//     feedback loop must never make user-visible dependability worse.
+//
+//   bench_traffic [--hosts K] [--components N] [--iters I] [--seed S]
+//                 [--json PATH]
+#include "bench_common.h"
+
+#include "traffic/runner.h"
+#include "util/json.h"
+
+namespace dif::bench {
+namespace {
+
+traffic::RunOptions session_options(const BenchArgs& args, bool ratekeeper) {
+  traffic::RunOptions opts;
+  opts.generator.hosts = args.hosts;
+  opts.generator.components = args.components;
+  opts.seed = args.seed;
+  opts.duration_ms = 60'000.0;
+  opts.engine.rps = 150.0;
+  opts.engine.shape = traffic::IntensityShape::kFlash;
+  // t0 is the noisy neighbour: double weight against a budget of 1.2x the
+  // fair share, so the flash crowd pushes it (and only it) over budget.
+  opts.engine.tenants = {{"t0", 2.0, 0.6}, {"t1", 1.0, 0.6}};
+  opts.ratekeeper.enabled = ratekeeper;
+  // Redeployment churn through the flash window: waves of forced moves on
+  // top of the improvement loop, so migrations demonstrably run under load.
+  opts.redeploy_at_ms = 5'000.0;
+  opts.redeploy_every_ms = 8'000.0;
+  opts.redeploy_moves = 2;
+  return opts;
+}
+
+int run(int argc, char** argv) {
+  BenchArgs defaults;
+  defaults.hosts = 6;
+  defaults.components = 18;
+  defaults.iters = 5;
+  defaults.seed = 7;
+  const BenchArgs args = BenchArgs::parse(argc, argv, defaults);
+  util::Logger::instance().set_level(util::LogLevel::kError);
+
+  std::fprintf(stderr, "timing %zu traffic sessions (%zu hosts x %zu "
+               "components, 60 s sim)...\n",
+               args.iters, args.hosts, args.components);
+  traffic::RunResult on;
+  const auto t_session = time_runs(
+      args.iters, [&] { on = traffic::run_traffic(session_options(args, true)); });
+  const traffic::RunResult off =
+      traffic::run_traffic(session_options(args, false));
+
+  const auto availability = [](const traffic::RunResult& r) {
+    const std::uint64_t admitted = r.offered - r.shed;
+    return admitted > 0
+               ? static_cast<double>(r.completed) / static_cast<double>(admitted)
+               : 1.0;
+  };
+
+  util::json::Object metrics;
+  metrics["traffic.requests_per_s"] =
+      metric(t_session, "requests/s", static_cast<double>(on.offered));
+  metrics["traffic.slo_violation_ms.ratekeeper_on"] =
+      scalar_metric(on.slo_violation_ms, "ms");
+  metrics["traffic.slo_violation_ms.ratekeeper_off"] =
+      scalar_metric(off.slo_violation_ms, "ms");
+  metrics["traffic.slo_violation_delta_ms"] =
+      scalar_metric(off.slo_violation_ms - on.slo_violation_ms, "ms");
+  metrics["traffic.availability.ratekeeper_on"] =
+      scalar_metric(availability(on), "ratio");
+  metrics["traffic.availability.ratekeeper_off"] =
+      scalar_metric(availability(off), "ratio");
+  metrics["traffic.goodput_rps.ratekeeper_on"] =
+      scalar_metric(static_cast<double>(on.completed) / 60.0, "requests/s");
+  metrics["traffic.goodput_rps.ratekeeper_off"] =
+      scalar_metric(static_cast<double>(off.completed) / 60.0, "requests/s");
+  metrics["traffic.migrations_committed"] =
+      scalar_metric(static_cast<double>(on.migrations), "components");
+
+  util::json::Object config;
+  config["hosts"] = util::json::Value(static_cast<double>(args.hosts));
+  config["components"] =
+      util::json::Value(static_cast<double>(args.components));
+  config["iters"] = util::json::Value(static_cast<double>(args.iters));
+  config["seed"] = util::json::Value(static_cast<double>(args.seed));
+  config["duration_ms"] = util::json::Value(60'000.0);
+  config["rps"] = util::json::Value(150.0);
+  config["shape"] = util::json::Value(std::string("flash"));
+
+  emit_report("traffic", std::move(config), std::move(metrics),
+              {"traffic.requests_per_s"}, args.json_path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dif::bench
+
+int main(int argc, char** argv) { return dif::bench::run(argc, argv); }

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Append the current committed bench baselines to BENCH_history.jsonl.
+
+The BENCH_<area>.json files at the repo root only record the *latest*
+accepted baseline; this script records the *trajectory*. Each invocation
+appends one JSON line per baseline file:
+
+    {"label": ..., "commit": ..., "area": ...,
+     "pinned": {metric: value, ...}, "peak_rss_kb": ...}
+
+Run it whenever a baseline is refreshed (typically in the same commit):
+
+    python3 scripts/bench_history.py --label "pr9 ratekeeper"
+
+The history file is append-only JSONL so that plots and regression
+archaeology (`git log -p BENCH_history.jsonl`) stay trivial; nothing ever
+rewrites old lines. See EXPERIMENTS.md ("Recording a perf trajectory").
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+
+SCHEMA = "dif-bench-history-v1"
+
+
+def repo_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def head_commit(root: str) -> str:
+    try:
+        out = subprocess.run(
+            ["git", "-C", root, "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def history_line(path: str, label: str, commit: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    if report.get("schema") != "dif-bench-v1":
+        raise SystemExit(f"{path}: not a dif-bench-v1 report "
+                         f"(schema={report.get('schema')!r})")
+    pinned = {name: report["metrics"][name]["value"]
+              for name in report.get("pinned", [])}
+    return {
+        "schema": SCHEMA,
+        "label": label,
+        "commit": commit,
+        "area": report.get("area", "unknown"),
+        "pinned": pinned,
+        "peak_rss_kb": report.get("peak_rss_kb"),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="append committed BENCH_*.json baselines to "
+                    "BENCH_history.jsonl")
+    parser.add_argument("--label", required=True,
+                        help="what this point on the trajectory is "
+                             "(e.g. 'pr9 ratekeeper baseline')")
+    parser.add_argument("--root", default=repo_root(),
+                        help="repo root (default: inferred from this file)")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="print the lines instead of appending")
+    args = parser.parse_args()
+
+    baselines = sorted(glob.glob(os.path.join(args.root, "BENCH_*.json")))
+    if not baselines:
+        print("no BENCH_*.json baselines found", file=sys.stderr)
+        return 1
+
+    commit = head_commit(args.root)
+    lines = [history_line(p, args.label, commit) for p in baselines]
+
+    if args.dry_run:
+        for line in lines:
+            print(json.dumps(line, sort_keys=True))
+        return 0
+
+    history_path = os.path.join(args.root, "BENCH_history.jsonl")
+    with open(history_path, "a", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(json.dumps(line, sort_keys=True) + "\n")
+    print(f"appended {len(lines)} baseline(s) to "
+          f"{os.path.relpath(history_path, args.root)} @ {commit}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -236,6 +236,48 @@ else
   echo "python3 not installed; skipping audit schema check"
 fi
 
+echo "== traffic smoke: pinned-seed determinism + schema =="
+# `difctl traffic` must emit a byte-identical dif-traffic-v1 report across
+# same-seed runs (the report is the determinism contract; the raw metrics
+# registry is not byte-stable because it includes wall-clock histograms).
+# Exit 3 = the run finished but the SLO was breached or a round rolled
+# back — fine for a smoke test; only real failures (1/2) should stop CI.
+"$DIFCTL" traffic --hosts 6 --components 18 --seed 7 --duration-ms 30000 \
+  --json "$ROOT/build/ci_traffic_a.json" > /dev/null || [ $? -eq 3 ]
+"$DIFCTL" traffic --hosts 6 --components 18 --seed 7 --duration-ms 30000 \
+  --json "$ROOT/build/ci_traffic_b.json" > /dev/null || [ $? -eq 3 ]
+cmp "$ROOT/build/ci_traffic_a.json" "$ROOT/build/ci_traffic_b.json" \
+  || { echo "traffic report not deterministic"; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$ROOT/build/ci_traffic_a.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["schema"] == "dif-traffic-v1", report.get("schema")
+totals = report["totals"]
+assert totals["offered"] > 0, "no requests offered"
+assert totals["offered"] == totals["completed"] + totals["failed"] + \
+    totals["shed"], "request conservation violated"
+assert 0.0 <= totals["availability"] <= 1.0, totals["availability"]
+tenants = report["tenants"]
+assert set(tenants) == {"t0", "t1"}, sorted(tenants)
+for tag, t in tenants.items():
+    assert t["offered"] == t["completed"] + t["failed"] + t["shed"], tag
+failures = report["failures"]
+assert sum(failures.values()) == totals["failed"], failures
+assert set(failures) == {"no_path", "partitioned", "host_down",
+                         "migrating", "timeout"}, sorted(failures)
+rk = report["ratekeeper"]
+for key in ("slo_violation_ms", "max_level_reached", "shed_actions"):
+    assert key in rk, f"ratekeeper missing {key!r}"
+assert report["deployer"]["rounds"] > 0, "no redeployment rounds ran"
+print(f"traffic smoke OK: {totals['offered']} offered, "
+      f"availability {totals['availability']:.4f}, "
+      f"{report['deployer']['committed']} rounds committed")
+EOF
+else
+  echo "python3 not installed; skipping traffic schema check"
+fi
+
 echo "== bench gate: analyzer/auditor throughput regression =="
 # BENCH_check.json is the committed baseline (bench/bench_check.cpp); every
 # pinned metric must stay within 10% of it. Median-based throughput keeps
@@ -295,6 +337,40 @@ print("scalability gate OK")
 EOF
 else
   echo "python3 or BENCH_scalability.json missing; skipping scalability gate"
+fi
+
+echo "== bench gate: ratekeeper availability under load =="
+# BENCH_traffic.json is the committed baseline (bench/bench_traffic.cpp).
+# Whole-session throughput is allocation-heavy and swings ~±30% run to run,
+# so this gate only catches collapses (>40% regression), unlike the tight
+# microbenchmark gates above. The functional assertion is the strict one:
+# the ratekeeper must still earn its keep — fewer SLO-violation seconds with
+# the controller on than off, on the same seeded flash-crowd scenario.
+if command -v python3 >/dev/null 2>&1 && [ -f "$ROOT/BENCH_traffic.json" ]; then
+  "$ROOT/build/bench/bench_traffic" --iters 3 \
+    --json "$ROOT/build/ci_bench_traffic.json" > /dev/null
+  python3 - "$ROOT/BENCH_traffic.json" "$ROOT/build/ci_bench_traffic.json" <<'EOF'
+import json, sys
+baseline = json.load(open(sys.argv[1]))
+current = json.load(open(sys.argv[2]))
+assert current["schema"] == "dif-bench-v1", current.get("schema")
+failed = []
+for name in baseline["pinned"]:
+    old = baseline["metrics"][name]["value"]
+    new = current["metrics"][name]["value"]
+    print(f"{name}: baseline {old:.2f}, current {new:.2f} "
+          f"({100 * new / old:.0f}%)")
+    if new < 0.6 * old:
+        failed.append(name)
+assert not failed, f"throughput regressed >40% on: {failed}"
+on = current["metrics"]["traffic.slo_violation_ms.ratekeeper_on"]["value"]
+off = current["metrics"]["traffic.slo_violation_ms.ratekeeper_off"]["value"]
+print(f"slo violation: ratekeeper on {on:.0f} ms vs off {off:.0f} ms")
+assert on <= off, "ratekeeper made SLO violations worse"
+print("traffic gate OK")
+EOF
+else
+  echo "python3 or BENCH_traffic.json missing; skipping traffic gate"
 fi
 
 echo "== docs: relative-link check =="

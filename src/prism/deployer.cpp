@@ -273,18 +273,52 @@ void DeployerComponent::send_prepare() {
   blob.u32(static_cast<std::uint32_t>(round_.tasks().size()));
   const std::vector<std::uint8_t> tail = body.take();
   blob.raw(tail);
-  const std::vector<std::uint8_t> plan_blob = blob.take();
+  std::vector<std::uint8_t> plan_blob = blob.take();
 
-  if (obs_.metrics)
-    obs_.metrics->counter("deploy.txn.prepare_sent")
-        .add(round_.participants().size());
-  for (const model::HostId host : round_.participants()) {
+  // Sample the admission throttle once per fan-out: a ratekeeper can cap
+  // the burst and space the batches while user traffic is breaching SLO.
+  PrepareThrottle throttle;
+  if (deployer_params_.throttle) throttle = deployer_params_.throttle();
+  std::vector<model::HostId> targets(round_.participants().begin(),
+                                     round_.participants().end());
+  const std::size_t batch =
+      throttle.max_batch == 0
+          ? targets.size()
+          : std::min(throttle.max_batch, targets.size());
+  if (obs_.metrics && batch < targets.size())
+    obs_.metrics->counter("deploy.txn.prepare_throttled").add(1);
+  send_prepare_batch(epoch_, std::move(plan_blob), std::move(targets), 0,
+                     batch, throttle.inter_batch_delay_ms);
+}
+
+void DeployerComponent::send_prepare_batch(
+    std::uint64_t epoch, std::vector<std::uint8_t> plan_blob,
+    std::vector<model::HostId> targets, std::size_t offset,
+    std::size_t batch_size, double inter_batch_delay_ms) {
+  // An abort, commit, or new round between batches cancels the remainder:
+  // the prepare-retry machinery re-fans-out under the then-current throttle.
+  if (epoch != epoch_ || round_.phase() != TxnPhase::kPrepare) return;
+  const std::size_t end = std::min(offset + batch_size, targets.size());
+  if (obs_.metrics) {
+    obs_.metrics->counter("deploy.txn.prepare_sent").add(end - offset);
+    obs_.metrics->counter("deploy.txn.prepare_batches").add(1);
+  }
+  for (std::size_t i = offset; i < end; ++i) {
     Event prepare("__prepare");
-    prepare.set_to(admin_name(host));
+    prepare.set_to(admin_name(targets[i]));
     prepare.set("plan", plan_blob);
-    prepare.set("epoch", static_cast<double>(epoch_));
+    prepare.set("epoch", static_cast<double>(epoch));
     send(std::move(prepare));
   }
+  if (end >= targets.size()) return;
+  architecture()->scaffold().schedule(
+      std::max(inter_batch_delay_ms, 0.0),
+      [this, epoch, plan_blob = std::move(plan_blob),
+       targets = std::move(targets), end, batch_size,
+       inter_batch_delay_ms]() mutable {
+        send_prepare_batch(epoch, std::move(plan_blob), std::move(targets),
+                           end, batch_size, inter_batch_delay_ms);
+      });
 }
 
 void DeployerComponent::schedule_prepare_retry(std::uint64_t epoch) {

@@ -52,6 +52,19 @@ struct HostReport {
   std::vector<ReliabilityInfo> reliabilities;
 };
 
+/// Admission decision for one __prepare fan-out. Sampled from
+/// DeployerParams::throttle every time a fan-out is (re)planned — the
+/// initial send and each renotify retry — so a feedback controller (the
+/// traffic layer's Ratekeeper) can slow migration sagas down while
+/// user-facing latency is breaching its SLO, and release them when the
+/// pressure clears.
+struct PrepareThrottle {
+  /// Max __prepare events per batch; 0 means unthrottled (one full fan-out).
+  std::size_t max_batch = 0;
+  /// Sim-time gap inserted between consecutive batches of the same fan-out.
+  double inter_batch_delay_ms = 0.0;
+};
+
 class DeployerComponent final : public AdminComponent {
  public:
   struct DeployerParams {
@@ -90,6 +103,13 @@ class DeployerComponent final : public AdminComponent {
     /// from the map (the default) are unmodelled: only the structural
     /// checks fire for plans touching them.
     std::map<model::HostId, double> host_capacity_kb;
+    /// Feedback hook consulted at every prepare fan-out. Unset (the
+    /// default) keeps the classic behaviour: all participants receive
+    /// their __prepare in one burst. When set, the returned throttle
+    /// splits the fan-out into batches of `max_batch` spaced
+    /// `inter_batch_delay_ms` apart; a phase change or a new epoch
+    /// cancels the unsent remainder (the retry machinery re-fans-out).
+    std::function<PrepareThrottle()> throttle;
   };
 
   DeployerComponent(model::HostId host, DistributionConnector& connector,
@@ -185,6 +205,13 @@ class DeployerComponent final : public AdminComponent {
   void handle_prepare_ack(const Event& event);
   void handle_migration_ack(const Event& event);
   void send_prepare();
+  /// Sends targets[offset, offset+batch) their __prepare and schedules the
+  /// next batch after `inter_batch_delay_ms` (guarded by epoch + phase).
+  void send_prepare_batch(std::uint64_t epoch,
+                          std::vector<std::uint8_t> plan_blob,
+                          std::vector<model::HostId> targets,
+                          std::size_t offset, std::size_t batch_size,
+                          double inter_batch_delay_ms);
   void schedule_prepare_retry(std::uint64_t epoch);
   void schedule_round_deadline(std::uint64_t epoch);
   void start_commit();

@@ -84,6 +84,12 @@ bool SimNetwork::reachable(model::HostId a, model::HostId b) const {
   return !link.severed && link.bandwidth > 0.0;
 }
 
+double SimNetwork::backlog_ms(model::HostId a, model::HostId b) const {
+  if (a >= k_ || b >= k_) throw std::out_of_range("SimNetwork: bad host id");
+  if (a == b) return 0.0;
+  return std::max(0.0, link_free_[index(a, b)] - sim_.now());
+}
+
 void SimNetwork::reset_stats() noexcept {
   stats_ = MessageStats{};
   std::fill(link_dropped_.begin(), link_dropped_.end(), 0);

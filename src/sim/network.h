@@ -108,6 +108,13 @@ class SimNetwork {
   /// Can a message currently travel between the two hosts?
   [[nodiscard]] bool reachable(model::HostId a, model::HostId b) const;
 
+  /// Current transfer-queue backlog on the (a, b) link: how long a message
+  /// sent right now would wait for the serialized transfer slot before its
+  /// own transfer starts (0 for local pairs and idle links). The traffic
+  /// engine charges user requests this wait so they queue behind bulk
+  /// migration transfers without materializing their own bytes.
+  [[nodiscard]] double backlog_ms(model::HostId a, model::HostId b) const;
+
   // --- messaging ----------------------------------------------------------
 
   using Receiver = std::function<void(const NetMessage&)>;

@@ -1,0 +1,226 @@
+// Deterministic user-traffic engine: simulated requests through a deployed
+// Prism architecture.
+//
+// The paper argues autonomic redeployment improves dependability *as
+// experienced by users*, but the rest of the stack only ever measures the
+// model's objective. This engine closes that gap: seeded open-loop
+// (Poisson) or closed-loop (fixed-concurrency) arrivals, tagged per-tenant,
+// with time-varying intensity (diurnal sinusoid, flash crowd), are walked
+// across the component interaction graph over the live SimNetwork. A
+// request accumulates link delay, serialized-transfer time, queueing behind
+// in-flight migration transfers (SimNetwork::backlog_ms), and
+// congestion-scaled service time — and *fails* when its path crosses a dead
+// host, a severed link, or a component mid-migration without custody. The
+// Ratekeeper (ratekeeper.h) feeds on the metrics this engine publishes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/centralized_instantiation.h"
+#include "obs/instruments.h"
+#include "util/rng.h"
+
+namespace dif::traffic {
+
+enum class ArrivalModel {
+  kOpen,    // Poisson arrivals at rps * weight * intensity(t)
+  kClosed,  // fixed user population, think time between requests
+};
+
+enum class IntensityShape {
+  kFlat,     // constant 1.0
+  kDiurnal,  // 1 + 0.6 sin(2*pi*t/period) — a compressed day
+  kFlash,    // flat with a flash-crowd multiplier inside a window
+};
+
+[[nodiscard]] std::string_view to_string(ArrivalModel m) noexcept;
+[[nodiscard]] std::string_view to_string(IntensityShape s) noexcept;
+/// Throw std::invalid_argument on unknown names.
+[[nodiscard]] ArrivalModel arrival_by_name(const std::string& name);
+[[nodiscard]] IntensityShape shape_by_name(const std::string& name);
+
+/// One tenant tag: a share of the offered load plus the budget the
+/// ratekeeper holds it to when hosts saturate.
+struct TenantSpec {
+  std::string name;
+  /// Relative share of offered load (open loop) / of the user population
+  /// (closed loop).
+  double weight = 1.0;
+  /// Max fraction of the total offered load this tenant may hold while a
+  /// host is saturated; the ratekeeper sheds the excess (tag throttling).
+  double tag_budget = 1.0;
+};
+
+struct EngineConfig {
+  ArrivalModel arrival = ArrivalModel::kOpen;
+  /// Open loop: aggregate offered rate (requests/s) at intensity 1.0.
+  double rps = 200.0;
+  /// Closed loop: total concurrent users across tenants, and the think
+  /// time each user waits between a completion and its next request.
+  std::size_t closed_users = 64;
+  double think_ms = 200.0;
+  IntensityShape shape = IntensityShape::kFlat;
+  double diurnal_period_ms = 60'000.0;
+  double flash_at_ms = 20'000.0;
+  double flash_duration_ms = 10'000.0;
+  double flash_multiplier = 4.0;
+  /// Driver cadence; arrivals inside one tick share its intensity sample.
+  double tick_ms = 100.0;
+  /// Interaction-graph hops walked per request (entry component included).
+  std::size_t path_hops = 3;
+  /// Base per-hop service time; scaled by the serving host's congestion
+  /// (an M/M/1-flavoured 1/(1-utilization) factor from the previous tick).
+  double service_ms = 2.0;
+  /// Hop-service capacity per host (hops/s) that defines utilization 1.0.
+  /// Sized so a default run's hottest host (the improvement loop
+  /// consolidates placement) idles around 70% and a 4x flash crowd
+  /// saturates it — the regime the ratekeeper's shedding exists for.
+  double host_capacity_rps = 300.0;
+  /// Latency charged to a failed request (the user-visible timeout); it
+  /// lands in the latency histogram so failures drive p99 like real
+  /// timeouts do.
+  double failure_penalty_ms = 5'000.0;
+  /// A request whose accumulated latency exceeds this gave up from the
+  /// user's point of view: it fails (reason `timeout`) and is charged the
+  /// failure penalty. Guards against unbounded link backlogs on
+  /// oversubscribed topologies.
+  double request_timeout_ms = 2'000.0;
+  std::uint64_t seed = 1;
+  /// Empty => one tenant {"t0", 1.0, 1.0}.
+  std::vector<TenantSpec> tenants;
+};
+
+/// Why a request failed, in priority order of detection.
+struct FailureCounts {
+  std::uint64_t host_down = 0;    // entry/next host is crashed or suspended
+  std::uint64_t partitioned = 0;  // hosts up but link severed / absent
+  std::uint64_t migrating = 0;    // component detached (custody in flight)
+  std::uint64_t no_path = 0;      // entry component has no interactions
+  std::uint64_t timeout = 0;      // accumulated latency > request_timeout_ms
+};
+
+struct TenantStats {
+  std::uint64_t offered = 0;    // arrivals, shed included
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t shed = 0;       // rejected at admission by the ratekeeper
+  /// Latency samples for completed (true latency) and failed
+  /// (failure_penalty_ms) requests, in arrival order.
+  std::vector<double> latencies_ms;
+};
+
+class TrafficEngine {
+ public:
+  /// The instantiation must outlive the engine. Metrics (when present) gain
+  /// per-tenant "traffic.tenant.<name>.{offered,completed,failed,shed}"
+  /// counters and ".latency_ms" histograms, per-host "traffic.host.<id>.util"
+  /// gauges, and "traffic.failed.<reason>" counters.
+  TrafficEngine(core::CentralizedInstantiation& inst, EngineConfig config,
+                obs::Instruments instruments);
+
+  /// Schedules the per-tick driver on the instantiation's simulator.
+  void start();
+  void stop() noexcept { running_ = false; }
+
+  /// Admission shedding, set by the ratekeeper: probability in [0, 1) that
+  /// an arriving request of `tenant` is rejected before it runs.
+  void set_shed_level(std::size_t tenant, double level);
+  [[nodiscard]] double shed_level(std::size_t tenant) const {
+    return shed_level_.at(tenant);
+  }
+
+  [[nodiscard]] const EngineConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const std::vector<TenantStats>& tenants() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const FailureCounts& failures() const noexcept {
+    return failures_;
+  }
+  /// Peak closed-loop requests still in flight at any tick boundary; by
+  /// construction never exceeds config().closed_users.
+  [[nodiscard]] std::size_t max_outstanding() const noexcept {
+    return max_outstanding_;
+  }
+  [[nodiscard]] std::uint64_t ticks() const noexcept { return ticks_; }
+  /// Smoothed (EWMA over ticks) hop-load / capacity for `host` — the
+  /// ratekeeper's saturation signal. The service-time model uses the raw
+  /// previous tick instead: queueing is instantaneous, control should not
+  /// chase per-tick Poisson noise.
+  [[nodiscard]] double host_utilization(model::HostId host) const {
+    return smoothed_util_.at(host);
+  }
+  /// Intensity multiplier of the configured shape at sim time `t_ms`.
+  [[nodiscard]] double intensity(double t_ms) const;
+
+ private:
+  void tick();
+  /// Runs one request of `tenant` arriving at `at_ms`; returns its
+  /// user-visible latency (completion or penalty) after recording stats.
+  double run_request(std::size_t tenant, double at_ms);
+  void fail_request(std::size_t tenant, std::uint64_t FailureCounts::*reason);
+  /// Where `component` currently holds custody (attached to a host's
+  /// architecture), or model::kNoHost while it is mid-migration.
+  [[nodiscard]] model::HostId resolve(model::ComponentId component) const;
+  void refresh_locations();
+  /// Congestion-scaled service time at `host` (previous-tick utilization).
+  [[nodiscard]] double service_at(model::HostId host) const;
+  [[nodiscard]] std::uint64_t draw_poisson(double lambda);
+
+  core::CentralizedInstantiation& inst_;
+  EngineConfig config_;
+  obs::Instruments obs_;
+  bool running_ = false;
+  std::uint64_t ticks_ = 0;
+
+  // Interaction-graph snapshot (taken at construction): per-component
+  // neighbour lists plus the matching event sizes, and the entry pool.
+  std::vector<std::vector<model::ComponentId>> adjacency_;
+  std::vector<std::vector<double>> edge_size_kb_;
+  std::vector<model::ComponentId> entry_pool_;
+
+  // Per-tick custody map: component id -> host it is attached to.
+  std::vector<model::HostId> location_;
+  // Per-tick hop load, the previous tick's utilization, and its EWMA.
+  std::vector<double> hop_load_;
+  std::vector<double> prev_util_;
+  std::vector<double> smoothed_util_;
+
+  std::vector<TenantStats> stats_;
+  std::vector<double> shed_level_;
+  FailureCounts failures_;
+  double total_weight_ = 0.0;
+
+  // Closed loop: per-user tenant assignment and next-free times.
+  std::vector<std::size_t> user_tenant_;
+  std::vector<double> user_next_free_;
+  std::size_t max_outstanding_ = 0;
+
+  // Independent streams so shedding never perturbs path choice and
+  // arrivals never perturb either.
+  util::Xoshiro256ss arrivals_rng_;
+  util::Xoshiro256ss path_rng_;
+  util::Xoshiro256ss shed_rng_;
+
+  // Pre-resolved metric handles (allocation-stable registry references).
+  struct TenantMetrics {
+    obs::Counter* offered = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Histogram* latency_ms = nullptr;
+  };
+  std::vector<TenantMetrics> tenant_metrics_;
+  std::vector<obs::Gauge*> util_gauges_;
+  obs::Counter* fail_host_down_ = nullptr;
+  obs::Counter* fail_partitioned_ = nullptr;
+  obs::Counter* fail_migrating_ = nullptr;
+  obs::Counter* fail_no_path_ = nullptr;
+  obs::Counter* fail_timeout_ = nullptr;
+};
+
+}  // namespace dif::traffic

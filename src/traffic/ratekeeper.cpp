@@ -1,0 +1,146 @@
+#include "traffic/ratekeeper.h"
+
+#include <algorithm>
+
+namespace dif::traffic {
+
+Ratekeeper::Ratekeeper(TrafficEngine& engine,
+                       core::CentralizedInstantiation& inst,
+                       obs::Instruments instruments,
+                       std::shared_ptr<prism::PrepareThrottle> cell,
+                       RatekeeperConfig config)
+    : engine_(engine),
+      inst_(inst),
+      obs_(instruments),
+      cell_(std::move(cell)),
+      config_(config) {
+  const std::size_t tenants = engine_.config().tenants.size();
+  tenant_violation_ms_.assign(tenants, 0.0);
+  bucket_snapshot_.resize(tenants);
+  offered_snapshot_.assign(tenants, 0);
+  if (obs_.metrics) {
+    throttle_counter_ = &obs_.metrics->counter("ratekeeper.throttle_actions");
+    shed_counter_ = &obs_.metrics->counter("ratekeeper.shed_actions");
+    level_gauge_ = &obs_.metrics->gauge("ratekeeper.level");
+  }
+}
+
+void Ratekeeper::start() {
+  running_ = true;
+  inst_.simulator().schedule_after(config_.control_interval_ms,
+                                   [this] { control_tick(); });
+}
+
+double Ratekeeper::interval_p99_ms(std::size_t tenant) {
+  if (!obs_.metrics) return 0.0;
+  const obs::Histogram* h = obs_.metrics->find_histogram(
+      "traffic.tenant." + engine_.config().tenants[tenant].name +
+      ".latency_ms");
+  if (h == nullptr) return 0.0;
+
+  const std::vector<std::uint64_t>& buckets = h->bucket_counts();
+  std::vector<std::uint64_t>& snap = bucket_snapshot_[tenant];
+  snap.resize(buckets.size(), 0);
+
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i)
+    total += buckets[i] - snap[i];
+  double p99 = 0.0;
+  if (total > 0) {
+    const std::uint64_t target = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(0.99 * static_cast<double>(total) + 0.5));
+    std::uint64_t cumulative = 0;
+    const std::vector<double>& bounds = h->bounds();
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      cumulative += buckets[i] - snap[i];
+      if (cumulative >= target) {
+        // The +inf overflow bucket has no bound; stand in with twice the
+        // last finite bound (only its relation to the SLO matters).
+        p99 = i < bounds.size() ? bounds[i] : 2.0 * bounds.back();
+        break;
+      }
+    }
+  }
+  snap.assign(buckets.begin(), buckets.end());
+  return p99;
+}
+
+void Ratekeeper::control_tick() {
+  if (!running_) return;
+  const std::vector<TenantSpec>& tenants = engine_.config().tenants;
+
+  // --- sample: windowed p99 per tenant, SLO-violation accounting ---------
+  bool breach = false;
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    const double p99 = interval_p99_ms(t);
+    if (p99 > config_.slo_p99_ms) {
+      breach = true;
+      tenant_violation_ms_[t] += config_.control_interval_ms;
+    }
+  }
+  if (breach) slo_violation_ms_ += config_.control_interval_ms;
+
+  // --- act: migration throttle escalation ladder -------------------------
+  if (config_.enabled) {
+    if (breach) {
+      if (level_ < config_.max_level) {
+        ++level_;
+        ++throttle_actions_;
+        if (throttle_counter_) throttle_counter_->add(1);
+      }
+    } else if (level_ > 0) {
+      --level_;
+    }
+    max_level_reached_ = std::max(max_level_reached_, level_);
+    if (level_ == 0) {
+      *cell_ = prism::PrepareThrottle{};
+    } else {
+      cell_->max_batch = std::max<std::size_t>(
+          1, static_cast<std::size_t>(8) >> static_cast<unsigned>(level_));
+      cell_->inter_batch_delay_ms = config_.max_inter_batch_delay_ms *
+                                    static_cast<double>(level_) /
+                                    static_cast<double>(config_.max_level);
+    }
+    if (level_gauge_) level_gauge_->set(static_cast<double>(level_));
+  }
+
+  // --- act: tag-budget shedding under host saturation ---------------------
+  bool saturated = false;
+  for (model::HostId h = 0; h < inst_.system().model().host_count(); ++h)
+    if (engine_.host_utilization(h) > config_.saturation_threshold)
+      saturated = true;
+
+  std::vector<std::uint64_t> offered_delta(tenants.size(), 0);
+  std::uint64_t offered_total = 0;
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    const std::uint64_t offered = engine_.tenants()[t].offered;
+    offered_delta[t] = offered - offered_snapshot_[t];
+    offered_snapshot_[t] = offered;
+    offered_total += offered_delta[t];
+  }
+  if (config_.enabled) {
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+      const double share =
+          offered_total > 0 ? static_cast<double>(offered_delta[t]) /
+                                  static_cast<double>(offered_total)
+                            : 0.0;
+      double level = engine_.shed_level(t);
+      // Shed only when users hurt AND congestion is the cause: saturation
+      // without an SLO breach is headroom spent well, and sacrificing
+      // goodput for it would punish tenants for latency nobody observes.
+      if (breach && saturated && share > tenants[t].tag_budget) {
+        level = std::min(config_.max_shed, level + config_.shed_step);
+        ++shed_actions_;
+        if (shed_counter_) shed_counter_->add(1);
+      } else {
+        level = std::max(0.0, level - config_.shed_step);
+      }
+      engine_.set_shed_level(t, level);
+    }
+  }
+
+  inst_.simulator().schedule_after(config_.control_interval_ms,
+                                   [this] { control_tick(); });
+}
+
+}  // namespace dif::traffic

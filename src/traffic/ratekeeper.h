@@ -1,0 +1,132 @@
+// Ratekeeper: the feedback controller that closes the loop between user
+// traffic and the control plane (FoundationDB's Ratekeeper/TagThrottle is
+// the exemplar; ROADMAP "Ratekeeper" item).
+//
+// Every control interval it samples what the TrafficEngine published to the
+// obs registry — per-tenant latency histograms and per-host utilization
+// gauges — and acts on two fronts:
+//
+//   * Migration throttling. While any tenant's windowed p99 breaches the
+//     SLO target, an escalation level climbs (and decays one step per
+//     clean interval). The level maps to a prism::PrepareThrottle written
+//     into a shared cell the DeployerComponent samples at every __prepare
+//     fan-out: higher levels mean smaller batches and longer inter-batch
+//     gaps, so redeployment sagas yield link bandwidth and defer
+//     custody-transfer churn until user latency recovers.
+//
+//   * Tag shedding. While the SLO is breached AND any host's (smoothed)
+//     utilization exceeds the saturation threshold — latency pain with a
+//     congestion cause — tenants whose share of the offered load exceeds
+//     their tag_budget get their admission shed level raised stepwise (and
+//     decayed when the pressure clears), protecting within-budget tenants
+//     from a noisy neighbour.
+//
+// Sampling and SLO-violation accounting always run; `enabled` gates only
+// the *actions* — that is what lets a bench compare violation seconds with
+// the controller on vs off under identical offered load.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/centralized_instantiation.h"
+#include "obs/instruments.h"
+#include "prism/deployer.h"
+#include "traffic/engine.h"
+
+namespace dif::traffic {
+
+struct RatekeeperConfig {
+  /// Gates actions (throttle writes + shedding); sampling and violation
+  /// accounting run regardless.
+  bool enabled = true;
+  /// The SLO target the per-tenant windowed p99 is held to. Default sits
+  /// above the healthy steady state of a traffic_generator_spec() run
+  /// (~130 ms p99) and below its stressed state, so violations mark real
+  /// incidents (flash crowds, mid-migration churn), not the baseline.
+  double slo_p99_ms = 250.0;
+  double control_interval_ms = 500.0;
+  /// Host utilization above which tag budgets are enforced.
+  double saturation_threshold = 0.85;
+  /// Escalation ladder: level 0 is unthrottled; the prepare batch cap
+  /// shrinks 8 >> level (floor 1) and the inter-batch delay grows
+  /// level/max_level of the max as the level climbs.
+  int max_level = 4;
+  double max_inter_batch_delay_ms = 2'000.0;
+  /// Shed level moved per interval (up under pressure, down when clear).
+  double shed_step = 0.25;
+  double max_shed = 0.9;
+};
+
+class Ratekeeper {
+ public:
+  /// `cell` is the PrepareThrottle the deployer's DeployerParams::throttle
+  /// lambda reads (create it before building the instantiation, bind it
+  /// into FrameworkConfig, then hand it here). Engine and instantiation
+  /// must outlive the ratekeeper.
+  Ratekeeper(TrafficEngine& engine, core::CentralizedInstantiation& inst,
+             obs::Instruments instruments,
+             std::shared_ptr<prism::PrepareThrottle> cell,
+             RatekeeperConfig config);
+
+  /// Schedules the recurring control tick on the instantiation's simulator.
+  void start();
+  void stop() noexcept { running_ = false; }
+
+  [[nodiscard]] const RatekeeperConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] int level() const noexcept { return level_; }
+  [[nodiscard]] int max_level_reached() const noexcept {
+    return max_level_reached_;
+  }
+  /// Escalations (level increases) and shed-level increases performed.
+  [[nodiscard]] std::uint64_t throttle_actions() const noexcept {
+    return throttle_actions_;
+  }
+  [[nodiscard]] std::uint64_t shed_actions() const noexcept {
+    return shed_actions_;
+  }
+  /// Sim time during which >= 1 tenant's windowed p99 breached the SLO.
+  [[nodiscard]] double slo_violation_ms() const noexcept {
+    return slo_violation_ms_;
+  }
+  /// Sim time during which `tenant`'s own windowed p99 breached the SLO.
+  [[nodiscard]] double tenant_slo_violation_ms(std::size_t tenant) const {
+    return tenant_violation_ms_.at(tenant);
+  }
+  [[nodiscard]] prism::PrepareThrottle current_throttle() const {
+    return *cell_;
+  }
+
+ private:
+  void control_tick();
+  /// Windowed p99 of `tenant` since the previous control tick, from the
+  /// latency histogram's bucket-count deltas (0 when no samples landed).
+  [[nodiscard]] double interval_p99_ms(std::size_t tenant);
+
+  TrafficEngine& engine_;
+  core::CentralizedInstantiation& inst_;
+  obs::Instruments obs_;
+  std::shared_ptr<prism::PrepareThrottle> cell_;
+  RatekeeperConfig config_;
+  bool running_ = false;
+
+  int level_ = 0;
+  int max_level_reached_ = 0;
+  std::uint64_t throttle_actions_ = 0;
+  std::uint64_t shed_actions_ = 0;
+  double slo_violation_ms_ = 0.0;
+  std::vector<double> tenant_violation_ms_;
+
+  /// Per-tenant histogram bucket + counter snapshots from the last tick.
+  std::vector<std::vector<std::uint64_t>> bucket_snapshot_;
+  std::vector<std::uint64_t> offered_snapshot_;
+
+  obs::Counter* throttle_counter_ = nullptr;
+  obs::Counter* shed_counter_ = nullptr;
+  obs::Gauge* level_gauge_ = nullptr;
+};
+
+}  // namespace dif::traffic

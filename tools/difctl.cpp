@@ -81,7 +81,22 @@
 //       minimal mutation trace. --json emits the "dif-fuzz-v1" report.
 //       Exit 0 when every round held all invariants, 1 on violations, 2 on
 //       usage errors.
+//
+//   difctl traffic [--arrival open|closed] [--rps R] [--users U]
+//                  [--tenants T] [--shape flat|diurnal|flash]
+//                  [--slo-p99-ms MS] [--scenario NAME] [--no-ratekeeper]
+//                  [--json [PATH]]
+//       Live-traffic session: drive seeded simulated user requests through
+//       a generated, deployed architecture while the improvement loop (and
+//       optional forced redeployments / chaos scenario) churn placements
+//       underneath, with the ratekeeper throttling migration sagas and
+//       shedding over-budget tenants when SLO/saturation degrade. --json
+//       emits the "dif-traffic-v1" report (per-tenant goodput, p50/p99,
+//       SLO-violation seconds, throttle/shed actions). Exit 0 on a clean
+//       run, 3 when SLO-violation seconds accrued or a redeployment round
+//       rolled back (informational), 1 on errors, 2 on usage errors.
 //       See docs/difctl.md for the full flag reference.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -105,6 +120,7 @@
 #include "desi/sensitivity.h"
 #include "desi/xadl.h"
 #include "obs/instruments.h"
+#include "traffic/runner.h"
 
 namespace {
 
@@ -138,7 +154,13 @@ int usage() {
                "[--trace-json PATH]\n"
                "  fuzz     [--seed N] [--rounds M] [--rate R] [--scenario "
                "NAME] [--hosts K] [--components N] [--duration-ms D] "
-               "[--shrink-budget B] [--json [PATH]]\n");
+               "[--shrink-budget B] [--json [PATH]]\n"
+               "  traffic  [--hosts K] [--components N] [--seed S] "
+               "[--arrival open|closed] [--rps R] [--users U] [--tenants T] "
+               "[--shape flat|diurnal|flash] [--slo-p99-ms MS] "
+               "[--duration-ms D] [--scenario NAME] [--redeploy-at-ms T] "
+               "[--redeploy-every-ms T] [--moves K] [--no-ratekeeper] "
+               "[--json [PATH]] [--metrics-json PATH]\n");
   return 2;
 }
 
@@ -703,6 +725,76 @@ int cmd_audit(const std::string& path, const Flags& flags) {
   return fail ? 1 : 0;
 }
 
+int cmd_traffic(const Flags& flags) {
+  traffic::RunOptions opts;
+  opts.generator.hosts = flags.get_u64("hosts", 8);
+  opts.generator.components = flags.get_u64("components", 24);
+  opts.seed = flags.get_u64("seed", 1);
+  opts.duration_ms = std::stod(flags.get("duration-ms", "60000"));
+  opts.scenario = flags.get("scenario", "none");
+  try {
+    if (opts.scenario != "none")
+      (void)chaos::scenario_by_name(opts.scenario);
+    opts.engine.arrival =
+        traffic::arrival_by_name(flags.get("arrival", "open"));
+    opts.engine.shape = traffic::shape_by_name(flags.get("shape", "flat"));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "difctl traffic: %s\n", e.what());
+    return usage();
+  }
+  opts.engine.rps = std::stod(flags.get("rps", "200"));
+  opts.engine.closed_users = flags.get_u64("users", 64);
+  opts.engine.think_ms = std::stod(flags.get("think-ms", "200"));
+  opts.ratekeeper.slo_p99_ms = std::stod(flags.get("slo-p99-ms", "250"));
+  opts.ratekeeper.enabled = !flags.has("no-ratekeeper");
+  opts.redeploy_at_ms = std::stod(flags.get("redeploy-at-ms", "0"));
+  opts.redeploy_every_ms = std::stod(flags.get("redeploy-every-ms", "10000"));
+  opts.redeploy_moves = flags.get_u64("moves", 2);
+
+  // Tenant tags: t0 is the heavy tenant (double weight); every budget is
+  // 1.2x the fair share, so the noisy neighbour sits over budget while the
+  // rest keep comfortable headroom.
+  const std::uint64_t tenant_count = std::max<std::uint64_t>(
+      1, flags.get_u64("tenants", 2));
+  const double budget =
+      std::min(1.0, 1.2 / static_cast<double>(tenant_count));
+  for (std::uint64_t t = 0; t < tenant_count; ++t)
+    opts.engine.tenants.push_back(
+        {"t" + std::to_string(t), t == 0 ? 2.0 : 1.0, budget});
+
+  const traffic::RunResult result = traffic::run_traffic(opts);
+
+  const std::string metrics_path = flags.get("metrics-json", "");
+  if (!metrics_path.empty()) write_json_file(metrics_path, result.metrics);
+  if (flags.has("json")) {
+    const std::string json_path = flags.get("json", "");
+    if (json_path.empty())
+      std::printf("%s\n", result.report.dump(2).c_str());
+    else
+      write_json_file(json_path, result.report);
+  } else {
+    std::printf("%s\n", result.report.dump(2).c_str());
+  }
+
+  std::fprintf(stderr,
+               "traffic: %llu offered, %llu completed, %llu failed, "
+               "%llu shed; %.0f ms in SLO violation; %llu rounds "
+               "(%llu committed, %llu rolled back), %llu migrations\n",
+               static_cast<unsigned long long>(result.offered),
+               static_cast<unsigned long long>(result.completed),
+               static_cast<unsigned long long>(result.failed),
+               static_cast<unsigned long long>(result.shed),
+               result.slo_violation_ms,
+               static_cast<unsigned long long>(result.rounds),
+               static_cast<unsigned long long>(result.committed),
+               static_cast<unsigned long long>(result.rolled_back),
+               static_cast<unsigned long long>(result.migrations));
+  // Exit-code contract mirrors simulate/campaign: 3 flags a clean run in
+  // which user-facing SLO was breached or an adaptation was not fully
+  // applied — degraded, not broken.
+  return result.slo_violation_ms > 0.0 || result.rolled_back > 0 ? 3 : 0;
+}
+
 int cmd_tables(const std::string& path) {
   const auto system = desi::XadlLite::from_text(read_file(path));
   std::printf("== hosts ==\n%s\n== components ==\n%s\n== links ==\n%s\n"
@@ -724,6 +816,7 @@ int main(int argc, char** argv) {
     if (command == "generate") return cmd_generate(Flags(argc, argv, 2));
     if (command == "campaign") return cmd_campaign(Flags(argc, argv, 2));
     if (command == "fuzz") return cmd_fuzz(Flags(argc, argv, 2));
+    if (command == "traffic") return cmd_traffic(Flags(argc, argv, 2));
     if (argc < 3) return usage();
     const std::string path = argv[2];
     if (command == "evaluate") return cmd_evaluate(path);
