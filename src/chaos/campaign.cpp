@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <functional>
+#include <memory>
 #include <utility>
 
 #include "check/audit.h"
 #include "check/preflight.h"
+#include "check/resilience.h"
 #include "core/decentralized_instantiation.h"
 #include "core/improvement_loop.h"
+#include "heal/recovery.h"
 #include "model/objective.h"
 
 namespace dif::chaos {
@@ -185,7 +188,49 @@ void collect_net(const sim::SimNetwork& net, RunReport& report) {
   report.dropped_links = net.dropped_links();
 }
 
+/// Resilience warnings (k = 1 host sweep) of `deployment` on the pristine
+/// model — the convergence invariant's "no less k-resilient" leg compares
+/// the converged placement's count against the initial placement's.
+std::size_t resilience_warnings(const desi::SystemData& pristine,
+                                const model::Deployment& deployment) {
+  const check::CheckReport proof =
+      check::ResilienceProver().prove(pristine.model(), deployment);
+  return proof.diagnostics().size();
+}
+
 }  // namespace
+
+CampaignConfig recovery_campaign_config() {
+  CampaignConfig config;
+  config.scenario = scenario_by_name("killhost");
+  config.centralized = true;
+  config.decentralized = false;
+  config.recovery = true;
+  // Capacity pressure: ~140 KB of components against 50-70 KB hosts, so no
+  // host fits more than about half a dozen components and the optimizer
+  // must keep the placement spread — the killed host is never empty.
+  config.generator.host_memory = {50.0, 70.0};
+  config.generator.component_memory = {8.0, 12.0};
+  // The repaired placement excludes a host until it rejoins, so its score
+  // can legitimately settle below the pre-fault optimum within the
+  // analyzer's min_improvement band.
+  config.availability_tolerance = 0.05;
+  return config;
+}
+
+void judge_centralized_invariants(core::CentralizedInstantiation& inst,
+                                  const desi::SystemData& system,
+                                  const desi::SystemData& pristine,
+                                  double availability_tolerance,
+                                  RunReport& report) {
+  check_conservation(inst.network(), report);
+  check_census(inst, system.model(), report);
+  check_atomicity(inst, system.model(), report);
+  check_availability(pristine, inst.runtime_deployment(),
+                     availability_tolerance, report);
+  check_preflight(system, report);
+  check_audit(inst, pristine, report);
+}
 
 RunReport CampaignRunner::run_centralized_once(std::uint64_t seed,
                                                const PrepareHook& prepare) {
@@ -238,14 +283,74 @@ RunReport CampaignRunner::run_centralized_once(std::uint64_t seed,
   };
   inst.simulator().schedule_at(0.0, probe);
 
+  // Self-healing: the controller taps the deployer's heartbeat stream,
+  // vetoes placements onto suspect hosts, and turns condemnations into
+  // recovery rounds. Recovery-off runs never construct it, so their event
+  // sequence (and report bytes) are untouched by the heal layer.
+  std::unique_ptr<heal::HealController> healer;
+  if (config_.recovery) {
+    heal::HealConfig hc = config_.heal;
+    hc.seed = seed + 1;  // planner polish seed; +1 keeps 0 a real seed
+    healer = std::make_unique<heal::HealController>(inst, *pristine, hc);
+  }
+
+  // Convergence probe (eighth invariant, recovery runs only): from the
+  // moment the last fault has healed, sample until the runtime placement is
+  // complete, audits clean, and is no less 1-resilient than the initial
+  // placement; the first such sample time is the convergence point.
+  std::function<void()> convergence_probe;
+  if (config_.recovery) {
+    convergence_probe = [&, initial_resilience = resilience_warnings(
+                                *pristine, pristine->deployment())] {
+      if (report.converged_at_ms >= 0.0) return;
+      const double horizon =
+          config_.scenario.duration_ms + config_.settle_ms;
+      if (!inst.deployer().redeployment_in_flight()) {
+        const model::Deployment placement = inst.runtime_deployment();
+        if (placement.complete()) {
+          check::AuditOptions options;
+          options.check_bandwidth = false;
+          const check::CheckReport audit =
+              check::PlacementAuditor(options).audit(
+                  pristine->model(), pristine->constraints(), placement);
+          if (audit.error_count() == 0 &&
+              resilience_warnings(*pristine, placement) <=
+                  initial_resilience) {
+            report.converged_at_ms = inst.simulator().now();
+            return;
+          }
+        }
+      }
+      if (inst.simulator().now() < horizon)
+        inst.simulator().schedule_after(config_.epoch_probe_ms,
+                                        convergence_probe);
+    };
+    inst.simulator().schedule_at(config_.scenario.fault_until_ms,
+                                 convergence_probe);
+  }
+
   if (prepare) prepare(inst);
 
   loop.start();
+  if (healer) healer->start();
   inst.start();
   inst.simulator().run_until(config_.scenario.duration_ms);
   loop.stop();
+  // The healer keeps ticking through the settle window: a condemnation at
+  // the very end of the scenario still gets its repair round.
   inst.simulator().run_until(config_.scenario.duration_ms +
                              config_.settle_ms);
+  if (healer) {
+    healer->stop();
+    report.recovery_enabled = true;
+    report.condemnations = healer->condemnations();
+    report.rejoins = healer->rejoins();
+    report.recoveries_committed = healer->recoveries_committed();
+    report.mean_mttr_ms = healer->mean_mttr_ms();
+    util::json::Value recovery = healer->to_json();
+    recovery.as_object()["converged_at_ms"] = report.converged_at_ms;
+    report.recovery = std::move(recovery);
+  }
 
   report.faults = injector.injected();
   report.redeployments = loop.redeployments_applied();
@@ -273,13 +378,29 @@ RunReport CampaignRunner::run_centralized_once(std::uint64_t seed,
              " below completed rounds " +
              std::to_string(inst.deployer().redeployments_completed())});
 
-  check_conservation(inst.network(), report);
-  check_census(inst, system->model(), report);
-  check_atomicity(inst, system->model(), report);
-  check_availability(*pristine, inst.runtime_deployment(),
-                     config_.availability_tolerance, report);
-  check_preflight(*system, report);
-  check_audit(inst, *pristine, report);
+  judge_centralized_invariants(inst, *system, *pristine,
+                               config_.availability_tolerance, report);
+
+  // Eighth invariant — convergence (recovery runs only): the placement
+  // must have re-audited clean within the window after the faults healed.
+  if (config_.recovery) {
+    const double deadline =
+        config_.scenario.fault_until_ms + config_.convergence_window_ms;
+    if (report.converged_at_ms < 0.0) {
+      report.violations.push_back(
+          {"convergence",
+           "no audit-clean, resilience-preserving placement was reached "
+           "after the last fault healed (deadline " +
+               std::to_string(deadline) + " ms)"});
+    } else if (report.converged_at_ms > deadline) {
+      report.violations.push_back(
+          {"convergence",
+           "placement re-converged at " +
+               std::to_string(report.converged_at_ms) +
+               " ms, past the deadline of " + std::to_string(deadline) +
+               " ms"});
+    }
+  }
   return report;
 }
 
@@ -388,6 +509,9 @@ util::json::Value RunReport::to_json() const {
     Object txn;
     for (const auto& [outcome, n] : txn_outcomes) txn[outcome] = n;
     adaptation["txn"] = std::move(txn);
+    // Only recovery-enabled runs carry the extra key: recovery-off reports
+    // must stay byte-identical to the pre-heal schema.
+    if (recovery) adaptation["recovery"] = *recovery;
   } else {
     adaptation["migrations"] = migrations;
   }

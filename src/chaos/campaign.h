@@ -29,6 +29,11 @@
 //                  no location/capacity/collocation error against the
 //                  pristine model (bandwidth advisories excluded — the sim
 //                  mediates unconnected hosts)
+//   convergence    (recovery-enabled runs only) within a bounded window
+//                  after the last fault heals, the fleet re-reaches a
+//                  complete placement that re-audits clean and is no less
+//                  k-resilient than the initial placement — the
+//                  self-healing loop not only repairs but *converges*
 //
 // Everything is deterministic in the seed: generation, fault times and
 // targets, protocol interleavings, and therefore the whole report —
@@ -38,12 +43,14 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "chaos/fault_schedule.h"
 #include "chaos/scenario.h"
 #include "desi/generator.h"
+#include "heal/recovery.h"
 #include "obs/instruments.h"
 #include "util/json.h"
 
@@ -79,6 +86,16 @@ struct CampaignConfig {
   double availability_tolerance = 0.0;
   /// Epoch-monotonicity sampling period.
   double epoch_probe_ms = 5'000.0;
+  /// Self-healing (centralized runs): attach a heal::HealController —
+  /// phi-accrual detection over the monitor heartbeats, automatic recovery
+  /// re-placement on condemnation — and judge the eighth (convergence)
+  /// invariant. Off by default, so recovery-free campaigns are bit-for-bit
+  /// what they were before the heal layer existed.
+  bool recovery = false;
+  heal::HealConfig heal;
+  /// Convergence deadline: the placement must re-audit clean within this
+  /// many sim ms after scenario.fault_until_ms (recovery runs only).
+  double convergence_window_ms = 60'000.0;
 
   CampaignConfig() {
     generator.hosts = 5;
@@ -89,6 +106,17 @@ struct CampaignConfig {
     generator.interaction_density = 0.25;
   }
 };
+
+/// Campaign configuration for the recovery reference runs (`difctl heal`,
+/// bench_recovery, the CI recovery smoke): killhost scenario, centralized
+/// only, recovery enabled, and a generator with genuine capacity pressure.
+/// The default campaign generator leaves hosts roomy enough that the exact
+/// solver collocates the entire system on one host (availability 1.0) at
+/// the first improvement tick — any host killed after that is empty and
+/// recovery is vacuously idle. Squeezing host memory below half the total
+/// component footprint forces a spread placement, so the killed host
+/// always holds components worth repairing.
+[[nodiscard]] CampaignConfig recovery_campaign_config();
 
 struct InvariantViolation {
   std::string invariant;  // "conservation", "epoch", "census", ...
@@ -125,6 +153,17 @@ struct RunReport {
   /// rollback_failed / crashed.
   std::map<std::string, std::uint64_t> txn_outcomes;
 
+  /// Self-healing observations (recovery-enabled centralized runs only;
+  /// all zero / absent otherwise). `recovery` holds the full
+  /// dif-recovery-v1 "recovery" object from heal::HealController::to_json.
+  bool recovery_enabled = false;
+  double converged_at_ms = -1.0;  // first audit-clean probe; <0 = never
+  double mean_mttr_ms = 0.0;
+  std::uint64_t condemnations = 0;
+  std::uint64_t rejoins = 0;
+  std::uint64_t recoveries_committed = 0;
+  std::optional<util::json::Value> recovery;
+
   std::vector<InvariantViolation> violations;
 
   [[nodiscard]] util::json::Value to_json() const;
@@ -142,6 +181,17 @@ struct CampaignReport {
   /// no field derives from wall clock.
   [[nodiscard]] util::json::Value to_json() const;
 };
+
+/// Appends the post-run invariant verdicts (conservation, census,
+/// atomicity, availability, preflight, audit) for a finished centralized
+/// run to `report.violations`. Factored out of run_centralized_once so
+/// bench_campaign can time the invariant judge in isolation; the epoch and
+/// convergence invariants live in the runner (they need mid-run samples).
+void judge_centralized_invariants(core::CentralizedInstantiation& inst,
+                                  const desi::SystemData& system,
+                                  const desi::SystemData& pristine,
+                                  double availability_tolerance,
+                                  RunReport& report);
 
 class CampaignRunner {
  public:

@@ -118,10 +118,33 @@ void FuzzRunner::shrink(FuzzRound& round) {
   // stream, so later ordinals may land on different messages in the re-run
   // — the loop is a heuristic that monotonically shrinks the applied trace
   // while the oracle keeps failing, not an exact subset search.
+  //
+  // The oracle is pinned to the invariants the ORIGINAL round violated: a
+  // masked replay that fails some other way is a different bug, and
+  // accepting it would let the "minimal" trace drift away from the failure
+  // it is supposed to demonstrate (the original accept condition — any
+  // non-empty violation list — did exactly that).
+  std::set<std::string> wanted;
+  for (const InvariantViolation& v : round.report.violations)
+    wanted.insert(v.invariant);
+  const auto reproduces = [&wanted](const RunReport& report) {
+    for (const InvariantViolation& v : report.violations)
+      if (wanted.find(v.invariant) != wanted.end()) return true;
+    return false;
+  };
+
   std::set<std::size_t> disabled;
   std::vector<MutationRecord> best = round.mutations;
   for (const MutationRecord& m : round.mutations) {
     if (round.shrink_runs >= config_.shrink_budget) break;
+    // An earlier accepted mask may have reshaped the stream so that this
+    // ordinal no longer applies in the current best replay; masking it
+    // would be a byte-identical no-op run (the fixed-draw discipline), so
+    // skip it and spend the budget on ordinals that are actually live.
+    const bool live = std::any_of(
+        best.begin(), best.end(),
+        [&m](const MutationRecord& b) { return b.ordinal == m.ordinal; });
+    if (!live) continue;
     std::set<std::size_t> trial = disabled;
     trial.insert(m.ordinal);
     std::vector<MutationRecord> trace;
@@ -129,9 +152,10 @@ void FuzzRunner::shrink(FuzzRound& round) {
         run_fuzzed(round.seed, trial, &trace, nullptr, nullptr);
     ++round.shrink_runs;
     // Masking reshapes the downstream message stream, so a failing trial
-    // can apply *more* mutations than before; only non-growing failing
-    // traces are accepted, keeping `minimal` monotonically non-increasing.
-    if (!report.violations.empty() && trace.size() <= best.size()) {
+    // can apply *more* mutations than before; only non-growing replays
+    // that reproduce an original invariant are accepted, keeping
+    // `minimal` monotonically non-increasing and on-bug.
+    if (reproduces(report) && trace.size() <= best.size()) {
       disabled = std::move(trial);
       best = std::move(trace);
     }

@@ -37,6 +37,19 @@ ScenarioSpec scenario_by_name(const std::string& name) {
     spec.noise_bursts = 3;
     return spec;
   }
+  if (name == "killhost") {
+    // Recovery's reference scenario: one long host outage, nothing else.
+    // The outage (20-25s) comfortably exceeds the phi-accrual condemn
+    // horizon (~5s at default thresholds), so a heal-enabled run detects,
+    // re-places, and commits repair well before the host restarts — and
+    // the restart then exercises the rejoin/shed anti-entropy path.
+    spec.crashes = 1;
+    spec.fault_from_ms = 10'000.0;
+    spec.fault_until_ms = 40'000.0;
+    spec.min_fault_ms = 20'000.0;
+    spec.max_fault_ms = 25'000.0;
+    return spec;
+  }
   if (name == "midmigration") {
     // Crashes and severs aimed at the redeployment window: short, frequent
     // faults starting right as the first analyzer ticks start moving
@@ -55,7 +68,7 @@ ScenarioSpec scenario_by_name(const std::string& name) {
 
 std::vector<std::string> scenario_names() {
   return {"mixed", "partitions", "loss", "degrade", "crashes", "noise",
-          "midmigration", "quiet"};
+          "midmigration", "killhost", "quiet"};
 }
 
 }  // namespace dif::chaos

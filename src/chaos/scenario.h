@@ -62,7 +62,9 @@ struct ScenarioSpec {
 
 /// Built-in presets: "mixed" (the default above), one single-family
 /// scenario per fault kind ("partitions", "loss", "degrade", "crashes",
-/// "noise"), and "quiet" (no faults — the control run).
+/// "noise"), "midmigration" (faults aimed at the redeployment window),
+/// "killhost" (one long host outage — the recovery reference scenario),
+/// and "quiet" (no faults — the control run).
 [[nodiscard]] ScenarioSpec scenario_by_name(const std::string& name);
 [[nodiscard]] std::vector<std::string> scenario_names();
 

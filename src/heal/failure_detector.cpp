@@ -1,0 +1,116 @@
+#include "heal/failure_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dif::heal {
+
+const char* to_string(HostState state) noexcept {
+  switch (state) {
+    case HostState::kAlive:
+      return "alive";
+    case HostState::kSuspect:
+      return "suspect";
+    case HostState::kCondemned:
+      return "condemned";
+  }
+  return "?";
+}
+
+PhiAccrualDetector::PhiAccrualDetector(DetectorConfig config)
+    : config_(config) {
+  config_.window = std::max<std::size_t>(config_.window, 1);
+  config_.min_std_ms = std::max(config_.min_std_ms, 1.0);
+}
+
+void PhiAccrualDetector::bootstrap_from(double now_ms) {
+  bootstrap_at_ms_ = now_ms;
+}
+
+void PhiAccrualDetector::forget(model::HostId host) { hosts_.erase(host); }
+
+bool PhiAccrualDetector::seen(model::HostId host) const {
+  return hosts_.count(host) > 0;
+}
+
+std::size_t PhiAccrualDetector::sample_count(model::HostId host) const {
+  const auto it = hosts_.find(host);
+  return it == hosts_.end() ? 0 : it->second.intervals.size();
+}
+
+void PhiAccrualDetector::heartbeat(model::HostId host, double now_ms) {
+  History& h = hosts_[host];
+  if (h.last_ms < 0.0) {
+    // First heartbeat: no interval yet, just arm the clock.
+    h.last_ms = now_ms;
+    return;
+  }
+  // Delayed/reordered delivery can hand us a timestamp at or before the
+  // last one; a non-positive interval is delivery noise, not cadence.
+  if (now_ms <= h.last_ms) return;
+  const double interval = now_ms - h.last_ms;
+  h.last_ms = now_ms;
+  if (h.intervals.size() < config_.window) {
+    h.intervals.push_back(interval);
+  } else {
+    h.intervals[h.next] = interval;
+    h.next = (h.next + 1) % config_.window;
+  }
+}
+
+double PhiAccrualDetector::phi_of(const History& h, double now_ms) const {
+  const double elapsed = now_ms - h.last_ms;
+  if (elapsed <= 0.0) return 0.0;
+
+  // Fit mean/std over the window, padded to min_samples with the bootstrap
+  // cadence so a single early sample cannot dominate the estimate.
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::size_t n = h.intervals.size();
+  for (const double v : h.intervals) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  while (n < config_.min_samples) {
+    sum += config_.bootstrap_interval_ms;
+    sum_sq += config_.bootstrap_interval_ms * config_.bootstrap_interval_ms;
+    ++n;
+  }
+  const double mean = sum / static_cast<double>(n);
+  const double variance =
+      std::max(0.0, sum_sq / static_cast<double>(n) - mean * mean);
+  const double std_dev = std::max(std::sqrt(variance), config_.min_std_ms);
+
+  const double y =
+      (elapsed - config_.acceptable_pause_ms - mean) / std_dev;
+  if (y <= 0.0) return 0.0;
+  // Tail probability of a normal inter-arrival: P(X > elapsed). erfc is
+  // deterministic for a fixed build, which is all the byte-identical
+  // reports need (reports never serialize phi itself, only states).
+  const double tail = 0.5 * std::erfc(y / std::sqrt(2.0));
+  // Floor the probability so phi stays finite (and monotone in `elapsed`
+  // via y once the floor is hit the score saturates, which is fine: every
+  // threshold worth configuring sits far below it).
+  return -std::log10(std::max(tail, 1e-30));
+}
+
+double PhiAccrualDetector::phi(model::HostId host, double now_ms) const {
+  const auto it = hosts_.find(host);
+  if (it != hosts_.end() && it->second.last_ms >= 0.0)
+    return phi_of(it->second, now_ms);
+  // Never heard from: silent hosts only accrue suspicion once the caller
+  // declared monitoring live (bootstrap_from); before that, score 0.
+  if (bootstrap_at_ms_ < 0.0) return 0.0;
+  History ghost;
+  ghost.last_ms = bootstrap_at_ms_;
+  return phi_of(ghost, now_ms);
+}
+
+HostState PhiAccrualDetector::state(model::HostId host, double now_ms) const {
+  const double p = phi(host, now_ms);
+  if (p >= config_.phi_condemn) return HostState::kCondemned;
+  if (p >= config_.phi_suspect) return HostState::kSuspect;
+  return HostState::kAlive;
+}
+
+}  // namespace dif::heal

@@ -1,0 +1,110 @@
+// Phi-accrual failure detection over the monitor heartbeat stream.
+//
+// Every AdminComponent ships a __monitor_report on a fixed cadence; the
+// deployer sees one per host per report interval unless the host is dead or
+// unreachable. Instead of a fixed timeout ("no report for T ms => dead"),
+// the phi-accrual detector (Hayashibara et al., SRDS'04 — the detector Akka
+// and Cassandra ship) keeps a sliding window of observed inter-arrival
+// times per host and outputs a *suspicion level*:
+//
+//   phi(now) = -log10( P(next heartbeat arrives later than now) )
+//
+// under a normal model of the inter-arrival distribution. The continuous
+// score separates two thresholds cleanly: a low one (*suspect* — stop
+// placing new components there) and a high one (*condemn* — declare the
+// host lost and start recovery). Because the window adapts to the observed
+// cadence, a host whose reports ride a lossy link accrues suspicion slower
+// than one on a clean link, replacing the fixed-timeout liveness
+// assumption the analyzer/deployer paths used to imply.
+//
+// Everything is deterministic in simulated time: same heartbeat sequence,
+// same phi trajectory, byte-identical reports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "model/ids.h"
+
+namespace dif::heal {
+
+struct DetectorConfig {
+  /// Suspicion threshold for the *suspect* state: the host stops being a
+  /// valid placement target but no recovery starts. phi = 2 means "the
+  /// chance this silence is ordinary is below 1%".
+  double phi_suspect = 2.0;
+  /// Threshold for *condemned*: the host is declared lost and the
+  /// RecoveryPlanner re-places its components. phi = 8 is a 1e-8 chance of
+  /// a false positive under the fitted inter-arrival model.
+  double phi_condemn = 8.0;
+  /// Sliding window of inter-arrival samples kept per host.
+  std::size_t window = 32;
+  /// Until this many real samples arrive, the window is padded with
+  /// `bootstrap_interval_ms` so the detector is usable from the first
+  /// report (and strictly conservative before it has evidence).
+  std::size_t min_samples = 3;
+  /// Expected heartbeat cadence (the admins' report_interval_ms).
+  double bootstrap_interval_ms = 1'000.0;
+  /// Variance floor: simulated timers are exact, so an undisturbed window
+  /// collapses to zero variance and a single lost report would otherwise
+  /// spike phi to infinity. The floor models scheduling/report jitter.
+  double min_std_ms = 250.0;
+  /// Grace subtracted from the observed silence before scoring — absorbs
+  /// short message-delay/reorder bursts (the protocol fuzzer's territory)
+  /// without accruing suspicion.
+  double acceptable_pause_ms = 2'000.0;
+};
+
+enum class HostState { kAlive, kSuspect, kCondemned };
+
+[[nodiscard]] const char* to_string(HostState state) noexcept;
+
+class PhiAccrualDetector {
+ public:
+  explicit PhiAccrualDetector(DetectorConfig config = {});
+
+  /// Records a heartbeat (a __monitor_report) from `host` at sim time
+  /// `now_ms`. Out-of-order timestamps (delayed/reordered delivery) are
+  /// tolerated: a timestamp at or before the last recorded one is ignored
+  /// rather than producing a negative interval.
+  void heartbeat(model::HostId host, double now_ms);
+
+  /// Current suspicion level for `host`. Hosts never heard from score 0
+  /// until `bootstrap_from` (see below) has been set, so silence before the
+  /// first report does not read as death during startup.
+  [[nodiscard]] double phi(model::HostId host, double now_ms) const;
+
+  /// phi mapped through the two thresholds.
+  [[nodiscard]] HostState state(model::HostId host, double now_ms) const;
+
+  /// Starts the clock for hosts that have never reported: after this call a
+  /// host with zero heartbeats accrues suspicion as if its last heartbeat
+  /// was at `now_ms` (bootstrap cadence). Call once when monitoring starts.
+  void bootstrap_from(double now_ms);
+
+  /// Drops `host`'s history (a condemned host that provably restarted gets
+  /// a fresh window instead of dragging its outage into the estimate).
+  void forget(model::HostId host);
+
+  [[nodiscard]] bool seen(model::HostId host) const;
+  [[nodiscard]] std::size_t sample_count(model::HostId host) const;
+  [[nodiscard]] const DetectorConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct History {
+    std::vector<double> intervals;  // ring buffer, size <= config_.window
+    std::size_t next = 0;           // ring cursor
+    double last_ms = -1.0;          // last heartbeat timestamp
+  };
+
+  [[nodiscard]] double phi_of(const History& h, double now_ms) const;
+
+  DetectorConfig config_;
+  std::map<model::HostId, History> hosts_;
+  double bootstrap_at_ms_ = -1.0;  // <0: never-seen hosts score 0
+};
+
+}  // namespace dif::heal

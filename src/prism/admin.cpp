@@ -223,6 +223,11 @@ void AdminComponent::handle(const Event& event) {
     handle_request_component(event);
   } else if (event.name() == "__component_transfer") {
     handle_component_transfer(event);
+  } else if (event.name() == "__recover_component") {
+    // A substitute copy of a component whose holder died, shipped by the
+    // deployer's recovery round. Same shape as a __component_transfer with
+    // no origin to ack: attach, record custody, announce, __migration_ack.
+    handle_component_transfer(event);
   } else if (event.name() == "__location_update") {
     handle_location_update(event);
   } else if (event.name() == "__transfer_ack") {
@@ -590,7 +595,29 @@ void AdminComponent::handle_location_update(const Event& event) {
     // Someone else claims a component we hold: resolve ownership.
     const bool claim_restored = event.get_bool("restored").value_or(false);
     const bool mine_restored = restored_.count(*component) > 0;
-    if (mine_restored && (!claim_restored || host_ > claimant)) {
+    const std::uint64_t claim_custody = static_cast<std::uint64_t>(
+        event.get_double("custody").value_or(0.0));
+    const auto known = custody_versions_.find(*component);
+    const std::uint64_t my_custody =
+        known == custody_versions_.end() ? 0 : known->second;
+    if (custody_precedence_ && !claim_restored && claim_custody > my_custody) {
+      // Custody precedence (anti-entropy): an authoritative claim with a
+      // strictly newer custody version proves the fleet moved (or
+      // re-created) the component after our copy's saga — e.g. we were
+      // falsely condemned behind a partition and recovery re-placed our
+      // components. A higher version implies a live copy existed at the
+      // claimant when it was stamped, so shedding ours outright is safe;
+      // demote-to-provisional would only spawn a doomed reclaim cycle.
+      util::log_info("prism.admin", "shedding stale copy of '", *component,
+                     "' (claim custody ", claim_custody, " > ours ",
+                     my_custody, ") to host ", claimant);
+      restored_.erase(*component);
+      contested_.erase(*component);
+      (void)architecture()->detach_component(*component);  // destroyed
+      connector_.set_location(*component, claimant);
+      custody_versions_[*component] = claim_custody;
+      flush_buffer(*component);
+    } else if (mine_restored && (!claim_restored || host_ > claimant)) {
       // A provisional copy yields to an authoritative claim (and, between
       // two provisional copies, the higher host id yields — both sides
       // apply the same deterministic rule).
@@ -600,8 +627,11 @@ void AdminComponent::handle_location_update(const Event& event) {
       (void)architecture()->detach_component(*component);  // destroyed
       connector_.set_location(*component, claimant);
       flush_buffer(*component);
-    } else if (!mine_restored && !claim_restored && host_ > claimant) {
-      // Two *authoritative* claims: the system forked (e.g. a provisional
+    } else if (!mine_restored && !claim_restored &&
+               (!custody_precedence_ || claim_custody == my_custody) &&
+               host_ > claimant) {
+      // Two *authoritative* claims at the same custody version: the system
+      // forked (e.g. a provisional
       // copy was shipped onward as a regular transfer while the original
       // still lived elsewhere). Destroying outright is unsafe — the claim
       // may be stale and ours the last copy — so the junior holder (the

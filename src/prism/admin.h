@@ -107,6 +107,14 @@ class AdminComponent : public Component {
     obs_ = instruments;
   }
 
+  /// Arms the recovery-era ownership rules (heal/): a location claim with a
+  /// strictly newer custody version sheds the local copy outright, and the
+  /// forked-authoritative tie-break applies only between claims at the same
+  /// custody version. Off by default so recovery-off runs keep pre-heal
+  /// conflict semantics byte for byte; HealController arms every admin on
+  /// attach.
+  void set_custody_precedence(bool on) noexcept { custody_precedence_ = on; }
+
   void handle(const Event& event) override;
   void on_attached() override;
 
@@ -204,6 +212,7 @@ class AdminComponent : public Component {
   /// component (the transfer had actually arrived and only the acks were
   /// lost), the restored copy yields and destroys itself — the resolution
   /// protocol that keeps every component existing exactly once.
+  bool custody_precedence_ = false;
   std::set<std::string> restored_;
   /// Held components another host has claimed: re-assertion attempts left.
   std::map<std::string, int> contested_;

@@ -59,7 +59,18 @@ void DeployerComponent::handle(const Event& event) {
                       event.get_bool("restored").value_or(false));
       if (const std::optional<double> epoch = event.get_double("epoch"))
         rebroadcast.set("epoch", *epoch);
+      if (custody_rebroadcast_) {
+        if (const std::optional<double> custody = event.get_double("custody"))
+          rebroadcast.set("custody", *custody);
+      }
       send(std::move(rebroadcast));
+      // Track the highest custody version heard per component: recovery
+      // stamps its substitute copies one above this, so a falsely-condemned
+      // holder's stale copy loses the ownership tiebreak when it rejoins.
+      if (const std::optional<double> custody = event.get_double("custody")) {
+        auto& belief = custody_beliefs_[*component];
+        belief = std::max(belief, static_cast<std::uint64_t>(*custody));
+      }
       // A location update doubles as an ack: the component demonstrably
       // arrived somewhere, even if the explicit __migration_ack was lost —
       // but only when it concludes a migration of the *current* round
@@ -107,6 +118,11 @@ bool DeployerComponent::ack_epoch_matches(const Event& event) {
 void DeployerComponent::handle_monitor_report(const Event& event) {
   const std::optional<double> host = event.get_double("host");
   if (!host) return;
+  // Every monitor report is a heartbeat: tap it (with the local receive
+  // time) for the phi-accrual failure detector before decoding anything.
+  if (heartbeat_listener_)
+    heartbeat_listener_(static_cast<model::HostId>(*host),
+                        architecture()->scaffold().now_ms());
   HostReport report;
   report.host = static_cast<model::HostId>(*host);
   report.memory_kb = event.get_double("memory_kb").value_or(0.0);
@@ -154,6 +170,19 @@ void DeployerComponent::handle_monitor_report(const Event& event) {
 
 bool DeployerComponent::effect_deployment(const TargetDeployment& target,
                                           CompletionHandler done) {
+  return begin_round(target, std::move(done), nullptr);
+}
+
+bool DeployerComponent::effect_recovery(
+    const TargetDeployment& target,
+    const std::map<std::string, RecoveredComponent>& lost,
+    CompletionHandler done) {
+  return begin_round(target, std::move(done), &lost);
+}
+
+bool DeployerComponent::begin_round(
+    const TargetDeployment& target, CompletionHandler done,
+    const std::map<std::string, RecoveredComponent>* lost) {
   if (crashed() || round_.active()) return false;
   completion_ = std::move(done);
   migrations_requested_ = 0;
@@ -162,6 +191,24 @@ bool DeployerComponent::effect_deployment(const TargetDeployment& target,
   prepare_attempts_ = 0;
   redeploy_start_ms_ = architecture()->scaffold().now_ms();
   if (obs_.metrics) obs_.metrics->counter("deploy.redeployments").add(1);
+
+  recovery_payloads_.clear();
+  recovery_custody_.clear();
+  if (lost) {
+    if (obs_.metrics) obs_.metrics->counter("deploy.recoveries").add(1);
+    recovery_payloads_ = *lost;
+    for (const auto& [component, payload] : *lost) {
+      // The substitute payload is the footprint of record now; the dead
+      // host will not be reporting corrections.
+      component_memory_kb_[component] = payload.memory_kb;
+      // Stamp the substitute copy one custody version above the highest
+      // ever announced, so it wins the ownership tiebreak against the
+      // (possibly still live, merely partitioned) original.
+      const std::uint64_t next = custody_belief(component) + 1;
+      custody_beliefs_[component] = next;
+      recovery_custody_[component] = next;
+    }
+  }
 
   // Checkpoint the believed pre-round placement of everything that moves;
   // rollback restores exactly this map.
@@ -180,6 +227,35 @@ bool DeployerComponent::effect_deployment(const TargetDeployment& target,
     }
   }
   migrations_requested_ = plan.size();
+
+  // Liveness admission: a plan shipping anything to a suspect or condemned
+  // host is refused before a single __prepare — the old behaviour (any
+  // host that ever reported stays placeable forever) let redeployments
+  // strand components on hosts mid-failure.
+  if (liveness_probe_ && !plan.empty()) {
+    for (const MigrationTask& task : plan) {
+      if (!liveness_probe_(task.to)) continue;
+      util::log_warn("prism.deployer", "plan for epoch ", epoch_,
+                     " targets unsafe host ", task.to, " with '",
+                     task.component, "'; rejecting");
+      ++liveness_rejected_;
+      if (obs_.metrics)
+        obs_.metrics->counter("deploy.liveness_rejected").add(1);
+      RoundRecord record;
+      record.epoch = epoch_;
+      record.outcome = TxnOutcome::kAborted;
+      record.moves_requested = plan.size();
+      record.declared = checkpoint;
+      for (const MigrationTask& t : plan)
+        record.proposed.emplace(t.component, t.to);
+      history_.push_back(std::move(record));
+      last_outcome_ = TxnOutcome::kAborted;
+      ++rounds_rolled_back_;
+      if (obs_.metrics) obs_.metrics->counter("deploy.txn.aborted").add(1);
+      finish(false);
+      return true;
+    }
+  }
   if (obs_.trace) {
     redeploy_span_ = obs_.trace->begin_span(
         redeploy_start_ms_, "deploy.redeploy",
@@ -202,8 +278,10 @@ bool DeployerComponent::effect_deployment(const TargetDeployment& target,
     return true;
 
   current_target_ = target;
+  // Recovery rounds always keep what they managed to restore: rolling a
+  // half-repaired fleet back to "still lost" helps nobody.
   round_.begin(epoch_, std::move(plan), std::move(checkpoint),
-               deployer_params_.allow_partial);
+               deployer_params_.allow_partial || lost != nullptr);
   phase_span_ = begin_phase_span(
       "deploy.txn.prepare",
       static_cast<std::int64_t>(round_.participants().size()),
@@ -414,6 +492,10 @@ void DeployerComponent::start_commit() {
     if (task.done) continue;
     task.attempts = 1;
     task.retry_delay_ms = deployer_params_.renotify_interval_ms;
+    // The broadcast config omits recovered components (their source is
+    // dead — no admin can pull them), so their payload ships immediately
+    // instead of waiting for the first retry tick.
+    if (recovery_payloads_.count(task.component) > 0) send_task_config(task);
     schedule_task_retry(epoch_, TxnPhase::kCommit, task.component,
                         task.retry_delay_ms);
   }
@@ -423,12 +505,19 @@ void DeployerComponent::broadcast_new_config() {
   // Serialize desired configuration + currently believed locations. Built
   // fresh on every (re)broadcast so locations reflect partial progress.
   ByteWriter config_body;
+  std::uint32_t config_count = 0;
   for (const auto& [component, host] : current_target_) {
+    // Recovered components cannot be requested from their dead source; the
+    // targeted __recover_component in send_task_config ships them instead,
+    // so the broadcast config omits them (admins acting on the broadcast
+    // would only spam the dead host with __request_component retries).
+    if (recovery_payloads_.count(component) > 0) continue;
     config_body.str(component);
     config_body.u32(host);
+    ++config_count;
   }
   ByteWriter config;
-  config.u32(static_cast<std::uint32_t>(current_target_.size()));
+  config.u32(config_count);
   const std::vector<std::uint8_t> config_tail = config_body.take();
   config.raw(config_tail);
   const std::vector<std::uint8_t> config_blob = config.take();
@@ -436,6 +525,7 @@ void DeployerComponent::broadcast_new_config() {
   ByteWriter location_body;
   std::uint32_t location_count = 0;
   for (const auto& [component, host] : current_target_) {
+    if (recovery_payloads_.count(component) > 0) continue;
     if (const std::optional<model::HostId> current =
             connector().location(component)) {
       location_body.str(component);
@@ -462,6 +552,31 @@ void DeployerComponent::broadcast_new_config() {
 }
 
 void DeployerComponent::send_task_config(const MigrationTask& task) {
+  // Recovery migrations cannot be pulled from their dead source: ship the
+  // substitute payload directly to the target admin instead. The admin
+  // treats it like an arriving __component_transfer (attach, record
+  // custody, announce ownership, __migration_ack back), so the round's
+  // bookkeeping is oblivious to the difference. Retries re-send the same
+  // payload; duplicates are retired by the custody version. Rollback of an
+  // unfinished recovery migration would re-target the dead host — the
+  // event is sent and dropped there, and the round (always allow_partial)
+  // keeps whatever committed.
+  const auto payload = recovery_payloads_.find(task.component);
+  if (payload != recovery_payloads_.end() &&
+      round_.phase() != TxnPhase::kRollback) {
+    Event recover("__recover_component");
+    recover.set_to(admin_name(task.to));
+    recover.set("component", task.component);
+    recover.set("type", payload->second.type);
+    recover.set("memory_kb", payload->second.memory_kb);
+    recover.set("state", payload->second.state);
+    const auto custody = recovery_custody_.find(task.component);
+    if (custody != recovery_custody_.end())
+      recover.set("custody", static_cast<double>(custody->second));
+    recover.set("epoch", static_cast<double>(epoch_));
+    send(std::move(recover));
+    return;
+  }
   // Targeted single-component __new_config. `confirm` asks the receiving
   // admin to positively acknowledge a component it already holds — without
   // it, a migration (or compensation) whose work happened but whose acks
@@ -646,7 +761,32 @@ void DeployerComponent::end_phase_span(obs::TraceLog::SpanId& span, bool ok) {
   span = obs::TraceLog::kInvalidSpan;
 }
 
+void DeployerComponent::announce_location(const std::string& component) {
+  const std::optional<model::HostId> at = connector().location(component);
+  if (!at || crashed()) return;
+  Event update("__location_update");
+  update.set("component", component);
+  update.set("host", static_cast<double>(*at));
+  update.set("restored", false);
+  const auto belief = custody_beliefs_.find(component);
+  if (belief != custody_beliefs_.end())
+    update.set("custody", static_cast<double>(belief->second));
+  send(Event(update));  // broadcast to directly connected peers
+  // Directed copies reach the whole fleet even when the broadcast cannot:
+  // the point of the re-announce is precisely a host that just came back
+  // from a partition and missed every broadcast.
+  for (const model::HostId host : deployer_params_.admin_hosts) {
+    Event directed(update);
+    directed.set_to(admin_name(host));
+    send(std::move(directed));
+  }
+}
+
 void DeployerComponent::finish(bool success) {
+  // The round (if any) is over; substitute payloads must not leak into the
+  // next round's broadcast/config logic.
+  recovery_payloads_.clear();
+  recovery_custody_.clear();
   if (success) ++completed_;
   const double now = architecture() ? architecture()->scaffold().now_ms()
                                     : redeploy_start_ms_;

@@ -65,6 +65,15 @@ struct PrepareThrottle {
   double inter_batch_delay_ms = 0.0;
 };
 
+/// Everything a target admin needs to reconstitute a component whose holder
+/// died: factory type, capacity footprint, and a substitute state blob (see
+/// DeployerComponent::effect_recovery).
+struct RecoveredComponent {
+  std::string type;
+  double memory_kb = 0.0;
+  std::vector<std::uint8_t> state;
+};
+
 class DeployerComponent final : public AdminComponent {
  public:
   struct DeployerParams {
@@ -127,6 +136,33 @@ class DeployerComponent final : public AdminComponent {
     report_handler_ = std::move(handler);
   }
 
+  /// Heartbeat tap for failure detection (heal/): invoked with the sender
+  /// host and the local receive time for every __monitor_report, before the
+  /// report is decoded. Independent of the report handler, which DeSi's
+  /// MiddlewareAdapter owns.
+  using HeartbeatListener = std::function<void(model::HostId, double now_ms)>;
+  void set_heartbeat_listener(HeartbeatListener listener) {
+    heartbeat_listener_ = std::move(listener);
+  }
+
+  /// Liveness veto for plan admission: returns true when `host` is NOT a
+  /// safe migration target (suspect or condemned). Consulted for every
+  /// task target before a round opens — replacing the old fixed-timeout
+  /// assumption that any host that ever reported stays placeable.
+  using LivenessProbe = std::function<bool(model::HostId)>;
+  void set_liveness_probe(LivenessProbe probe) {
+    liveness_probe_ = std::move(probe);
+  }
+
+  /// Carries the custody version through on __location_update rebroadcasts
+  /// so peer admins can apply custody precedence (heal/ anti-entropy). Off
+  /// by default: a rebroadcast custody field also satisfies the admins'
+  /// retained-copy cancellation check, so passing it through changes
+  /// recovery-off behaviour. HealController arms this on attach.
+  void set_custody_rebroadcast(bool on) noexcept {
+    custody_rebroadcast_ = on;
+  }
+
   // --- redeployment -------------------------------------------------------------
 
   /// Desired placement: component name -> target host.
@@ -142,6 +178,41 @@ class DeployerComponent final : public AdminComponent {
   /// `done` (which may fire immediately when nothing needs to move).
   bool effect_deployment(const TargetDeployment& target,
                          CompletionHandler done);
+
+  /// Recovery variant of effect_deployment: migrations whose component is
+  /// listed in `lost` cannot be requested from their (dead) source, so the
+  /// COMMIT phase ships a __recover_component event — type + substitute
+  /// state — to the target admin instead of a targeted __new_config. The
+  /// round is otherwise ordinary: preflighted, capacity-voted via
+  /// __prepare, throttled, epoch-stamped, retried, and recorded in
+  /// round_history(). Recovery rounds always allow partial completion (a
+  /// half-repaired fleet beats rolling healthy repairs back). Recovered
+  /// components are stamped with a custody version one above the highest
+  /// this deployer has heard announced, so a falsely-condemned holder's
+  /// copy loses the ownership tiebreak when it rejoins.
+  bool effect_recovery(const TargetDeployment& target,
+                       const std::map<std::string, RecoveredComponent>& lost,
+                       CompletionHandler done);
+
+  /// Re-broadcasts `component`'s believed location (with its believed
+  /// custody version) to the whole admin fleet. The heal controller calls
+  /// this when a falsely-condemned host rejoins, so the returning host
+  /// learns who owns the components it used to hold (anti-entropy push).
+  void announce_location(const std::string& component);
+
+  /// Highest custody version this deployer has heard announced for
+  /// `component` (0 when never announced).
+  [[nodiscard]] std::uint64_t custody_belief(const std::string& component)
+      const {
+    const auto it = custody_beliefs_.find(component);
+    return it == custody_beliefs_.end() ? 0 : it->second;
+  }
+
+  /// Plans rejected because a task targeted a host the liveness probe
+  /// flagged as unsafe (suspect/condemned).
+  [[nodiscard]] std::uint64_t plans_rejected_liveness() const noexcept {
+    return liveness_rejected_;
+  }
 
   [[nodiscard]] bool redeployment_in_flight() const noexcept {
     return round_.active();
@@ -201,6 +272,10 @@ class DeployerComponent final : public AdminComponent {
   void crash() override;
 
  private:
+  /// Shared round-opening path for effect_deployment / effect_recovery;
+  /// `lost` is null for ordinary redeployments.
+  bool begin_round(const TargetDeployment& target, CompletionHandler done,
+                   const std::map<std::string, RecoveredComponent>* lost);
   void handle_monitor_report(const Event& event);
   void handle_prepare_ack(const Event& event);
   void handle_migration_ack(const Event& event);
@@ -233,8 +308,19 @@ class DeployerComponent final : public AdminComponent {
   [[nodiscard]] bool ack_epoch_matches(const Event& event);
 
   ReportHandler report_handler_;
+  HeartbeatListener heartbeat_listener_;
+  LivenessProbe liveness_probe_;
+  bool custody_rebroadcast_ = false;
   DeployerParams deployer_params_;
   TxnRound round_;
+  /// Substitute payloads for the current recovery round, by component name.
+  /// Empty for ordinary rounds; cleared when the round closes.
+  std::map<std::string, RecoveredComponent> recovery_payloads_;
+  /// Custody version stamped on each in-flight recovered component.
+  std::map<std::string, std::uint64_t> recovery_custody_;
+  /// Highest custody version heard per component (from __location_update).
+  std::map<std::string, std::uint64_t> custody_beliefs_;
+  std::uint64_t liveness_rejected_ = 0;
   /// Rejects a statically-defective plan: closes the round as `aborted`
   /// without sending a single __prepare. Returns true when rejected.
   bool preflight_reject(const std::vector<MigrationTask>& plan,

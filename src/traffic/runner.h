@@ -14,6 +14,7 @@
 #include <string>
 
 #include "desi/generator.h"
+#include "heal/recovery.h"
 #include "traffic/engine.h"
 #include "traffic/ratekeeper.h"
 #include "util/json.h"
@@ -47,6 +48,12 @@ struct RunOptions {
   double redeploy_at_ms = 0.0;
   double redeploy_every_ms = 0.0;
   std::size_t redeploy_moves = 0;
+  /// Self-healing: attach a heal::HealController (phi-accrual detection,
+  /// automatic recovery re-placement) over the live run and add a
+  /// "recovery" object to the report. Off by default — recovery-off runs
+  /// stay byte-identical to pre-heal builds.
+  bool recovery = false;
+  heal::HealConfig heal;
 };
 
 struct RunResult {
@@ -61,6 +68,13 @@ struct RunResult {
   std::uint64_t committed = 0;      // clean commits
   std::uint64_t rolled_back = 0;    // aborted/rolled-back/partial rounds
   std::uint64_t migrations = 0;     // components actually moved
+  /// Self-healing observations (zero unless RunOptions::recovery).
+  std::uint64_t condemnations = 0;
+  std::uint64_t recoveries_committed = 0;
+  double mean_mttr_ms = 0.0;
+  /// SLO-violation ms accrued while a repair was pending or in flight —
+  /// the share of user pain attributable to recovery traffic.
+  double slo_repair_attrib_ms = 0.0;
   /// The full metrics registry of the run, serialized (dif-metrics-v1).
   util::json::Value metrics;
 };

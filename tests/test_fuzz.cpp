@@ -217,5 +217,45 @@ TEST(FuzzRegression, PinnedSeedsHoldAllInvariants) {
   EXPECT_TRUE(events.count("__location_update"));
 }
 
+// Known-bad seed 5 — the standing shrinker demonstration, asserted as an
+// EXPECTED failure (xfail): drop+reorder of rollback-phase messages makes
+// the epoch-5 rollback time out with compensations unconfirmed, leaving a
+// component at its commit target while the `rollback_failed` round
+// declares it back at the checkpoint without listing it unresolved — a
+// torn placement the atomicity invariant flags. This is a genuine
+// weakness of the two-phase effector under adversarial scheduling (the
+// rollback path has no second-level compensation retry), documented here
+// and in docs/fuzzing.md rather than hidden; the day the protocol is
+// hardened, this test flips to the green corpus above. The shrinker
+// assertions pin the ddmin-lite contract: the minimal trace must be
+// non-growing AND must reproduce the *original* invariant — an earlier
+// shrinker accepted any failing replay, so the "minimal" trace could
+// drift onto a different bug than the one it was shrinking.
+TEST(FuzzRegression, KnownBadSeedFiveTornPlacementShrinksOnBug) {
+  FuzzConfig config = quick_config(5, 1);
+  config.shrink_budget = 16;  // enough to shrink, cheap enough for a test
+  const FuzzReport report = FuzzRunner(config).run();
+  ASSERT_EQ(report.rounds.size(), 1u);
+  const FuzzRound& round = report.rounds[0];
+  ASSERT_TRUE(round.failed) << "seed 5 no longer violates atomicity: the "
+                               "torn-placement defect appears fixed — move "
+                               "this seed to the pinned green corpus";
+  // The torn placement is the root violation; the stranded component also
+  // leaves the converged placement worse than the initial one, so the
+  // availability invariant fires as collateral on the same round.
+  bool torn = false;
+  for (const InvariantViolation& v : round.report.violations)
+    torn = torn || v.invariant == "atomicity";
+  EXPECT_TRUE(torn) << "seed 5 still fails, but no longer by atomicity — "
+                       "re-triage the root cause before re-pinning";
+  // ddmin-lite contract: non-growing, budget-bounded, and still failing on
+  // the original invariant (round.minimal is by construction the applied
+  // trace of the last accepted failing replay).
+  EXPECT_LE(round.minimal.size(), round.mutations.size());
+  EXPECT_LT(round.minimal.size(), round.mutations.size())
+      << "shrinker made no progress within budget";
+  EXPECT_LE(round.shrink_runs, config.shrink_budget);
+}
+
 }  // namespace
 }  // namespace dif::chaos

@@ -68,10 +68,22 @@
 //       checking dependability invariants after every run. --json emits
 //       the "dif-campaign-v1" report (to PATH, or stdout without one).
 //       --allow-partial enables the effector's graceful-degradation mode.
+//       --recovery attaches the self-healing controller (phi-accrual
+//       failure detection + automatic recovery re-placement) to the
+//       centralized runs and judges the eighth (convergence) invariant.
 //       Exit 0 when every invariant held and every round committed, 1 on
 //       violations, 2 on usage errors, 3 when invariants held but at
 //       least one round ended in abort/rollback/partial (informational —
 //       atomicity was preserved, the adaptation was not fully applied).
+//
+//   difctl heal [--seeds 0..3] [--scenario killhost] [--json [PATH]]
+//       Self-healing campaign: `difctl campaign --centralized --recovery`
+//       with the killhost scenario by default, reported recovery-first —
+//       per seed: suspicions, condemnations, rejoins, committed repairs,
+//       mean MTTR, and the convergence time. Same JSON schema and exit
+//       codes as `campaign`; --convergence-window-ms bounds the eighth
+//       invariant's deadline, --phi-suspect/--phi-condemn tune the
+//       detector thresholds.
 //
 //   difctl fuzz [--seed N] [--rounds M] [--rate R] [--json [PATH]]
 //       Control-plane protocol fuzzer: run centralized campaigns with a
@@ -92,7 +104,10 @@
 //       underneath, with the ratekeeper throttling migration sagas and
 //       shedding over-budget tenants when SLO/saturation degrade. --json
 //       emits the "dif-traffic-v1" report (per-tenant goodput, p50/p99,
-//       SLO-violation seconds, throttle/shed actions). Exit 0 on a clean
+//       SLO-violation seconds, throttle/shed actions). --recovery attaches
+//       the self-healing controller; the report then carries a "recovery"
+//       object including slo_repair_attrib_ms — the share of SLO pain
+//       accrued while a repair was pending or in flight. Exit 0 on a clean
 //       run, 3 when SLO-violation seconds accrued or a redeployment round
 //       rolled back (informational), 1 on errors, 2 on usage errors.
 //       See docs/difctl.md for the full flag reference.
@@ -150,8 +165,13 @@ int usage() {
                "  campaign [--seeds A..B|a,b,c] [--scenario NAME] "
                "[--hosts K] [--components N] [--duration-ms D] "
                "[--tolerance T] [--centralized|--decentralized] "
-               "[--allow-partial] [--json [PATH]] [--metrics-json PATH] "
-               "[--trace-json PATH]\n"
+               "[--allow-partial] [--recovery] [--convergence-window-ms W] "
+               "[--phi-suspect P] [--phi-condemn P] [--json [PATH]] "
+               "[--metrics-json PATH] [--trace-json PATH]\n"
+               "  heal     [--seeds A..B|a,b,c] [--scenario NAME] "
+               "[--hosts K] [--components N] [--duration-ms D] "
+               "[--tolerance T] [--convergence-window-ms W] "
+               "[--phi-suspect P] [--phi-condemn P] [--json [PATH]]\n"
                "  fuzz     [--seed N] [--rounds M] [--rate R] [--scenario "
                "NAME] [--hosts K] [--components N] [--duration-ms D] "
                "[--shrink-budget B] [--json [PATH]]\n"
@@ -160,6 +180,7 @@ int usage() {
                "[--shape flat|diurnal|flash] [--slo-p99-ms MS] "
                "[--duration-ms D] [--scenario NAME] [--redeploy-at-ms T] "
                "[--redeploy-every-ms T] [--moves K] [--no-ratekeeper] "
+               "[--recovery] [--phi-suspect P] [--phi-condemn P] "
                "[--json [PATH]] [--metrics-json PATH]\n");
   return 2;
 }
@@ -479,6 +500,28 @@ std::vector<std::uint64_t> parse_seeds(const std::string& text) {
   return seeds;
 }
 
+/// Flags shared by `campaign` and `heal`: generator size, duration,
+/// tolerance, graceful degradation, and the self-healing knobs.
+void apply_campaign_flags(const Flags& flags, chaos::CampaignConfig& config) {
+  config.generator.hosts = flags.get_u64("hosts", config.generator.hosts);
+  config.generator.components =
+      flags.get_u64("components", config.generator.components);
+  if (flags.has("duration-ms"))
+    config.scenario.duration_ms = std::stod(flags.get("duration-ms", "0"));
+  if (flags.has("tolerance"))
+    config.availability_tolerance = std::stod(flags.get("tolerance", "0"));
+  config.allow_partial = flags.has("allow-partial");
+  if (flags.has("convergence-window-ms"))
+    config.convergence_window_ms =
+        std::stod(flags.get("convergence-window-ms", "0"));
+  if (flags.has("phi-suspect"))
+    config.heal.detector.phi_suspect =
+        std::stod(flags.get("phi-suspect", "0"));
+  if (flags.has("phi-condemn"))
+    config.heal.detector.phi_condemn =
+        std::stod(flags.get("phi-condemn", "0"));
+}
+
 int cmd_campaign(const Flags& flags) {
   chaos::CampaignConfig config;
   try {
@@ -488,20 +531,14 @@ int cmd_campaign(const Flags& flags) {
     std::fprintf(stderr, "difctl campaign: %s\n", e.what());
     return usage();
   }
-  config.generator.hosts = flags.get_u64("hosts", config.generator.hosts);
-  config.generator.components =
-      flags.get_u64("components", config.generator.components);
-  if (flags.has("duration-ms"))
-    config.scenario.duration_ms = std::stod(flags.get("duration-ms", "0"));
-  if (flags.has("tolerance"))
-    config.availability_tolerance = std::stod(flags.get("tolerance", "0"));
+  apply_campaign_flags(flags, config);
+  config.recovery = flags.has("recovery");
   // --centralized / --decentralized restrict to one mode; both (or
   // neither) flags run both.
   if (flags.has("centralized") && !flags.has("decentralized"))
     config.decentralized = false;
   if (flags.has("decentralized") && !flags.has("centralized"))
     config.centralized = false;
-  config.allow_partial = flags.has("allow-partial");
 
   obs::Registry metrics;
   obs::TraceLog trace;
@@ -546,6 +583,61 @@ int cmd_campaign(const Flags& flags) {
   if (!report.ok()) return 1;
   // Exit-code contract: 3 flags a violation-free campaign in which at
   // least one centralized round ended in abort/rollback/partial.
+  std::uint64_t rolled = 0;
+  for (const chaos::RunReport& run : report.runs)
+    for (const char* outcome :
+         {"aborted", "rolled_back", "partial", "rollback_failed"}) {
+      const auto it = run.txn_outcomes.find(outcome);
+      if (it != run.txn_outcomes.end()) rolled += it->second;
+    }
+  return rolled > 0 ? 3 : 0;
+}
+
+int cmd_heal(const Flags& flags) {
+  chaos::CampaignConfig config = chaos::recovery_campaign_config();
+  try {
+    config.scenario =
+        chaos::scenario_by_name(flags.get("scenario", "killhost"));
+    config.seeds = parse_seeds(flags.get("seeds", "0..3"));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "difctl heal: %s\n", e.what());
+    return usage();
+  }
+  apply_campaign_flags(flags, config);
+
+  chaos::CampaignRunner runner(config);
+  const chaos::CampaignReport report = runner.run();
+
+  std::fprintf(stderr, "%-6s %8s %8s %8s %8s %10s %12s %6s\n", "seed",
+               "suspect", "condemn", "rejoin", "repairs", "mttr_ms",
+               "converged", "viol");
+  for (const chaos::RunReport& run : report.runs) {
+    double suspicions = 0.0;
+    if (run.recovery)
+      if (const auto s = run.recovery->find("suspicions"))
+        suspicions = s->get().as_number();
+    std::fprintf(stderr, "%-6llu %8.0f %8llu %8llu %8llu %10.0f %12.0f %6zu\n",
+                 static_cast<unsigned long long>(run.seed), suspicions,
+                 static_cast<unsigned long long>(run.condemnations),
+                 static_cast<unsigned long long>(run.rejoins),
+                 static_cast<unsigned long long>(run.recoveries_committed),
+                 run.mean_mttr_ms, run.converged_at_ms,
+                 run.violations.size());
+    for (const chaos::InvariantViolation& v : run.violations)
+      std::fprintf(stderr, "       ! %s: %s\n", v.invariant.c_str(),
+                   v.detail.c_str());
+  }
+  std::fprintf(stderr, "heal: %zu runs, %zu invariant violations\n",
+               report.runs.size(), report.total_violations());
+
+  if (flags.has("json")) {
+    const std::string json_path = flags.get("json", "");
+    if (json_path.empty())
+      std::printf("%s\n", report.to_json().dump(2).c_str());
+    else
+      write_json_file(json_path, report.to_json());
+  }
+  if (!report.ok()) return 1;
   std::uint64_t rolled = 0;
   for (const chaos::RunReport& run : report.runs)
     for (const char* outcome :
@@ -750,6 +842,11 @@ int cmd_traffic(const Flags& flags) {
   opts.redeploy_at_ms = std::stod(flags.get("redeploy-at-ms", "0"));
   opts.redeploy_every_ms = std::stod(flags.get("redeploy-every-ms", "10000"));
   opts.redeploy_moves = flags.get_u64("moves", 2);
+  opts.recovery = flags.has("recovery");
+  if (flags.has("phi-suspect"))
+    opts.heal.detector.phi_suspect = std::stod(flags.get("phi-suspect", "0"));
+  if (flags.has("phi-condemn"))
+    opts.heal.detector.phi_condemn = std::stod(flags.get("phi-condemn", "0"));
 
   // Tenant tags: t0 is the heavy tenant (double weight); every budget is
   // 1.2x the fair share, so the noisy neighbour sits over budget while the
@@ -815,6 +912,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "generate") return cmd_generate(Flags(argc, argv, 2));
     if (command == "campaign") return cmd_campaign(Flags(argc, argv, 2));
+    if (command == "heal") return cmd_heal(Flags(argc, argv, 2));
     if (command == "fuzz") return cmd_fuzz(Flags(argc, argv, 2));
     if (command == "traffic") return cmd_traffic(Flags(argc, argv, 2));
     if (argc < 3) return usage();
